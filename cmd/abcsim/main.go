@@ -1,0 +1,434 @@
+// Command abcsim runs any of the paper's experiments by ID and prints the
+// corresponding table rows or series.
+//
+// Usage:
+//
+//	abcsim -exp list
+//	abcsim -exp fig1 [-seed 1] [-dur 60]
+//	abcsim -exp fig9 -schemes ABC,Cubic,Cubic+Codel
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"abc/internal/exp"
+	"abc/internal/sim"
+)
+
+var (
+	expName = flag.String("exp", "list", "experiment id (use 'list' to enumerate)")
+	seed    = flag.Int64("seed", 1, "simulation seed")
+	durSec  = flag.Float64("dur", 60, "run duration in seconds (where applicable)")
+	schemes = flag.String("schemes", "", "comma-separated scheme subset (where applicable)")
+	users   = flag.Int("users", 1, "number of Wi-Fi users (fig10)")
+	runs    = flag.Int("runs", 3, "runs per point (fig12)")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "abcsim:", err)
+		os.Exit(1)
+	}
+}
+
+func schemeList() []string {
+	if *schemes == "" {
+		return nil
+	}
+	return strings.Split(*schemes, ",")
+}
+
+func dur() sim.Time { return sim.FromSeconds(*durSec) }
+
+type experiment struct {
+	name, desc string
+	fn         func() error
+}
+
+func experiments() []experiment {
+	return []experiment{
+		{"table1", "§1 summary: normalized throughput/delay vs ABC", runTable1},
+		{"fig1", "time series: Cubic, Verus, Cubic+Codel, ABC on LTE", runFig1},
+		{"fig2", "dequeue- vs enqueue-rate feedback", runFig2},
+		{"fig3", "fairness among ABC flows with/without AI", runFig3},
+		{"fig4", "Wi-Fi inter-ACK time vs A-MPDU size", runFig4},
+		{"fig5", "Wi-Fi link-rate prediction accuracy", runFig5},
+		{"fig6", "coexistence with a non-ABC wired bottleneck", runFig6},
+		{"fig7", "ABC + Cubic on a dual-queue bottleneck", runFig7},
+		{"fig8", "throughput/delay scatter (down, up, two-hop)", runFig8},
+		{"fig9", "utilization and p95 delay across 8 traces", runFig9},
+		{"fig10", "Wi-Fi comparison (alternating MCS)", runFig10},
+		{"fig11", "tracking with on-off cross traffic", runFig11},
+		{"fig12", "max-min vs zombie-list weight policy", runFig12},
+		{"fig13", "application-limited ABC flows", runFig13},
+		{"fig14", "Wi-Fi comparison (Brownian MCS walk)", runFig14},
+		{"fig15", "mean per-packet delay across traces", runFig15},
+		{"fig16", "ABC vs explicit schemes (XCP/XCPw/RCP/VCP)", runFig16},
+		{"fig17", "square-wave adaptation: ABC vs RCP vs XCPw", runFig17},
+		{"fig18", "RTT sensitivity sweep", runFig18},
+		{"jain", "§6.5 Jain fairness index, 2-32 flows", runJain},
+		{"ablations", "ABC parameter sweeps (dt, delta, eta, token limit, window)", runAblations},
+		{"proxied", "§5.1.2 proxied-network ECN encoding vs NS-bit encoding", runProxied},
+		{"pkabc", "§6.6 perfect-knowledge ABC", runPKABC},
+		{"stability", "Theorem 3.1 stability boundary sweep", runStability},
+	}
+}
+
+func run() error {
+	exps := experiments()
+	if *expName == "list" {
+		for _, e := range exps {
+			fmt.Printf("%-10s %s\n", e.name, e.desc)
+		}
+		return nil
+	}
+	for _, e := range exps {
+		if e.name == *expName {
+			return e.fn()
+		}
+	}
+	return fmt.Errorf("unknown experiment %q (try -exp list)", *expName)
+}
+
+func runTable1() error {
+	bars, err := exp.Fig9Bars(schemeList(), nil, dur(), *seed)
+	if err != nil {
+		return err
+	}
+	rows := exp.SummaryTable(bars)
+	fmt.Printf("%-14s %10s %16s\n", "Scheme", "Norm Tput", "Norm Delay (95%)")
+	for _, r := range rows {
+		fmt.Printf("%-14s %10.2f %16.2f\n", r.Scheme, r.NormTput, r.NormDelay)
+	}
+	return nil
+}
+
+func runFig1() error {
+	runsOut, err := exp.Fig1Timeseries(*seed)
+	if err != nil {
+		return err
+	}
+	for _, r := range runsOut {
+		fmt.Printf("## %s\n%v\n", r.Scheme, r.Summary)
+		fmt.Println("t(s)  tput(Mbps)  qdelay(ms)")
+		for i := range r.Tput.Times {
+			if i%5 != 0 {
+				continue
+			}
+			fmt.Printf("%5.1f %10.2f %10.1f\n", r.Tput.Times[i], r.Tput.Values[i], r.QDelay.Values[i])
+		}
+	}
+	return nil
+}
+
+func runFig2() error {
+	r, err := exp.Fig2FeedbackMode(*seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dequeue feedback: %v  (p95 queuing %.0f ms)\n", r.Dequeue, r.QDelayP95Dequeue)
+	fmt.Printf("enqueue feedback: %v  (p95 queuing %.0f ms)\n", r.Enqueue, r.QDelayP95Enqueue)
+	fmt.Printf("enqueue/dequeue p95 queuing-delay ratio: %.2fx (paper: ~2x)\n",
+		r.QDelayP95Enqueue/r.QDelayP95Dequeue)
+	return nil
+}
+
+func runFig3() error {
+	for _, ai := range []bool{false, true} {
+		r, err := exp.Fig3Fairness(ai, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("additive increase=%v: Jain index (all 5 active) = %.3f\n", ai, r.JainAllActive)
+	}
+	return nil
+}
+
+func runFig4() error {
+	r, err := exp.Fig4InterACK(*seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("samples: %d, fitted slope %.3f ms/frame, theory S/R %.3f ms/frame\n",
+		len(r.Samples), r.FittedSlopeMs, r.TheorySlopeMs)
+	var batches []int
+	for b := range r.MeanTIA {
+		batches = append(batches, b)
+	}
+	sort.Ints(batches)
+	for _, b := range batches {
+		fmt.Printf("batch=%2d mean TIA=%6.2f ms\n", b, r.MeanTIA[b])
+	}
+	return nil
+}
+
+func runFig5() error {
+	pts, err := exp.Fig5RatePrediction(*seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(exp.FormatFig5(pts))
+	fmt.Printf("worst backlogged error: %.1f%% (paper: within 5%%)\n",
+		exp.Fig5MaxErrorBacklogged(pts)*100)
+	return nil
+}
+
+func runFig6() error {
+	r, err := exp.Fig6NonABCBottleneck(*seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("tracking error vs ideal: %.1f%%, p95 queuing delay %.0f ms\n",
+		r.TrackError*100, r.QDelayP95)
+	fmt.Println("t(s)  tput(Mbps)  wabc  wcubic  wireless(Mbps)")
+	for i := range r.WABC.Times {
+		if i%10 != 0 {
+			continue
+		}
+		fmt.Printf("%5.1f %10.2f %6.0f %7.0f %8.1f\n",
+			r.WABC.Times[i], r.Tput.Values[min(i, len(r.Tput.Values)-1)],
+			r.WABC.Values[i], r.WCubic.Values[i], r.WirelessRate.Values[i])
+	}
+	return nil
+}
+
+func runFig7() error {
+	r, err := exp.Fig7Coexistence(*seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("steady throughputs (Mbps): %v\n", r.SteadyTput)
+	fmt.Printf("Jain=%.3f  ABC queue p95=%.0f ms  Cubic queue p95=%.0f ms\n",
+		r.Jain, r.ABCQDelayP95, r.CubicQDelayP95)
+	return nil
+}
+
+func runFig8() error {
+	for kind, label := range map[exp.ScatterKind]string{
+		exp.Downlink: "downlink", exp.Uplink: "uplink", exp.UplinkDownlink: "uplink+downlink",
+	} {
+		sums, err := exp.Fig8Scatter(kind, schemeList(), dur(), *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("## %s\n", label)
+		for _, s := range sums {
+			fmt.Println(s)
+		}
+	}
+	return nil
+}
+
+func runFig9() error {
+	bars, err := exp.Fig9Bars(schemeList(), nil, dur(), *seed)
+	if err != nil {
+		return err
+	}
+	printBars(bars)
+	return nil
+}
+
+func printBars(bars *exp.BarsResult) {
+	fmt.Printf("%-14s %8s %12s %12s\n", "Scheme", "AvgUtil", "AvgMean(ms)", "AvgP95(ms)")
+	for _, sch := range bars.Schemes {
+		u, m, p := bars.Average(sch)
+		fmt.Printf("%-14s %7.1f%% %12.0f %12.0f\n", sch, u*100, m, p)
+	}
+}
+
+func runFig10() error {
+	sums, err := exp.Fig10WiFi(*users, exp.AlternatingMCS(*seed), dur(), *seed)
+	if err != nil {
+		return err
+	}
+	for _, s := range sums {
+		fmt.Println(s)
+	}
+	return nil
+}
+
+func runFig11() error {
+	r, err := exp.Fig11CrossTraffic(*seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("tracking error vs ideal: %.1f%%\n", r.TrackError*100)
+	fmt.Println("t(s)  tput(Mbps)  ideal(Mbps)")
+	for i := range r.Ideal.Times {
+		if i%4 != 0 || i >= len(r.Tput.Values) {
+			continue
+		}
+		fmt.Printf("%5.1f %10.2f %10.1f\n", r.Ideal.Times[i], r.Tput.Values[i], r.Ideal.Values[i])
+	}
+	return nil
+}
+
+func runFig12() error {
+	cfg := exp.DefaultFig12Config()
+	cfg.Runs = *runs
+	cfg.Duration = dur()
+	cfg.Seed = *seed
+	for _, pol := range []string{"maxmin", "zombie"} {
+		pts, err := exp.Fig12WeightPolicy(pol, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("## %s\n", pol)
+		for _, p := range pts {
+			fmt.Printf("load=%5.1f%%  ABC %5.2f±%.2f Mbps   Cubic %5.2f±%.2f Mbps\n",
+				p.OfferedLoad*100, p.ABCMean, p.ABCStd, p.CubicMean, p.CubicStd)
+		}
+	}
+	return nil
+}
+
+func runFig13() error {
+	r, err := exp.Fig13AppLimited(50, 1.0, dur(), *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("util=%.1f%%  backlogged=%.2f Mbps  app-limited agg=%.2f Mbps  p95 queuing=%.0f ms\n",
+		r.Utilization*100, r.BackloggedTputMbps, r.AppLimitedTputMbps, r.QDelayP95)
+	return nil
+}
+
+func runFig14() error {
+	sums, err := exp.Fig10WiFi(1, exp.BrownianMCS(*seed), dur(), *seed)
+	if err != nil {
+		return err
+	}
+	for _, s := range sums {
+		fmt.Println(s)
+	}
+	return nil
+}
+
+func runFig15() error {
+	bars, err := exp.Fig9Bars(schemeList(), nil, dur(), *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-14s %12s\n", "Scheme", "AvgMean(ms)")
+	for _, sch := range bars.Schemes {
+		_, m, _ := bars.Average(sch)
+		fmt.Printf("%-14s %12.0f\n", sch, m)
+	}
+	return nil
+}
+
+func runFig16() error {
+	bars, err := exp.Fig9Bars(exp.ExplicitSchemes, nil, dur(), *seed)
+	if err != nil {
+		return err
+	}
+	printBars(bars)
+	return nil
+}
+
+func runFig17() error {
+	rs, err := exp.Fig17SquareWave(schemeList(), *seed)
+	if err != nil {
+		return err
+	}
+	for _, r := range rs {
+		fmt.Printf("%-6s util=%.1f%%  p95 queuing=%.0f ms\n",
+			r.Scheme, r.Summary.Utilization*100, r.QDelayP95)
+	}
+	return nil
+}
+
+func runFig18() error {
+	out, err := exp.Fig18RTTSweep(schemeList(), dur(), *seed)
+	if err != nil {
+		return err
+	}
+	rtts := []int{20, 50, 100, 200}
+	for _, rtt := range rtts {
+		fmt.Printf("## RTT %d ms\n", rtt)
+		for sch, s := range out[rtt] {
+			fmt.Printf("%-14s util=%5.1f%%  p95=%6.0f ms\n", sch, s.Utilization*100, s.P95Ms)
+		}
+	}
+	return nil
+}
+
+func runJain() error {
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		idx, err := exp.JainFairness(n, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("flows=%2d  Jain index=%.3f\n", n, idx)
+	}
+	return nil
+}
+
+func runPKABC() error {
+	r, err := exp.PKABC(dur(), *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ABC:    %v (p95 queuing %.0f ms)\n", r.ABC, r.QDelayP95ABC)
+	fmt.Printf("PK-ABC: %v (p95 queuing %.0f ms)\n", r.PK, r.QDelayP95PK)
+	return nil
+}
+
+func runAblations() error {
+	sweeps := []struct {
+		name string
+		fn   func(sim.Time, int64) ([]exp.AblationPoint, error)
+	}{
+		{"delay threshold dt", exp.AblateDelayThreshold},
+		{"drain constant delta", exp.AblateDelta},
+		{"target utilization eta", exp.AblateEta},
+		{"token bucket limit", exp.AblateTokenLimit},
+		{"measurement window T", exp.AblateWindow},
+	}
+	for _, sw := range sweeps {
+		pts, err := sw.fn(dur(), *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("## %s\n", sw.name)
+		for _, p := range pts {
+			fmt.Printf("%-12s=%7.2f  util=%5.1f%%  qdelay mean=%6.1f ms  p95=%6.1f ms\n",
+				p.Param, p.Value, p.Util*100, p.MeanMs, p.P95Ms)
+		}
+	}
+	return nil
+}
+
+func runProxied() error {
+	std, prox, err := exp.ProxiedComparison(dur(), *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(std)
+	fmt.Println(prox)
+	return nil
+}
+
+func runStability() error {
+	r := exp.StabilityRegion()
+	fmt.Printf("empirical boundary: delta/tau = %.2f (Theorem 3.1: 2/3)\n", r.Boundary)
+	for _, p := range r.Points {
+		mark := "unstable"
+		if p.Converged {
+			mark = "stable"
+		}
+		fmt.Printf("delta/tau=%.2f  %-8s  peak-to-peak=%.4f s\n", p.DeltaOverTau, mark, p.PeakToPeak)
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,97 @@
+// Command tracegen generates and inspects Mahimahi-format delivery-
+// opportunity traces.
+//
+// Usage:
+//
+//	tracegen -name Verizon1 > verizon1.trace      # named synthetic trace
+//	tracegen -mean 12 -sigma 0.2 -seed 7 -dur 60  # custom cellular trace
+//	tracegen -const 24                            # constant 24 Mbit/s
+//	tracegen -inspect verizon1.trace              # print trace statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"abc/internal/sim"
+	"abc/internal/trace"
+)
+
+var (
+	name    = flag.String("name", "", "named synthetic trace (Verizon1..4, TMobile1..2, ATT1..2)")
+	mean    = flag.Float64("mean", 0, "custom trace: mean rate in Mbit/s")
+	sigma   = flag.Float64("sigma", 0.2, "custom trace: log-rate walk sigma")
+	outage  = flag.Float64("outage", 0.02, "custom trace: outage probability per 100 ms")
+	seed    = flag.Int64("seed", 1, "custom trace: RNG seed")
+	durSec  = flag.Float64("dur", 60, "trace duration in seconds")
+	constBW = flag.Float64("const", 0, "constant-rate trace in Mbit/s")
+	inspect = flag.String("inspect", "", "read a trace file and print statistics")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	switch {
+	case *inspect != "":
+		return doInspect(*inspect)
+	case *name != "":
+		tr, err := trace.NamedCellular(*name)
+		if err != nil {
+			return err
+		}
+		_, err = tr.WriteTo(os.Stdout)
+		return err
+	case *constBW > 0:
+		tr := trace.Constant("const", *constBW*1e6)
+		_, err := tr.WriteTo(os.Stdout)
+		return err
+	case *mean > 0:
+		tr := trace.Cellular("custom", trace.CellParams{
+			Seed:       *seed,
+			Duration:   sim.FromSeconds(*durSec),
+			MeanMbps:   *mean,
+			Sigma:      *sigma,
+			OutageProb: *outage,
+		})
+		_, err := tr.WriteTo(os.Stdout)
+		return err
+	}
+	flag.Usage()
+	return fmt.Errorf("nothing to do")
+}
+
+func doInspect(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.Parse(path, f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("period:        %.3f s\n", tr.Period().Seconds())
+	fmt.Printf("opportunities: %d per period\n", tr.Opportunities())
+	fmt.Printf("average rate:  %.2f Mbit/s\n", tr.AvgRateBps()/1e6)
+	// One-second windowed min/max rates.
+	minR, maxR := -1.0, 0.0
+	for t := sim.Second; t <= tr.Period(); t += sim.Second {
+		r := tr.CapacityBps(t, sim.Second) / 1e6
+		if minR < 0 || r < minR {
+			minR = r
+		}
+		if r > maxR {
+			maxR = r
+		}
+	}
+	fmt.Printf("1s-window min: %.2f Mbit/s\n", minR)
+	fmt.Printf("1s-window max: %.2f Mbit/s\n", maxR)
+	return nil
+}

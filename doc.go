@@ -1,0 +1,12 @@
+// Package abc is a from-scratch Go reproduction of "ABC: A Simple
+// Explicit Congestion Control Protocol for Wireless Networks" (Goyal et
+// al., NSDI 2020): the Accel-Brake Control protocol, every substrate it
+// needs (a deterministic discrete-event network simulator, Mahimahi-style
+// trace emulation, an 802.11n MAC model, AQMs) and every baseline it is
+// evaluated against (Cubic, Vegas, Copa, BBR, PCC-Vivace, Sprout, Verus,
+// XCP, RCP, VCP), plus a benchmark harness regenerating each table and
+// figure of the paper's evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-versus-measured results.
+package abc

@@ -1,0 +1,70 @@
+// Multibottleneck: the §3.1.2 multi-bottleneck rule in action. Two ABC
+// routers sit in series (an uplink and a downlink cell, as when two
+// smartphones talk over an ABC-compliant network); each may only demote
+// accelerates to brakes, so the accelerate fraction the receiver echoes
+// equals the minimum f(t) along the path and the sender converges to the
+// tighter link — wherever it currently is.
+//
+// Run: go run ./examples/multibottleneck
+package main
+
+import (
+	"fmt"
+
+	"abc/internal/abc"
+	"abc/internal/cc"
+	"abc/internal/netem"
+	"abc/internal/packet"
+	"abc/internal/sim"
+	"abc/internal/trace"
+)
+
+func main() {
+	s := sim.New(1)
+
+	// Two links whose step patterns alternate which one is tighter.
+	up := trace.Steps("uplink", []float64{14e6, 6e6, 16e6, 5e6}, 4*sim.Second)
+	down := trace.Steps("downlink", []float64{8e6, 18e6, 7e6, 15e6}, 4*sim.Second)
+
+	r1 := abc.NewRouter(abc.DefaultRouterConfig())
+	r2 := abc.NewRouter(abc.DefaultRouterConfig())
+
+	sender := abc.NewSender()
+	var ep *cc.Endpoint
+
+	wire := &netem.Wire{S: s, Delay: 25 * sim.Millisecond}
+	link2 := netem.NewTraceLink(s, down, r2, wire)
+	link1 := netem.NewTraceLink(s, up, r1, link2)
+	ackWire := &netem.Wire{S: s, Delay: 25 * sim.Millisecond}
+	recv := netem.NewReceiver(s, 0, ackWire)
+	wire.Dst = recv
+
+	ep = cc.NewEndpoint(s, 0, link1, sender)
+	ackWire.Dst = ep
+
+	var delivered int64
+	recv.OnData = func(now sim.Time, p *packet.Packet) { delivered += int64(p.Size) }
+
+	fmt.Println("time   uplink  downlink  bottleneck  throughput")
+	var last int64
+	s.Every(sim.Second, func() bool {
+		now := s.Now()
+		u := up.CapacityBps(now, sim.Second) / 1e6
+		d := down.CapacityBps(now, sim.Second) / 1e6
+		tput := float64(delivered-last) * 8 / 1e6
+		last = delivered
+		bott := u
+		if d < u {
+			bott = d
+		}
+		fmt.Printf("%4.0fs %6.1f %8.1f %10.1f %10.2f Mbps\n", now.Seconds(), u, d, bott, tput)
+		return now < 16*sim.Second
+	})
+
+	ep.Start()
+	s.RunUntil(16 * sim.Second)
+
+	fmt.Printf("\nrouter 1 marked %d accel / %d brake; router 2 demoted a further %d\n",
+		r1.AccelMarked, r1.BrakeMarked, r2.BrakeMarked)
+	fmt.Println("(the flow tracks the minimum of the two links as the bottleneck moves)")
+}

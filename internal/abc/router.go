@@ -1,0 +1,277 @@
+// Package abc implements Accel-Brake Control, the paper's contribution:
+// an explicit congestion-control protocol in which routers guide senders
+// to a target rate using one bit of feedback per packet.
+//
+// The router side (this file) implements §3.1.2: the target-rate rule
+// (Eq. 1), the accelerate fraction (Eq. 2) computed from the *dequeue*
+// rate, and the deterministic token-bucket marking of Algorithm 1. The
+// sender side (sender.go) implements §3.1.1/§3.1.3/§5.1.1.
+package abc
+
+import (
+	"abc/internal/packet"
+	"abc/internal/qdisc"
+	"abc/internal/sim"
+)
+
+// FeedbackMode selects which rate estimate drives Eq. 2.
+type FeedbackMode int
+
+const (
+	// DequeueRate is ABC's choice: f(t) = min(½·tr(t)/cr(t), 1) with
+	// cr(t) the dequeue rate, exploiting ACK clocking to predict the
+	// enqueue rate one RTT ahead (§3.1.2, Fig. 2a).
+	DequeueRate FeedbackMode = iota
+	// EnqueueRate is the ablation Fig. 2b: computing f(t) against the
+	// enqueue rate like prior explicit schemes, which doubles p95 delay.
+	EnqueueRate
+)
+
+// RouterConfig parameterizes an ABC router.
+type RouterConfig struct {
+	// Eta is the target utilization η < 1 (paper: 0.98 in emulation).
+	Eta float64
+	// Delta is δ, the queue-draining time constant (paper: 133 ms for a
+	// 100 ms propagation RTT, satisfying δ > 2τ/3 of Theorem 3.1).
+	Delta sim.Time
+	// DelayThreshold is dt, below which queuing delay is ignored; it
+	// must exceed the link's inter-scheduling time (batching) so that
+	// batch-induced delay does not read as congestion.
+	DelayThreshold sim.Time
+	// Window is T, the sliding window for dequeue/enqueue rate
+	// measurement (paper: 40 ms on Wi-Fi; we default 50 ms).
+	Window sim.Time
+	// TokenLimit caps the token bucket of Algorithm 1.
+	TokenLimit float64
+	// Limit bounds the queue in packets (0 = unbounded).
+	Limit int
+	// Feedback selects dequeue- vs enqueue-rate feedback.
+	Feedback FeedbackMode
+}
+
+// DefaultRouterConfig returns the paper's emulation parameters.
+func DefaultRouterConfig() RouterConfig {
+	return RouterConfig{
+		Eta:            0.98,
+		Delta:          133 * sim.Millisecond,
+		DelayThreshold: 20 * sim.Millisecond,
+		Window:         50 * sim.Millisecond,
+		TokenLimit:     10,
+		Limit:          250,
+	}
+}
+
+// rateMeter measures a byte rate over a sliding time window.
+type rateMeter struct {
+	window sim.Time
+	times  []sim.Time
+	bytes  []int
+	sum    int64
+	head   int
+}
+
+func newRateMeter(window sim.Time) *rateMeter { return &rateMeter{window: window} }
+
+func (m *rateMeter) add(now sim.Time, n int) {
+	m.times = append(m.times, now)
+	m.bytes = append(m.bytes, n)
+	m.sum += int64(n)
+	m.prune(now)
+}
+
+func (m *rateMeter) prune(now sim.Time) {
+	for m.head < len(m.times) && m.times[m.head] < now-m.window {
+		m.sum -= int64(m.bytes[m.head])
+		m.head++
+	}
+	if m.head > 256 && m.head*2 >= len(m.times) {
+		n := copy(m.times, m.times[m.head:])
+		copy(m.bytes, m.bytes[m.head:])
+		m.times = m.times[:n]
+		m.bytes = m.bytes[:n]
+		m.head = 0
+	}
+}
+
+// bps returns the windowed rate in bits/sec.
+func (m *rateMeter) bps(now sim.Time) float64 {
+	m.prune(now)
+	return float64(m.sum) * 8 / m.window.Seconds()
+}
+
+// Router is the ABC qdisc: a FIFO whose dequeue path computes per-packet
+// accelerate/brake feedback. It implements qdisc.Qdisc and
+// qdisc.CapacityAware.
+type Router struct {
+	Cfg   RouterConfig
+	Stats qdisc.Stats
+
+	capacity func(now sim.Time) float64
+
+	q     []*packet.Packet
+	head  int
+	bytes int
+
+	token    float64
+	deqMeter *rateMeter
+	enqMeter *rateMeter
+
+	// AccelMarked / BrakeMarked count feedback decisions for tests and
+	// the marking-fraction invariants.
+	AccelMarked int64
+	BrakeMarked int64
+}
+
+// NewRouter returns an ABC router with the given configuration.
+func NewRouter(cfg RouterConfig) *Router {
+	if cfg.Eta <= 0 || cfg.Eta > 1 {
+		panic("abc: Eta must be in (0, 1]")
+	}
+	if cfg.Delta <= 0 {
+		panic("abc: Delta must be positive")
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 50 * sim.Millisecond
+	}
+	if cfg.TokenLimit <= 0 {
+		cfg.TokenLimit = 10
+	}
+	return &Router{
+		Cfg:      cfg,
+		deqMeter: newRateMeter(cfg.Window),
+		enqMeter: newRateMeter(cfg.Window),
+	}
+}
+
+// SetCapacityProvider implements qdisc.CapacityAware; the owning link
+// installs its µ(t) estimate (trace rate, Wi-Fi estimator, or PK oracle).
+func (r *Router) SetCapacityProvider(f func(now sim.Time) float64) { r.capacity = f }
+
+// Enqueue implements qdisc.Qdisc.
+func (r *Router) Enqueue(now sim.Time, p *packet.Packet) bool {
+	if r.Cfg.Limit > 0 && r.Len() >= r.Cfg.Limit {
+		r.Stats.DroppedPackets++
+		return false
+	}
+	p.EnqueuedAt = now
+	r.q = append(r.q, p)
+	r.bytes += p.Size
+	r.enqMeter.add(now, p.Size)
+	r.Stats.EnqueuedPackets++
+	return true
+}
+
+// mu returns the current link-capacity estimate in bits/sec.
+func (r *Router) mu(now sim.Time) float64 {
+	if r.capacity == nil {
+		return 0
+	}
+	return r.capacity(now)
+}
+
+// QueueDelay returns the router's current queuing-delay estimate
+// x(t) = queued bytes / µ(t).
+func (r *Router) QueueDelay(now sim.Time) sim.Time {
+	mu := r.mu(now)
+	if mu <= 0 {
+		if r.bytes > 0 {
+			return r.Cfg.Delta // outage with a standing queue: saturate
+		}
+		return 0
+	}
+	return sim.FromSeconds(float64(r.bytes) * 8 / mu)
+}
+
+// TargetRate computes tr(t) of Eq. 1 in bits/sec.
+func (r *Router) TargetRate(now sim.Time) float64 {
+	mu := r.mu(now)
+	if mu <= 0 {
+		return 0
+	}
+	x := r.QueueDelay(now)
+	tr := r.Cfg.Eta * mu
+	if excess := x - r.Cfg.DelayThreshold; excess > 0 {
+		tr -= mu * excess.Seconds() / r.Cfg.Delta.Seconds()
+	}
+	if tr < 0 {
+		tr = 0
+	}
+	return tr
+}
+
+// AccelFraction computes f(t) of Eq. 2 using the configured feedback mode.
+func (r *Router) AccelFraction(now sim.Time) float64 {
+	tr := r.TargetRate(now)
+	var ref float64
+	switch r.Cfg.Feedback {
+	case EnqueueRate:
+		ref = r.enqMeter.bps(now)
+	default:
+		ref = r.deqMeter.bps(now)
+	}
+	if ref <= 0 {
+		// No measured traffic in the window: fully open the link so an
+		// idle flow can ramp (f = 1 doubles the window per RTT).
+		if tr > 0 {
+			return 1
+		}
+		return 0
+	}
+	f := 0.5 * tr / ref
+	if f > 1 {
+		f = 1
+	}
+	if f < 0 {
+		f = 0
+	}
+	return f
+}
+
+// Dequeue implements qdisc.Qdisc, applying Algorithm 1 to each outgoing
+// packet: the token bucket admits at most a fraction f(t) of accelerates,
+// and marks may only be demoted (accel→brake), never promoted, so the
+// fraction of accelerates equals the minimum f(t) along a multi-bottleneck
+// path (§3.1.2).
+func (r *Router) Dequeue(now sim.Time) *packet.Packet {
+	if r.head >= len(r.q) {
+		return nil
+	}
+	p := r.q[r.head]
+	r.q[r.head] = nil
+	r.head++
+	r.bytes -= p.Size
+	if r.head > 64 && r.head*2 >= len(r.q) {
+		n := copy(r.q, r.q[r.head:])
+		r.q = r.q[:n]
+		r.head = 0
+	}
+	r.deqMeter.add(now, p.Size)
+	r.Stats.DequeuedPackets++
+	r.Stats.DequeuedBytes += int64(p.Size)
+
+	f := r.AccelFraction(now)
+	r.token = minf(r.token+f, r.Cfg.TokenLimit)
+	if p.ECN == packet.Accel {
+		if r.token > 1 {
+			r.token--
+			r.AccelMarked++
+		} else {
+			p.ECN = packet.Brake
+			r.BrakeMarked++
+		}
+	}
+	return p
+}
+
+// Len implements qdisc.Qdisc.
+func (r *Router) Len() int { return len(r.q) - r.head }
+
+// Bytes implements qdisc.Qdisc.
+func (r *Router) Bytes() int { return r.bytes }
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

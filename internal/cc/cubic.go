@@ -1,0 +1,120 @@
+// CUBIC (Ha, Rhee, Xu 2008; RFC 8312), the paper's primary loss-based
+// baseline and the algorithm ABC's wnonabc window emulates (§5.1.1).
+package cc
+
+import (
+	"math"
+
+	"abc/internal/sim"
+)
+
+// Cubic implements the CUBIC window growth function with fast convergence
+// and the TCP-friendly (Reno-emulation) region.
+type Cubic struct {
+	// C is the scaling constant (RFC default 0.4).
+	C float64
+	// Beta is the multiplicative decrease factor (RFC default 0.7).
+	Beta float64
+
+	cwnd       float64
+	ssthresh   float64
+	wMax       float64
+	k          float64
+	epochStart sim.Time
+	wEst       float64 // Reno-friendly estimate
+	ackCount   float64
+}
+
+// NewCubic returns a CUBIC sender with RFC 8312 constants.
+func NewCubic() *Cubic {
+	return &Cubic{C: 0.4, Beta: 0.7, cwnd: 4, ssthresh: 1e9}
+}
+
+// Name implements Algorithm.
+func (c *Cubic) Name() string { return "Cubic" }
+
+// OnAck implements Algorithm.
+func (c *Cubic) OnAck(now sim.Time, e *Endpoint, info AckInfo) {
+	if info.AckedBytes == 0 {
+		return
+	}
+	if c.cwnd < c.ssthresh {
+		c.cwnd++
+		return
+	}
+	c.update(now, e.SRTT())
+}
+
+// update applies the cubic growth function once per ACK.
+func (c *Cubic) update(now sim.Time, rtt sim.Time) {
+	if c.epochStart == 0 {
+		c.epochStart = now
+		if c.cwnd < c.wMax {
+			c.k = math.Cbrt((c.wMax - c.cwnd) / c.C)
+		} else {
+			c.k = 0
+			c.wMax = c.cwnd
+		}
+		c.wEst = c.cwnd
+		c.ackCount = 0
+	}
+	t := (now - c.epochStart).Seconds() + rtt.Seconds()
+	target := c.C*math.Pow(t-c.k, 3) + c.wMax
+
+	// TCP-friendly region: emulate Reno's growth so CUBIC never does
+	// worse than standard TCP at small BDPs.
+	c.ackCount++
+	c.wEst += 3 * (1 - c.Beta) / (1 + c.Beta) / c.cwnd
+	if target < c.wEst {
+		target = c.wEst
+	}
+
+	if target > c.cwnd {
+		// Approach the target over one RTT.
+		c.cwnd += (target - c.cwnd) / c.cwnd
+	} else {
+		c.cwnd += 0.01 / c.cwnd // tiny growth to probe
+	}
+}
+
+// OnCongestion implements Algorithm.
+func (c *Cubic) OnCongestion(now sim.Time, e *Endpoint) {
+	c.epochStart = 0
+	// Fast convergence: release bandwidth faster when the window is
+	// still below the previous maximum.
+	if c.cwnd < c.wMax {
+		c.wMax = c.cwnd * (1 + c.Beta) / 2
+	} else {
+		c.wMax = c.cwnd
+	}
+	c.cwnd *= c.Beta
+	if c.cwnd < 2 {
+		c.cwnd = 2
+	}
+	c.ssthresh = c.cwnd
+}
+
+// OnRTO implements Algorithm.
+func (c *Cubic) OnRTO(now sim.Time, e *Endpoint) {
+	c.epochStart = 0
+	c.wMax = c.cwnd
+	c.ssthresh = c.cwnd * c.Beta
+	if c.ssthresh < 2 {
+		c.ssthresh = 2
+	}
+	c.cwnd = 1
+}
+
+// CwndPkts implements Algorithm.
+func (c *Cubic) CwndPkts() float64 { return c.cwnd }
+
+// Cwnd exposes the raw window for ABC's dual-window coupling.
+func (c *Cubic) Cwnd() float64 { return c.cwnd }
+
+// SetCwnd clamps the window (used by ABC's 2x-inflight cap, §5.1.1).
+func (c *Cubic) SetCwnd(w float64) {
+	if w < 1 {
+		w = 1
+	}
+	c.cwnd = w
+}

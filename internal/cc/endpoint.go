@@ -1,0 +1,508 @@
+// Package cc provides the sender-side transport framework and the
+// congestion-control algorithms the paper evaluates against ABC.
+//
+// An Endpoint owns everything every scheme shares — sequencing, in-flight
+// accounting, RTT estimation, dup-ACK and RTO loss recovery, ACK-clocked
+// and paced transmission — and delegates window/rate decisions to an
+// Algorithm. ABC itself (package internal/abc) plugs into the same
+// interface, exactly as the paper's kernel module plugs into pluggable
+// TCP.
+package cc
+
+import (
+	"container/heap"
+	"math"
+
+	"abc/internal/packet"
+	"abc/internal/sim"
+)
+
+// AckInfo summarizes one acknowledgement for an Algorithm.
+type AckInfo struct {
+	// Ack is the raw acknowledgement, carrying accel/brake and ECN echo.
+	Ack *packet.Packet
+	// RTT is the sample from this ACK; valid only if RTTValid.
+	RTT      sim.Time
+	RTTValid bool
+	// AckedBytes is the number of newly acknowledged bytes (0 for a
+	// duplicate or stale ACK).
+	AckedBytes int
+	// Inflight is the number of packets outstanding after this ACK.
+	Inflight int
+}
+
+// Algorithm is a congestion-control scheme.
+type Algorithm interface {
+	// Name identifies the scheme in reports.
+	Name() string
+	// OnAck processes every acknowledgement.
+	OnAck(now sim.Time, e *Endpoint, info AckInfo)
+	// OnCongestion signals at most one loss/CE event per window.
+	OnCongestion(now sim.Time, e *Endpoint)
+	// OnRTO signals a retransmission timeout.
+	OnRTO(now sim.Time, e *Endpoint)
+	// CwndPkts returns the current window in packets; the endpoint sends
+	// while fewer packets are in flight.
+	CwndPkts() float64
+}
+
+// Pacer is implemented by rate-based algorithms (BBR, RCP, PCC, Sprout,
+// Verus). When implemented and enabled, the endpoint sends on a pacing
+// timer instead of purely ACK-clocked.
+type Pacer interface {
+	// PacingRate returns the current sending rate in bits/sec, or ok
+	// false to fall back to ACK clocking.
+	PacingRate(now sim.Time) (bps float64, ok bool)
+}
+
+// DataStamper lets an algorithm annotate outgoing data packets (ABC marks
+// accelerate; XCP fills its congestion header).
+type DataStamper interface {
+	StampData(now sim.Time, e *Endpoint, p *packet.Packet)
+}
+
+// CEHandler is implemented by algorithms that consume CE echoes
+// themselves (ABC's proxied encoding uses CE as the brake signal); the
+// endpoint then suppresses its default CE-is-congestion behaviour.
+type CEHandler interface {
+	HandlesCE() bool
+}
+
+// Source models application data availability. A nil source means a
+// backlogged (iperf-like) flow.
+type Source interface {
+	// Available reports whether a packet's worth of data is ready.
+	Available(now sim.Time) bool
+	// OnSend informs the source that n bytes were sent.
+	OnSend(now sim.Time, n int)
+	// Done reports that the flow has no further data ever (flow ends).
+	Done() bool
+}
+
+// sent tracks one outstanding packet.
+type sent struct {
+	seq    int64
+	size   int
+	sentAt sim.Time
+	retx   bool
+}
+
+// seqHeap is a min-heap of outstanding sequence numbers for O(log n)
+// loss detection.
+type seqHeap []int64
+
+func (h seqHeap) Len() int           { return len(h) }
+func (h seqHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h seqHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *seqHeap) Push(x any)        { *h = append(*h, x.(int64)) }
+func (h *seqHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+
+// Endpoint is one sender. It implements packet.Node to receive ACKs.
+type Endpoint struct {
+	S    *sim.Simulator
+	Flow int
+	// Out is the first hop towards the receiver.
+	Out packet.Node
+	Alg Algorithm
+	// Src is the data source; nil means backlogged.
+	Src Source
+	// PktSize is the data packet size (default MTU).
+	PktSize int
+	// MinRTO floors the retransmission timeout.
+	MinRTO sim.Time
+	// ReorderThresh is the dup-ACK reordering threshold in packets.
+	ReorderThresh int64
+	// OnComplete fires once when a finite source has been fully
+	// delivered and acknowledged.
+	OnComplete func(now sim.Time)
+
+	started bool
+	stopped bool
+
+	nextSeq   int64
+	inflight  map[int64]*sent
+	outSeqs   seqHeap
+	hiSacked  int64 // highest individually acked sequence
+	cumAcked  int64
+	lostQueue []int64
+
+	srtt, rttvar sim.Time
+	minRTT       sim.Time
+	lastAckAt    sim.Time
+	rtoBackoff   int
+
+	recoveryUntil int64 // congestion events below this seq are merged
+
+	// Stats.
+	SentPackets  int64
+	RetxPackets  int64
+	AckedPackets int64
+	AckedBytes   int64
+	LostPackets  int64
+	CEEchoes     int64
+
+	pacing        bool
+	pacerArmed    bool
+	completeFired bool
+}
+
+// NewEndpoint wires a sender for the flow. Call Start to begin.
+func NewEndpoint(s *sim.Simulator, flow int, out packet.Node, alg Algorithm) *Endpoint {
+	return &Endpoint{
+		S:             s,
+		Flow:          flow,
+		Out:           out,
+		Alg:           alg,
+		PktSize:       packet.MTU,
+		MinRTO:        250 * sim.Millisecond,
+		ReorderThresh: 3,
+		inflight:      make(map[int64]*sent),
+		minRTT:        math.MaxInt64,
+	}
+}
+
+// Start begins transmission at the current simulation time.
+func (e *Endpoint) Start() {
+	if e.started {
+		return
+	}
+	e.started = true
+	e.lastAckAt = e.S.Now()
+	if p, ok := e.Alg.(Pacer); ok {
+		if _, use := p.PacingRate(e.S.Now()); use {
+			e.pacing = true
+		}
+	}
+	if e.pacing {
+		e.armPacer()
+	} else {
+		e.trySend()
+	}
+	// Periodic housekeeping: RTO checks, source refill for ACK-clocked
+	// flows, pacer restarts after idle.
+	e.S.Every(10*sim.Millisecond, func() bool {
+		if e.stopped {
+			return false
+		}
+		e.checkRTO()
+		if e.pacing {
+			e.armPacer()
+		} else {
+			e.trySend()
+		}
+		return true
+	})
+}
+
+// Stop halts the sender (flow departure in staggered-arrival experiments).
+func (e *Endpoint) Stop() { e.stopped = true }
+
+// SRTT returns the smoothed RTT estimate (0 before the first sample).
+func (e *Endpoint) SRTT() sim.Time { return e.srtt }
+
+// MinRTT returns the minimum RTT observed (0 before the first sample).
+func (e *Endpoint) MinRTT() sim.Time {
+	if e.minRTT == math.MaxInt64 {
+		return 0
+	}
+	return e.minRTT
+}
+
+// Inflight returns the number of outstanding packets.
+func (e *Endpoint) Inflight() int { return len(e.inflight) }
+
+// NextSeq returns the next unsent sequence number.
+func (e *Endpoint) NextSeq() int64 { return e.nextSeq }
+
+// rto returns the current retransmission timeout with backoff applied.
+func (e *Endpoint) rto() sim.Time {
+	base := e.MinRTO
+	if e.srtt > 0 {
+		calc := e.srtt + 4*e.rttvar
+		if calc > base {
+			base = calc
+		}
+	}
+	// Exponential backoff capped at one second: long caps let a flow
+	// joining a standing-full droptail queue starve for tens of seconds
+	// between attempts.
+	for i := 0; i < e.rtoBackoff && base < sim.Second; i++ {
+		base *= 2
+	}
+	if base > 2*sim.Second {
+		base = 2 * sim.Second
+	}
+	return base
+}
+
+// checkRTO fires a timeout if nothing has been acknowledged for an RTO
+// while data is outstanding.
+func (e *Endpoint) checkRTO() {
+	if len(e.inflight) == 0 {
+		return
+	}
+	now := e.S.Now()
+	if now-e.lastAckAt < e.rto() {
+		return
+	}
+	e.lastAckAt = now
+	e.rtoBackoff++
+	// Declare everything outstanding lost and retransmit from the
+	// oldest (go-back-N style recovery keeps the framework simple and
+	// is only exercised during outages).
+	for seq := range e.inflight {
+		e.lostQueue = append(e.lostQueue, seq)
+		delete(e.inflight, seq)
+	}
+	e.outSeqs = e.outSeqs[:0]
+	e.LostPackets += int64(len(e.lostQueue))
+	sortInt64s(e.lostQueue)
+	e.recoveryUntil = e.nextSeq
+	e.Alg.OnRTO(now, e)
+	if !e.pacing {
+		e.trySend()
+	}
+}
+
+// sortInt64s sorts in place (tiny helper avoiding sort.Slice allocation
+// on the hot path).
+func sortInt64s(a []int64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// available reports whether the source has data.
+func (e *Endpoint) available() bool {
+	if e.Src == nil {
+		return true
+	}
+	return e.Src.Available(e.S.Now())
+}
+
+// sourceDone reports whether the flow has sent everything it ever will.
+func (e *Endpoint) sourceDone() bool {
+	return e.Src != nil && e.Src.Done()
+}
+
+// trySend transmits while the window and source allow (ACK-clocked mode).
+func (e *Endpoint) trySend() {
+	if e.stopped {
+		return
+	}
+	for e.canSend() {
+		e.sendOne()
+	}
+	e.maybeComplete()
+}
+
+// canSend reports whether one more packet may be transmitted now.
+func (e *Endpoint) canSend() bool {
+	if e.stopped {
+		return false
+	}
+	if float64(len(e.inflight)) >= e.Alg.CwndPkts() {
+		return false
+	}
+	if len(e.lostQueue) > 0 {
+		return true // retransmissions bypass the source
+	}
+	return e.available() && !e.sourceDone()
+}
+
+// sendOne transmits the next retransmission or new data packet.
+func (e *Endpoint) sendOne() {
+	now := e.S.Now()
+	var seq int64
+	retx := false
+	if len(e.lostQueue) > 0 {
+		seq = e.lostQueue[0]
+		e.lostQueue = e.lostQueue[1:]
+		retx = true
+		e.RetxPackets++
+	} else {
+		seq = e.nextSeq
+		e.nextSeq++
+		if e.Src != nil {
+			e.Src.OnSend(now, e.PktSize)
+		}
+	}
+	p := packet.NewData(e.Flow, seq, e.PktSize, now)
+	p.Retx = retx
+	if e.Src != nil {
+		p.AppLimited = true
+	}
+	if st, ok := e.Alg.(DataStamper); ok {
+		st.StampData(now, e, p)
+	}
+	e.inflight[seq] = &sent{seq: seq, size: e.PktSize, sentAt: now, retx: retx}
+	heap.Push(&e.outSeqs, seq)
+	e.SentPackets++
+	e.Out.Recv(p)
+}
+
+// armPacer schedules the next paced transmission if not already armed.
+func (e *Endpoint) armPacer() {
+	if e.pacerArmed || e.stopped {
+		return
+	}
+	e.pacerArmed = true
+	e.paceNext()
+}
+
+// paceNext sends one packet if allowed and re-arms at the pacing rate.
+func (e *Endpoint) paceNext() {
+	if e.stopped {
+		e.pacerArmed = false
+		return
+	}
+	now := e.S.Now()
+	rate := 0.0
+	if p, ok := e.Alg.(Pacer); ok {
+		if r, use := p.PacingRate(now); use {
+			rate = r
+		}
+	}
+	if rate <= 0 {
+		// No rate yet: poll shortly.
+		e.S.After(5*sim.Millisecond, e.paceNext)
+		return
+	}
+	gap := sim.FromSeconds(float64(e.PktSize*8) / rate)
+	if gap < 10*sim.Microsecond {
+		gap = 10 * sim.Microsecond
+	}
+	if e.canSend() {
+		e.sendOne()
+		e.S.After(gap, e.paceNext)
+	} else {
+		// Window-limited or source-limited: retry soon.
+		retry := gap
+		if retry < sim.Millisecond {
+			retry = sim.Millisecond
+		}
+		e.S.After(retry, e.paceNext)
+	}
+	e.maybeComplete()
+}
+
+// maybeComplete fires OnComplete once for finite sources.
+func (e *Endpoint) maybeComplete() {
+	if e.completeFired || e.OnComplete == nil {
+		return
+	}
+	if e.sourceDone() && len(e.inflight) == 0 && len(e.lostQueue) == 0 {
+		e.completeFired = true
+		e.OnComplete(e.S.Now())
+	}
+}
+
+// Recv implements packet.Node for acknowledgements.
+func (e *Endpoint) Recv(p *packet.Packet) {
+	if !p.IsAck || p.Flow != e.Flow || e.stopped {
+		return
+	}
+	now := e.S.Now()
+	info := AckInfo{Ack: p}
+
+	if s, ok := e.inflight[p.Seq]; ok {
+		delete(e.inflight, p.Seq)
+		info.AckedBytes = s.size
+		e.AckedPackets++
+		e.AckedBytes += int64(s.size)
+		if !p.Retx && !s.retx {
+			info.RTT = now - p.AckSentAt
+			info.RTTValid = true
+			e.updateRTT(info.RTT)
+		}
+		if p.Seq > e.hiSacked {
+			e.hiSacked = p.Seq
+		}
+		e.lastAckAt = now
+		e.rtoBackoff = 0
+	}
+	if p.CumAck > e.cumAcked {
+		e.cumAcked = p.CumAck
+	}
+	if p.EchoCE {
+		e.CEEchoes++
+	}
+
+	e.detectLoss(now)
+
+	info.Inflight = len(e.inflight)
+	e.Alg.OnAck(now, e, info)
+
+	if p.EchoCE && p.Seq >= e.recoveryUntil {
+		if h, ok := e.Alg.(CEHandler); !ok || !h.HandlesCE() {
+			e.recoveryUntil = e.nextSeq
+			e.Alg.OnCongestion(now, e)
+		}
+	}
+
+	if !e.pacing {
+		e.trySend()
+	}
+	e.maybeComplete()
+}
+
+// detectLoss declares packets below the reordering window lost.
+func (e *Endpoint) detectLoss(now sim.Time) {
+	lost := false
+	for len(e.outSeqs) > 0 {
+		top := e.outSeqs[0]
+		s, stillOut := e.inflight[top]
+		if !stillOut {
+			heap.Pop(&e.outSeqs) // already acked (lazy deletion)
+			continue
+		}
+		if top <= e.hiSacked-e.ReorderThresh {
+			if s.retx {
+				// A retransmission is already in flight for this
+				// sequence; dup-ACK evidence predates it, so normally
+				// wait for its ACK. But if the retransmission itself
+				// has been out for an RTO it was lost too — without
+				// this check one dropped retransmission would block
+				// loss detection (and congestion signals) forever.
+				if now-s.sentAt <= e.rto() {
+					break
+				}
+			}
+			heap.Pop(&e.outSeqs)
+			delete(e.inflight, top)
+			e.lostQueue = append(e.lostQueue, top)
+			e.LostPackets++
+			lost = true
+			continue
+		}
+		break
+	}
+	if lost {
+		sortInt64s(e.lostQueue)
+		// One congestion event per window.
+		if e.hiSacked >= e.recoveryUntil {
+			e.recoveryUntil = e.nextSeq
+			e.Alg.OnCongestion(now, e)
+		}
+	}
+}
+
+// updateRTT applies the standard SRTT/RTTVAR estimator (RFC 6298).
+func (e *Endpoint) updateRTT(rtt sim.Time) {
+	if rtt < e.minRTT {
+		e.minRTT = rtt
+	}
+	if e.srtt == 0 {
+		e.srtt = rtt
+		e.rttvar = rtt / 2
+		return
+	}
+	d := e.srtt - rtt
+	if d < 0 {
+		d = -d
+	}
+	e.rttvar = (3*e.rttvar + d) / 4
+	e.srtt = (7*e.srtt + rtt) / 8
+}

@@ -1,0 +1,281 @@
+package cc
+
+import (
+	"testing"
+
+	"abc/internal/packet"
+	"abc/internal/sim"
+)
+
+// lossyPipe connects an endpoint to a receiver-like echo with a fixed
+// one-way delay, optionally dropping chosen data sequence numbers once.
+type lossyPipe struct {
+	s       *sim.Simulator
+	ep      *Endpoint
+	delay   sim.Time
+	dropSet map[int64]bool
+	// Delivered counts data packets that survived.
+	Delivered int64
+	cum       int64
+	pending   map[int64]bool
+}
+
+func newLossyPipe(s *sim.Simulator, delay sim.Time) *lossyPipe {
+	return &lossyPipe{s: s, delay: delay, dropSet: map[int64]bool{}, pending: map[int64]bool{}}
+}
+
+// Recv implements packet.Node for data packets from the endpoint.
+func (lp *lossyPipe) Recv(p *packet.Packet) {
+	if lp.dropSet[p.Seq] && !p.Retx {
+		delete(lp.dropSet, p.Seq) // drop once
+		return
+	}
+	lp.s.After(lp.delay, func() {
+		lp.Delivered++
+		// Cumulative-ack bookkeeping like a real receiver.
+		if p.Seq == lp.cum {
+			lp.cum++
+			for lp.pending[lp.cum] {
+				delete(lp.pending, lp.cum)
+				lp.cum++
+			}
+		} else if p.Seq > lp.cum {
+			lp.pending[p.Seq] = true
+		}
+		ack := packet.NewAck(p, lp.cum, lp.s.Now())
+		lp.s.After(lp.delay, func() { lp.ep.Recv(ack) })
+	})
+}
+
+// fixedWindow is a trivial Algorithm with a constant window.
+type fixedWindow struct {
+	w          float64
+	congestion int
+	rtos       int
+}
+
+func (f *fixedWindow) Name() string                       { return "fixed" }
+func (f *fixedWindow) OnAck(sim.Time, *Endpoint, AckInfo) {}
+func (f *fixedWindow) OnCongestion(sim.Time, *Endpoint)   { f.congestion++ }
+func (f *fixedWindow) OnRTO(sim.Time, *Endpoint)          { f.rtos++ }
+func (f *fixedWindow) CwndPkts() float64                  { return f.w }
+
+func TestEndpointWindowLimitsInflight(t *testing.T) {
+	s := sim.New(1)
+	pipe := newLossyPipe(s, 20*sim.Millisecond)
+	alg := &fixedWindow{w: 5}
+	ep := NewEndpoint(s, 0, pipe, alg)
+	pipe.ep = ep
+	ep.Start()
+	s.RunUntil(10 * sim.Millisecond) // before any ACK returns
+	if got := ep.Inflight(); got != 5 {
+		t.Errorf("inflight = %d, want 5", got)
+	}
+	s.RunUntil(2 * sim.Second)
+	if ep.Inflight() > 5 {
+		t.Errorf("inflight %d exceeded window", ep.Inflight())
+	}
+	if ep.LostPackets != 0 {
+		t.Errorf("lost %d packets on a clean path", ep.LostPackets)
+	}
+}
+
+func TestEndpointRTTEstimation(t *testing.T) {
+	s := sim.New(1)
+	pipe := newLossyPipe(s, 25*sim.Millisecond)
+	ep := NewEndpoint(s, 0, pipe, &fixedWindow{w: 4})
+	pipe.ep = ep
+	ep.Start()
+	s.RunUntil(3 * sim.Second)
+	want := 50 * sim.Millisecond
+	if d := ep.SRTT() - want; d < -sim.Millisecond || d > 5*sim.Millisecond {
+		t.Errorf("srtt = %v, want ≈ %v", ep.SRTT(), want)
+	}
+	if ep.MinRTT() < want || ep.MinRTT() > want+sim.Millisecond {
+		t.Errorf("minRTT = %v", ep.MinRTT())
+	}
+}
+
+func TestEndpointFastRetransmit(t *testing.T) {
+	s := sim.New(1)
+	pipe := newLossyPipe(s, 20*sim.Millisecond)
+	pipe.dropSet[7] = true
+	alg := &fixedWindow{w: 10}
+	ep := NewEndpoint(s, 0, pipe, alg)
+	pipe.ep = ep
+	ep.Start()
+	s.RunUntil(3 * sim.Second)
+	if ep.LostPackets != 1 {
+		t.Errorf("lost = %d, want 1", ep.LostPackets)
+	}
+	if ep.RetxPackets != 1 {
+		t.Errorf("retx = %d, want 1", ep.RetxPackets)
+	}
+	if alg.congestion != 1 {
+		t.Errorf("congestion events = %d, want 1", alg.congestion)
+	}
+	if alg.rtos != 0 {
+		t.Errorf("RTOs = %d, want 0 (dup-ack recovery)", alg.rtos)
+	}
+}
+
+func TestEndpointCongestionEventPerWindow(t *testing.T) {
+	s := sim.New(1)
+	pipe := newLossyPipe(s, 20*sim.Millisecond)
+	// Drop a burst within one window: one congestion event.
+	pipe.dropSet[5] = true
+	pipe.dropSet[6] = true
+	pipe.dropSet[8] = true
+	alg := &fixedWindow{w: 12}
+	ep := NewEndpoint(s, 0, pipe, alg)
+	pipe.ep = ep
+	ep.Start()
+	s.RunUntil(3 * sim.Second)
+	if ep.LostPackets != 3 {
+		t.Errorf("lost = %d, want 3", ep.LostPackets)
+	}
+	if alg.congestion != 1 {
+		t.Errorf("congestion events = %d, want 1 for same-window losses", alg.congestion)
+	}
+}
+
+func TestEndpointRTOOnBlackout(t *testing.T) {
+	s := sim.New(1)
+	// A pipe that swallows everything after the first 5 packets.
+	swallowAfter := int64(5)
+	pipe := newLossyPipe(s, 20*sim.Millisecond)
+	alg := &fixedWindow{w: 8}
+	ep := NewEndpoint(s, 0, pipe, alg)
+	pipe.ep = ep
+	// Wrap: drop all data with seq >= swallowAfter (always, incl. retx)
+	// for the first 1.5 seconds.
+	inner := packet.Node(pipe)
+	ep.Out = packet.NodeFunc(func(p *packet.Packet) {
+		if p.Seq >= swallowAfter && s.Now() < 1500*sim.Millisecond {
+			return
+		}
+		inner.Recv(p)
+	})
+	ep.Start()
+	s.RunUntil(5 * sim.Second)
+	if alg.rtos == 0 {
+		t.Error("no RTO during blackout")
+	}
+	// After the blackout everything must eventually be delivered.
+	if pipe.cum < 20 {
+		t.Errorf("cum ack %d: transfer did not resume after blackout", pipe.cum)
+	}
+}
+
+func TestEndpointCEEchoTriggersCongestion(t *testing.T) {
+	s := sim.New(1)
+	alg := &fixedWindow{w: 4}
+	var ep *Endpoint
+	echo := packet.NodeFunc(func(p *packet.Packet) {
+		p.ECN = packet.CE // bottleneck marks every packet
+		ack := packet.NewAck(p, p.Seq+1, s.Now())
+		s.After(10*sim.Millisecond, func() { ep.Recv(ack) })
+	})
+	ep = NewEndpoint(s, 0, echo, alg)
+	ep.Start()
+	s.RunUntil(300 * sim.Millisecond)
+	if alg.congestion == 0 {
+		t.Error("CE echoes never signalled congestion")
+	}
+	if ep.CEEchoes == 0 {
+		t.Error("CE echo counter not incremented")
+	}
+	// And at most one event per window: far fewer events than ACKs.
+	if int64(alg.congestion) > ep.AckedPackets/2 {
+		t.Errorf("congestion %d times for %d acks", alg.congestion, ep.AckedPackets)
+	}
+}
+
+func TestEndpointFiniteSourceCompletes(t *testing.T) {
+	s := sim.New(1)
+	pipe := newLossyPipe(s, 10*sim.Millisecond)
+	ep := NewEndpoint(s, 0, pipe, &fixedWindow{w: 4})
+	pipe.ep = ep
+	ep.Src = NewFixed(10 * packet.MTU)
+	done := sim.Time(-1)
+	ep.OnComplete = func(now sim.Time) { done = now }
+	ep.Start()
+	s.RunUntil(5 * sim.Second)
+	if done < 0 {
+		t.Fatal("OnComplete never fired")
+	}
+	if pipe.Delivered != 10 {
+		t.Errorf("delivered %d packets, want 10", pipe.Delivered)
+	}
+	if ep.SentPackets != 10 {
+		t.Errorf("sent %d, want 10", ep.SentPackets)
+	}
+}
+
+func TestEndpointRateLimitedSourcePaces(t *testing.T) {
+	s := sim.New(1)
+	pipe := newLossyPipe(s, 10*sim.Millisecond)
+	ep := NewEndpoint(s, 0, pipe, &fixedWindow{w: 100})
+	pipe.ep = ep
+	ep.Src = NewRateLimited(1.2e6) // 100 pkt/s
+	ep.Start()
+	s.RunUntil(4 * sim.Second)
+	rate := float64(pipe.Delivered) / 4
+	if rate < 70 || rate > 110 {
+		t.Errorf("delivery rate %.0f pkt/s, want ≈ 100", rate)
+	}
+}
+
+func TestEndpointStopHaltsTraffic(t *testing.T) {
+	s := sim.New(1)
+	pipe := newLossyPipe(s, 10*sim.Millisecond)
+	ep := NewEndpoint(s, 0, pipe, &fixedWindow{w: 4})
+	pipe.ep = ep
+	ep.Start()
+	s.RunUntil(500 * sim.Millisecond)
+	sent := ep.SentPackets
+	ep.Stop()
+	s.RunUntil(2 * sim.Second)
+	if ep.SentPackets != sent {
+		t.Errorf("sent %d more packets after Stop", ep.SentPackets-sent)
+	}
+}
+
+func TestOnOffSource(t *testing.T) {
+	src := &OnOff{Start: sim.Second, OnFor: sim.Second, OffFor: sim.Second}
+	cases := []struct {
+		at   sim.Time
+		want bool
+	}{
+		{0, false},
+		{1500 * sim.Millisecond, true},
+		{2500 * sim.Millisecond, false},
+		{3500 * sim.Millisecond, true},
+	}
+	for _, c := range cases {
+		if got := src.Available(c.at); got != c.want {
+			t.Errorf("Available(%v) = %v", c.at, got)
+		}
+	}
+}
+
+func TestGatedSource(t *testing.T) {
+	g := &Gated{}
+	if g.Available(0) {
+		t.Error("closed gate available")
+	}
+	g.On = true
+	if !g.Available(0) {
+		t.Error("open gate unavailable")
+	}
+	if g.Done() {
+		t.Error("gated source should never report done")
+	}
+}
+
+func TestBackloggedSource(t *testing.T) {
+	var b Backlogged
+	if !b.Available(0) || b.Done() {
+		t.Error("backlogged must always be available")
+	}
+}

@@ -1,0 +1,51 @@
+// TCP NewReno-style AIMD, the simplest loss-based baseline (§2 cites
+// NewReno among the schemes that fill buffers on wireless paths).
+package cc
+
+import "abc/internal/sim"
+
+// Reno implements slow start plus AIMD congestion avoidance with a 0.5
+// multiplicative decrease.
+type Reno struct {
+	cwnd     float64
+	ssthresh float64
+}
+
+// NewReno returns a Reno sender with the conventional initial window.
+func NewReno() *Reno { return &Reno{cwnd: 4, ssthresh: 1e9} }
+
+// Name implements Algorithm.
+func (r *Reno) Name() string { return "Reno" }
+
+// OnAck implements Algorithm.
+func (r *Reno) OnAck(now sim.Time, e *Endpoint, info AckInfo) {
+	if info.AckedBytes == 0 {
+		return
+	}
+	if r.cwnd < r.ssthresh {
+		r.cwnd++
+	} else {
+		r.cwnd += 1 / r.cwnd
+	}
+}
+
+// OnCongestion implements Algorithm.
+func (r *Reno) OnCongestion(now sim.Time, e *Endpoint) {
+	r.ssthresh = r.cwnd / 2
+	if r.ssthresh < 2 {
+		r.ssthresh = 2
+	}
+	r.cwnd = r.ssthresh
+}
+
+// OnRTO implements Algorithm.
+func (r *Reno) OnRTO(now sim.Time, e *Endpoint) {
+	r.ssthresh = r.cwnd / 2
+	if r.ssthresh < 2 {
+		r.ssthresh = 2
+	}
+	r.cwnd = 1
+}
+
+// CwndPkts implements Algorithm.
+func (r *Reno) CwndPkts() float64 { return r.cwnd }

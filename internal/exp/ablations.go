@@ -1,0 +1,134 @@
+// Ablations over ABC's design parameters, exercising the choices the
+// paper motivates: the delay threshold dt (batching tolerance), the drain
+// constant δ (Theorem 3.1), the utilization target η, the token-bucket
+// limit, and the measurement window T. Each sweep runs a single
+// backlogged ABC flow on the same cellular trace and reports the
+// utilization/delay trade-off per value.
+package exp
+
+import (
+	"abc/internal/abc"
+	"abc/internal/metrics"
+	"abc/internal/sim"
+	"abc/internal/trace"
+)
+
+// AblationPoint is one parameter value's outcome.
+type AblationPoint struct {
+	Param  string
+	Value  float64
+	Util   float64
+	P95Ms  float64 // p95 queuing delay
+	MeanMs float64
+}
+
+// runABCWith runs ABC with a customized router config.
+func runABCWith(mutate func(*abc.RouterConfig), dur sim.Time, seed int64) (util, p95, mean float64, err error) {
+	tr := trace.MustNamedCellular("Verizon1")
+	cfg := abc.DefaultRouterConfig()
+	mutate(&cfg)
+	res, _, err := Run(Spec{
+		Seed:     seed,
+		Duration: dur,
+		RTT:      100 * sim.Millisecond,
+		Links:    []LinkSpec{{Trace: tr, Qdisc: QdiscSpec{Kind: "abc", ABCConfig: &cfg}}},
+		Flows:    []FlowSpec{{Scheme: "ABC"}},
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	f := &res.Flows[0]
+	return res.Utilization, f.QDelay.P95(), f.QDelay.Mean(), nil
+}
+
+// AblateDelayThreshold sweeps dt (the paper evaluates 20/60/100 ms on
+// Wi-Fi): larger thresholds trade delay for throughput.
+func AblateDelayThreshold(dur sim.Time, seed int64) ([]AblationPoint, error) {
+	var out []AblationPoint
+	for _, dtMs := range []float64{5, 20, 60, 100} {
+		u, p95, mean, err := runABCWith(func(c *abc.RouterConfig) {
+			c.DelayThreshold = sim.FromSeconds(dtMs / 1000)
+		}, dur, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationPoint{Param: "dt_ms", Value: dtMs, Util: u, P95Ms: p95, MeanMs: mean})
+	}
+	return out, nil
+}
+
+// AblateDelta sweeps δ around the Theorem 3.1 boundary (2/3·τ = 67 ms at
+// τ=100 ms): small δ over-reacts and oscillates, large δ drains slowly.
+func AblateDelta(dur sim.Time, seed int64) ([]AblationPoint, error) {
+	var out []AblationPoint
+	for _, deltaMs := range []float64{30, 67, 133, 266, 532} {
+		u, p95, mean, err := runABCWith(func(c *abc.RouterConfig) {
+			c.Delta = sim.FromSeconds(deltaMs / 1000)
+		}, dur, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationPoint{Param: "delta_ms", Value: deltaMs, Util: u, P95Ms: p95, MeanMs: mean})
+	}
+	return out, nil
+}
+
+// AblateEta sweeps the target utilization η: the paper's 0.98 trades a
+// little throughput for much lower delay than η=1.
+func AblateEta(dur sim.Time, seed int64) ([]AblationPoint, error) {
+	var out []AblationPoint
+	for _, eta := range []float64{0.85, 0.9, 0.95, 0.98, 1.0} {
+		u, p95, mean, err := runABCWith(func(c *abc.RouterConfig) {
+			c.Eta = eta
+		}, dur, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationPoint{Param: "eta", Value: eta, Util: u, P95Ms: p95, MeanMs: mean})
+	}
+	return out, nil
+}
+
+// AblateTokenLimit sweeps Algorithm 1's token bucket cap: tiny caps
+// throttle legitimate accelerates, huge caps allow bursts.
+func AblateTokenLimit(dur sim.Time, seed int64) ([]AblationPoint, error) {
+	var out []AblationPoint
+	for _, lim := range []float64{1.5, 4, 10, 50} {
+		u, p95, mean, err := runABCWith(func(c *abc.RouterConfig) {
+			c.TokenLimit = lim
+		}, dur, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationPoint{Param: "token_limit", Value: lim, Util: u, P95Ms: p95, MeanMs: mean})
+	}
+	return out, nil
+}
+
+// AblateWindow sweeps the dequeue-rate measurement window T.
+func AblateWindow(dur sim.Time, seed int64) ([]AblationPoint, error) {
+	var out []AblationPoint
+	for _, winMs := range []float64{10, 25, 50, 100, 200} {
+		u, p95, mean, err := runABCWith(func(c *abc.RouterConfig) {
+			c.Window = sim.FromSeconds(winMs / 1000)
+		}, dur, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationPoint{Param: "window_ms", Value: winMs, Util: u, P95Ms: p95, MeanMs: mean})
+	}
+	return out, nil
+}
+
+// ProxiedComparison runs standard and proxied-encoding ABC on the same
+// path: the §5.1.2 claim is that the proxied deployment behaves like the
+// NS-bit deployment without receiver changes.
+func ProxiedComparison(dur sim.Time, seed int64) (std, proxied metrics.Summary, err error) {
+	tr := trace.MustNamedCellular("Verizon1")
+	std, err = RunSingle("ABC", tr, 100*sim.Millisecond, dur, seed)
+	if err != nil {
+		return
+	}
+	proxied, err = RunSingle("ABC-proxied", tr, 100*sim.Millisecond, dur, seed)
+	return
+}

@@ -1,0 +1,380 @@
+// Shared cellular runners: Fig. 1 time series, Fig. 2 feedback-mode
+// ablation, Fig. 8 scatter plots, Fig. 9/15/16 bars, Table 1, Fig. 18 RTT
+// sweep, §6.6 PK-ABC and Fig. 13 application-limited flows.
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"abc/internal/abc"
+	"abc/internal/cc"
+	"abc/internal/metrics"
+	"abc/internal/sim"
+	"abc/internal/trace"
+)
+
+// RunSingle runs one backlogged flow of the scheme over the trace and
+// returns the paper's summary metrics.
+func RunSingle(scheme string, tr *trace.Trace, rtt, dur sim.Time, seed int64) (metrics.Summary, error) {
+	res, pooled, err := Run(Spec{
+		Seed:     seed,
+		Duration: dur,
+		RTT:      rtt,
+		Links:    []LinkSpec{{Trace: tr}},
+		Flows:    []FlowSpec{{Scheme: scheme}},
+	})
+	if err != nil {
+		return metrics.Summary{}, err
+	}
+	return res.Summary(scheme, pooled), nil
+}
+
+// TimeseriesRun is one scheme's Fig.-1-style trajectory.
+type TimeseriesRun struct {
+	Scheme  string
+	Tput    *metrics.Timeseries // Mbit/s, per sample period
+	QDelay  *metrics.Timeseries // bottleneck standing queue delay, ms
+	Summary metrics.Summary
+}
+
+// LTETrace returns the emulated LTE link used by Fig. 1: a volatile
+// cellular trace whose capacity both collapses and surges within seconds.
+func LTETrace() *trace.Trace {
+	return trace.Cellular("LTE", trace.CellParams{
+		Seed: 7, Duration: 30 * sim.Second, MeanMbps: 8,
+		Sigma: 0.3, MinMbps: 0.6, MaxMbps: 16, OutageProb: 0.02,
+	})
+}
+
+// Fig1Timeseries reproduces Fig. 1: Cubic, Verus, Cubic+CoDel and ABC on
+// an emulated LTE link (RTT 100 ms, 250-packet buffer), reporting
+// throughput and queuing-delay trajectories.
+func Fig1Timeseries(seed int64) ([]TimeseriesRun, error) {
+	tr := LTETrace()
+	schemes := []string{"Cubic", "Verus", "Cubic+Codel", "ABC"}
+	out := make([]TimeseriesRun, 0, len(schemes))
+	for _, sch := range schemes {
+		res, pooled, err := Run(Spec{
+			Seed:     seed,
+			Duration: 30 * sim.Second,
+			Warmup:   2 * sim.Second,
+			RTT:      100 * sim.Millisecond,
+			Links:    []LinkSpec{{Trace: tr}},
+			Flows:    []FlowSpec{{Scheme: sch}},
+			Sample:   200 * sim.Millisecond,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, TimeseriesRun{
+			Scheme:  sch,
+			Tput:    res.Flows[0].Tput,
+			QDelay:  res.QueueDelayTS,
+			Summary: res.Summary(sch, pooled),
+		})
+	}
+	return out, nil
+}
+
+// Fig2Result compares ABC's dequeue-rate feedback with the enqueue-rate
+// ablation.
+type Fig2Result struct {
+	Dequeue, Enqueue metrics.Summary
+	// QDelayP95Dequeue/Enqueue are 95th-percentile accumulated queuing
+	// delays (the figure's y-axis).
+	QDelayP95Dequeue float64
+	QDelayP95Enqueue float64
+}
+
+// Fig2FeedbackMode reproduces Fig. 2: computing f(t) from the enqueue
+// rate roughly doubles 95th-percentile queuing delay versus ABC's
+// dequeue-rate rule.
+func Fig2FeedbackMode(seed int64) (*Fig2Result, error) {
+	tr := trace.Cellular("fig2", trace.CellParams{
+		Seed: 42, Duration: 60 * sim.Second, MeanMbps: 10, Sigma: 0.25,
+	})
+	run := func(mode abc.FeedbackMode) (metrics.Summary, float64, error) {
+		res, pooled, err := Run(Spec{
+			Seed:     seed,
+			Duration: 60 * sim.Second,
+			RTT:      100 * sim.Millisecond,
+			Links: []LinkSpec{{
+				Trace: tr,
+				Qdisc: QdiscSpec{Kind: "abc", ABCFeedback: mode},
+			}},
+			Flows: []FlowSpec{{Scheme: "ABC"}},
+		})
+		if err != nil {
+			return metrics.Summary{}, 0, err
+		}
+		return res.Summary("ABC", pooled), res.Flows[0].QDelay.P95(), nil
+	}
+	deq, dq95, err := run(abc.DequeueRate)
+	if err != nil {
+		return nil, err
+	}
+	enq, eq95, err := run(abc.EnqueueRate)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig2Result{Dequeue: deq, Enqueue: enq, QDelayP95Dequeue: dq95, QDelayP95Enqueue: eq95}, nil
+}
+
+// ScatterKind selects the Fig. 8 sub-figure.
+type ScatterKind int
+
+const (
+	// Downlink is Fig. 8a.
+	Downlink ScatterKind = iota
+	// Uplink is Fig. 8b.
+	Uplink
+	// UplinkDownlink is Fig. 8c: the two-hop smartphone-to-smartphone
+	// path with two cellular bottlenecks.
+	UplinkDownlink
+)
+
+// Fig8Scatter reproduces Fig. 8: every scheme's (p95 delay, utilization)
+// on Verizon-like traces, optionally across two cellular hops.
+func Fig8Scatter(kind ScatterKind, schemes []string, dur sim.Time, seed int64) ([]metrics.Summary, error) {
+	if len(schemes) == 0 {
+		schemes = Schemes
+	}
+	down := trace.MustNamedCellular("Verizon1")
+	up := trace.MustNamedCellular("Verizon2")
+	var links []LinkSpec
+	switch kind {
+	case Downlink:
+		links = []LinkSpec{{Trace: down}}
+	case Uplink:
+		links = []LinkSpec{{Trace: up}}
+	case UplinkDownlink:
+		links = []LinkSpec{{Trace: up}, {Trace: down}}
+	}
+	out := make([]metrics.Summary, 0, len(schemes))
+	for _, sch := range schemes {
+		ls := make([]LinkSpec, len(links))
+		copy(ls, links)
+		res, pooled, err := Run(Spec{
+			Seed: seed, Duration: dur, RTT: 100 * sim.Millisecond,
+			Links: ls, Flows: []FlowSpec{{Scheme: sch}},
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res.Summary(sch, pooled))
+	}
+	return out, nil
+}
+
+// BarsResult holds Fig. 9/15/16 data: per-trace, per-scheme summaries.
+type BarsResult struct {
+	Traces  []string
+	Schemes []string
+	// Cells[traceName][scheme] is that run's summary.
+	Cells map[string]map[string]metrics.Summary
+}
+
+// Average returns the cross-trace mean utilization, mean delay and p95
+// delay for a scheme.
+func (b *BarsResult) Average(scheme string) (util, meanMs, p95Ms float64) {
+	var n float64
+	for _, tr := range b.Traces {
+		s, ok := b.Cells[tr][scheme]
+		if !ok {
+			continue
+		}
+		util += s.Utilization
+		meanMs += s.MeanMs
+		p95Ms += s.P95Ms
+		n++
+	}
+	if n == 0 {
+		return 0, 0, 0
+	}
+	return util / n, meanMs / n, p95Ms / n
+}
+
+// Fig9Bars reproduces Fig. 9 (and feeds Fig. 15, Fig. 16 and Table 1):
+// every scheme on the eight-trace cellular corpus.
+func Fig9Bars(schemes, traces []string, dur sim.Time, seed int64) (*BarsResult, error) {
+	if len(schemes) == 0 {
+		schemes = Schemes
+	}
+	if len(traces) == 0 {
+		traces = trace.CellularNames
+	}
+	res := &BarsResult{
+		Traces:  traces,
+		Schemes: schemes,
+		Cells:   make(map[string]map[string]metrics.Summary),
+	}
+	for _, trName := range traces {
+		tr, err := trace.NamedCellular(trName)
+		if err != nil {
+			return nil, err
+		}
+		res.Cells[trName] = make(map[string]metrics.Summary)
+		for _, sch := range schemes {
+			s, err := RunSingle(sch, tr, 100*sim.Millisecond, dur, seed)
+			if err != nil {
+				return nil, err
+			}
+			res.Cells[trName][sch] = s
+		}
+	}
+	return res, nil
+}
+
+// Table1Row is one line of the paper's §1 summary table.
+type Table1Row struct {
+	Scheme    string
+	NormTput  float64
+	NormDelay float64 // 95th percentile, normalized to ABC
+}
+
+// SummaryTable reproduces Table 1: throughput and p95 delay normalized to
+// ABC, averaged over the cellular corpus.
+func SummaryTable(bars *BarsResult) []Table1Row {
+	abcUtil, _, abcP95 := bars.Average("ABC")
+	rows := make([]Table1Row, 0, len(bars.Schemes))
+	for _, sch := range bars.Schemes {
+		u, _, p := bars.Average(sch)
+		row := Table1Row{Scheme: sch}
+		if abcUtil > 0 {
+			row.NormTput = u / abcUtil
+		}
+		if abcP95 > 0 {
+			row.NormDelay = p / abcP95
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Fig18RTTSweep reproduces Fig. 18: each scheme across propagation RTTs
+// of 20/50/100/200 ms on a Verizon-like trace. Keyed [rttMs][scheme].
+func Fig18RTTSweep(schemes []string, dur sim.Time, seed int64) (map[int]map[string]metrics.Summary, error) {
+	if len(schemes) == 0 {
+		schemes = Schemes
+	}
+	tr := trace.MustNamedCellular("Verizon1")
+	out := make(map[int]map[string]metrics.Summary)
+	for _, rttMs := range []int{20, 50, 100, 200} {
+		rtt := sim.Time(rttMs) * sim.Millisecond
+		out[rttMs] = make(map[string]metrics.Summary)
+		for _, sch := range schemes {
+			link := LinkSpec{Trace: tr}
+			if sch == "ABC" {
+				// Theorem 3.1 requires δ > (2/3)τ; scale δ with the
+				// propagation RTT as the paper's 133 ms = 1.33 × 100 ms.
+				cfg := abc.DefaultRouterConfig()
+				if d := sim.Time(float64(rtt) * 1.33); d > cfg.Delta {
+					cfg.Delta = d
+				}
+				link.Qdisc = QdiscSpec{Kind: "abc", ABCConfig: &cfg}
+			}
+			res, pooled, err := Run(Spec{
+				Seed: seed, Duration: dur, RTT: rtt,
+				Links: []LinkSpec{link},
+				Flows: []FlowSpec{{Scheme: sch}},
+			})
+			if err != nil {
+				return nil, err
+			}
+			out[rttMs][sch] = res.Summary(sch, pooled)
+		}
+	}
+	return out, nil
+}
+
+// PKABCResult compares standard ABC with the perfect-knowledge oracle.
+type PKABCResult struct {
+	ABC, PK metrics.Summary
+	// QDelayP95* isolate queuing delay, the §6.6 metric.
+	QDelayP95ABC, QDelayP95PK float64
+}
+
+// PKABC reproduces §6.6's perfect-future-knowledge experiment: PK-ABC
+// uses the link rate one RTT in the future and sharply cuts p95 delay at
+// equal utilization.
+func PKABC(dur sim.Time, seed int64) (*PKABCResult, error) {
+	tr := trace.MustNamedCellular("Verizon2")
+	run := func(lookahead sim.Time) (metrics.Summary, float64, error) {
+		res, pooled, err := Run(Spec{
+			Seed: seed, Duration: dur, RTT: 100 * sim.Millisecond,
+			Links: []LinkSpec{{Trace: tr, Lookahead: lookahead}},
+			Flows: []FlowSpec{{Scheme: "ABC"}},
+		})
+		if err != nil {
+			return metrics.Summary{}, 0, err
+		}
+		return res.Summary("ABC", pooled), res.Flows[0].QDelay.P95(), nil
+	}
+	std, stdQ, err := run(0)
+	if err != nil {
+		return nil, err
+	}
+	pk, pkQ, err := run(100 * sim.Millisecond)
+	if err != nil {
+		return nil, err
+	}
+	return &PKABCResult{ABC: std, PK: pk, QDelayP95ABC: stdQ, QDelayP95PK: pkQ}, nil
+}
+
+// Fig13Result reports the application-limited-flows experiment.
+type Fig13Result struct {
+	Utilization float64
+	QDelayP95   float64
+	// BackloggedTput and AppLimitedTput split throughput between the one
+	// backlogged flow and the app-limited aggregate.
+	BackloggedTputMbps float64
+	AppLimitedTputMbps float64
+}
+
+// Fig13AppLimited reproduces Fig. 13: one backlogged ABC flow shares an
+// ABC cellular bottleneck with n application-limited ABC flows sending
+// aggAppMbps in aggregate; everyone keeps low delay and the link stays
+// utilized.
+func Fig13AppLimited(n int, aggAppMbps float64, dur sim.Time, seed int64) (*Fig13Result, error) {
+	tr := trace.MustNamedCellular("Verizon3")
+	flows := make([]FlowSpec, 0, n+1)
+	flows = append(flows, FlowSpec{Scheme: "ABC"}) // backlogged
+	per := aggAppMbps * 1e6 / float64(n)
+	for i := 0; i < n; i++ {
+		flows = append(flows, FlowSpec{Scheme: "ABC", Source: cc.NewRateLimited(per)})
+	}
+	res, _, err := Run(Spec{
+		Seed: seed, Duration: dur, RTT: 100 * sim.Millisecond,
+		Links: []LinkSpec{{Trace: tr}},
+		Flows: flows,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig13Result{Utilization: res.Utilization}
+	qd := metrics.DelayRecorder{}
+	for i := range res.Flows {
+		f := &res.Flows[i]
+		if i == 0 {
+			out.BackloggedTputMbps = f.TputMbps
+		} else {
+			out.AppLimitedTputMbps += f.TputMbps
+		}
+		qd.Add(sim.FromSeconds(f.QDelay.P95() / 1000))
+	}
+	out.QDelayP95 = res.Flows[0].QDelay.P95()
+	return out, nil
+}
+
+// FormatSummaries renders summaries sorted by scheme order for reports.
+func FormatSummaries(sums []metrics.Summary) string {
+	s := ""
+	sorted := make([]metrics.Summary, len(sums))
+	copy(sorted, sums)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Scheme < sorted[j].Scheme })
+	for _, x := range sorted {
+		s += fmt.Sprintln(x)
+	}
+	return s
+}

@@ -1,0 +1,294 @@
+// Coexistence experiments: Fig. 6 (non-ABC bottleneck and the dual
+// window), Fig. 7 (ABC and Cubic sharing a dual-queue ABC router) and
+// Fig. 11 (on-off cross traffic on a wired hop).
+package exp
+
+import (
+	"abc/internal/abc"
+	"abc/internal/metrics"
+	"abc/internal/netem"
+	"abc/internal/sim"
+	"abc/internal/trace"
+)
+
+// Fig6Result holds the bottleneck-switching run.
+type Fig6Result struct {
+	// Tput is the flow's throughput series (Mbit/s).
+	Tput *metrics.Timeseries
+	// WABC / WCubic sample the sender's two windows (packets).
+	WABC, WCubic *metrics.Timeseries
+	// WirelessRate samples the wireless link's current rate (Mbit/s).
+	WirelessRate *metrics.Timeseries
+	// QDelayP95 is the p95 accumulated queuing delay (ms).
+	QDelayP95 float64
+	// TrackError is mean |tput − min(wireless, wired)| / ideal.
+	TrackError float64
+}
+
+// fig6WirelessRates is the step pattern of the emulated wireless link:
+// the bottleneck alternates between the wireless link and the 12 Mbit/s
+// wired link several times, as in Fig. 6.
+var fig6WirelessRates = []float64{10e6, 18e6, 6e6, 16e6, 8e6, 20e6, 4e6, 14e6}
+
+// Fig6NonABCBottleneck reproduces Fig. 6: an ABC flow traverses an
+// ABC-capable wireless link (stepped rate, 5 s steps) followed by a
+// 12 Mbit/s wired droptail link. Whichever of wabc/wcubic is smaller
+// governs the flow, and ABC tracks the bottleneck switches.
+func Fig6NonABCBottleneck(seed int64) (*Fig6Result, error) {
+	stepDur := 5 * sim.Second
+	wireless := trace.Steps("fig6-wireless", fig6WirelessRates, stepDur)
+	dur := sim.Time(len(fig6WirelessRates)) * stepDur * 2 // two cycles
+
+	out := &Fig6Result{}
+	var wabcTS, wcubTS, rateTS *metrics.Timeseries
+	spec := Spec{
+		Seed:     seed,
+		Duration: dur,
+		Warmup:   2 * sim.Second,
+		RTT:      100 * sim.Millisecond,
+		Links: []LinkSpec{
+			{Trace: wireless, Qdisc: QdiscSpec{Kind: "abc", Buffer: 500}},
+			{Rate: netem.ConstRate(12e6), Qdisc: QdiscSpec{Kind: "droptail", Buffer: 100}},
+		},
+		Flows:  []FlowSpec{{Scheme: "ABC"}},
+		Sample: 200 * sim.Millisecond,
+	}
+	spec.Probe = func(now sim.Time, r *Result) {
+		s := r.Flows[0].Algorithm.(*abc.Sender)
+		if wabcTS == nil {
+			wabcTS = &metrics.Timeseries{}
+			wcubTS = &metrics.Timeseries{}
+			rateTS = &metrics.Timeseries{}
+		}
+		wabcTS.Times = append(wabcTS.Times, now.Seconds())
+		wabcTS.Values = append(wabcTS.Values, s.WABC())
+		wcubTS.Times = append(wcubTS.Times, now.Seconds())
+		wcubTS.Values = append(wcubTS.Values, s.WCubic())
+		rateTS.Times = append(rateTS.Times, now.Seconds())
+		rateTS.Values = append(rateTS.Values, wireless.CapacityBps(now, 100*sim.Millisecond)/1e6)
+	}
+	res, _, err := Run(spec)
+	if err != nil {
+		return nil, err
+	}
+	out.Tput = res.Flows[0].Tput
+	out.WABC, out.WCubic, out.WirelessRate = wabcTS, wcubTS, rateTS
+	out.QDelayP95 = res.Flows[0].QDelay.P95()
+
+	// Tracking error against the ideal min(wireless step rate, 12 Mbit/s),
+	// sampled away from step boundaries.
+	var errSum float64
+	var n int
+	for i, t := range out.Tput.Times {
+		if t < 5 {
+			continue
+		}
+		step := int(t/stepDur.Seconds()) % len(fig6WirelessRates)
+		ideal := fig6WirelessRates[step] / 1e6
+		if ideal > 12 {
+			ideal = 12
+		}
+		// Skip the second right after each step boundary.
+		if t-float64(int(t/stepDur.Seconds()))*stepDur.Seconds() < 1.5 {
+			continue
+		}
+		diff := out.Tput.Values[i] - ideal
+		if diff < 0 {
+			diff = -diff
+		}
+		errSum += diff / ideal
+		n++
+	}
+	if n > 0 {
+		out.TrackError = errSum / float64(n)
+	}
+	return out, nil
+}
+
+// Fig7Result holds the ABC/Cubic dual-queue sharing run.
+type Fig7Result struct {
+	// Tput[i] is flow i's throughput series (ABC1, ABC2, Cubic1, Cubic2).
+	Tput []*metrics.Timeseries
+	// ABCQDelayP95 and CubicQDelayP95 are per-queue p95 queuing delays:
+	// ABC flows keep low delay despite the Cubic queue (ms).
+	ABCQDelayP95, CubicQDelayP95 float64
+	// SteadyTput are mean throughputs over the window where all four
+	// flows are active.
+	SteadyTput []float64
+	// Jain is the fairness index over SteadyTput.
+	Jain float64
+}
+
+// Fig7Coexistence reproduces Fig. 7: two ABC then two Cubic flows arrive
+// one after another on a 24 Mbit/s dual-queue ABC bottleneck and share it
+// fairly, with ABC keeping low queuing delay.
+func Fig7Coexistence(seed int64) (*Fig7Result, error) {
+	dur := 200 * sim.Second
+	flows := []FlowSpec{
+		{Scheme: "ABC", Start: 0},
+		{Scheme: "ABC", Start: 25 * sim.Second},
+		{Scheme: "Cubic", Start: 50 * sim.Second},
+		{Scheme: "Cubic", Start: 75 * sim.Second},
+	}
+	res, _, err := Run(Spec{
+		Seed:     seed,
+		Duration: dur,
+		Warmup:   2 * sim.Second,
+		RTT:      100 * sim.Millisecond,
+		Links: []LinkSpec{{
+			Rate:  netem.ConstRate(24e6),
+			Qdisc: QdiscSpec{Kind: "dual-maxmin", Buffer: 250},
+		}},
+		Flows:  flows,
+		Sample: sim.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig7Result{}
+	for i := range res.Flows {
+		out.Tput = append(out.Tput, res.Flows[i].Tput)
+		// Steady window: 100–195 s (all flows active).
+		ts := res.Flows[i].Tput
+		var sum float64
+		var n int
+		for j, t := range ts.Times {
+			if t >= 100 && t <= 195 {
+				sum += ts.Values[j]
+				n++
+			}
+		}
+		if n > 0 {
+			out.SteadyTput = append(out.SteadyTput, sum/float64(n))
+		} else {
+			out.SteadyTput = append(out.SteadyTput, 0)
+		}
+	}
+	out.Jain = metrics.JainIndex(out.SteadyTput)
+	out.ABCQDelayP95 = res.Flows[0].QDelay.P95()
+	out.CubicQDelayP95 = res.Flows[2].QDelay.P95()
+	return out, nil
+}
+
+// Fig11Result holds the cross-traffic tracking run.
+type Fig11Result struct {
+	// Tput is the ABC flow's throughput series.
+	Tput *metrics.Timeseries
+	// Ideal is the fair-share ideal rate series.
+	Ideal *metrics.Timeseries
+	// TrackError is mean |tput − ideal| / ideal over steady samples.
+	TrackError float64
+	// QDelayP95NoCross is p95 queuing delay during no-cross-traffic
+	// periods (should be low: ABC controls the bottleneck then).
+	QDelayP95NoCross float64
+}
+
+// Fig11CrossTraffic reproduces Fig. 11: an ABC flow crosses an ABC
+// wireless link then a 12 Mbit/s wired droptail link shared with on-off
+// Cubic cross traffic; the flow should track min(wireless rate, fair
+// share of the wired link) as the bottleneck moves.
+func Fig11CrossTraffic(seed int64) (*Fig11Result, error) {
+	stepDur := 5 * sim.Second
+	rates := []float64{10e6, 4e6, 8e6, 5e6, 9e6, 3e6, 7e6, 10e6}
+	wireless := trace.Steps("fig11-wireless", rates, stepDur)
+	dur := 80 * sim.Second
+	// Cross traffic: off for the first 30 s, on 30–55 s, off afterwards.
+	cross := &onOffWindows{on: [][2]float64{{30, 55}}}
+
+	var idealTS metrics.Timeseries
+	spec := Spec{
+		Seed:     seed,
+		Duration: dur,
+		Warmup:   2 * sim.Second,
+		RTT:      100 * sim.Millisecond,
+		Links: []LinkSpec{
+			{Trace: wireless, Qdisc: QdiscSpec{Kind: "abc", Buffer: 500}},
+			{Rate: netem.ConstRate(12e6), Qdisc: QdiscSpec{Kind: "droptail", Buffer: 100}},
+		},
+		Flows: []FlowSpec{
+			{Scheme: "ABC"},
+			{Scheme: "Cubic", EnterAt: 1, Source: cross},
+		},
+		Sample: 500 * sim.Millisecond,
+	}
+	spec.Probe = func(now sim.Time, r *Result) {
+		t := now.Seconds()
+		step := int(t/stepDur.Seconds()) % len(rates)
+		wirelessMbps := rates[step] / 1e6
+		wired := 12.0
+		if cross.Available(now) {
+			wired = 6.0 // fair share against one cross flow
+		}
+		ideal := wirelessMbps
+		if wired < ideal {
+			ideal = wired
+		}
+		idealTS.Times = append(idealTS.Times, t)
+		idealTS.Values = append(idealTS.Values, ideal)
+	}
+	res, _, err := Run(spec)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig11Result{Tput: res.Flows[0].Tput, Ideal: &idealTS}
+	var errSum float64
+	var n int
+	for i, t := range idealTS.Times {
+		if t < 5 || i >= len(out.Tput.Values) {
+			continue
+		}
+		// Skip samples near step or cross-traffic transitions.
+		if nearBoundary(t, stepDur.Seconds()) || nearAny(t, []float64{30, 55}, 3) {
+			continue
+		}
+		ideal := idealTS.Values[i]
+		diff := out.Tput.Values[i] - ideal
+		if diff < 0 {
+			diff = -diff
+		}
+		errSum += diff / ideal
+		n++
+	}
+	if n > 0 {
+		out.TrackError = errSum / float64(n)
+	}
+	out.QDelayP95NoCross = res.Flows[0].QDelay.P95()
+	return out, nil
+}
+
+// nearBoundary reports whether t is within 2 s after a step boundary.
+func nearBoundary(t, step float64) bool {
+	frac := t - float64(int(t/step))*step
+	return frac < 2
+}
+
+// nearAny reports whether t is within w seconds of any point.
+func nearAny(t float64, points []float64, w float64) bool {
+	for _, p := range points {
+		if t >= p-w && t <= p+w {
+			return true
+		}
+	}
+	return false
+}
+
+// onOffWindows is a source active during the listed [start, end) second
+// windows.
+type onOffWindows struct{ on [][2]float64 }
+
+// Available implements cc.Source.
+func (o *onOffWindows) Available(now sim.Time) bool {
+	t := now.Seconds()
+	for _, w := range o.on {
+		if t >= w[0] && t < w[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// OnSend implements cc.Source.
+func (o *onOffWindows) OnSend(sim.Time, int) {}
+
+// Done implements cc.Source.
+func (o *onOffWindows) Done() bool { return false }

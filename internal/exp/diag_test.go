@@ -1,0 +1,35 @@
+package exp
+
+import (
+	"testing"
+
+	"abc/internal/sim"
+	"abc/internal/trace"
+)
+
+// TestABCConstantLink is the canonical sanity check: on a fixed-rate link
+// ABC must achieve ~η utilization with queuing delay settling near the
+// delay threshold dt.
+func TestABCConstantLink(t *testing.T) {
+	tr := trace.Constant("const12", 12e6)
+	res, pooled, err := Run(Spec{
+		Seed:     1,
+		Duration: 30 * sim.Second,
+		Warmup:   5 * sim.Second,
+		RTT:      100 * sim.Millisecond,
+		Links:    []LinkSpec{{Trace: tr}},
+		Flows:    []FlowSpec{{Scheme: "ABC"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &res.Flows[0]
+	t.Logf("util=%.3f tput=%.2f qdelay mean=%.0f p95=%.0f delay p95=%.0f lost=%d retx=%d",
+		res.Utilization, f.TputMbps, f.QDelay.Mean(), f.QDelay.P95(), pooled.P95(), f.Lost, f.Retx)
+	if res.Utilization < 0.90 {
+		t.Errorf("ABC utilization %.3f < 0.90 on constant link", res.Utilization)
+	}
+	if f.QDelay.P95() > 60 {
+		t.Errorf("ABC p95 queuing delay %.0f ms too high on constant link", f.QDelay.P95())
+	}
+}

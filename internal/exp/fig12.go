@@ -1,0 +1,186 @@
+// Fig. 12: ABC's max-min weight policy versus RCP's Zombie-List policy
+// when long-running ABC and Cubic flows share a 96 Mbit/s dual-queue
+// bottleneck with Poisson arrivals of short (10 KB) Cubic flows at
+// several offered loads. This experiment needs dynamically created flows,
+// so it builds its topology directly rather than through the Spec
+// harness.
+package exp
+
+import (
+	"math"
+
+	"abc/internal/cc"
+	"abc/internal/netem"
+	"abc/internal/packet"
+	"abc/internal/sched"
+	"abc/internal/sim"
+)
+
+// Fig12Point is one (policy, load) cell.
+type Fig12Point struct {
+	Policy      string
+	OfferedLoad float64 // fraction of link capacity offered as shorts
+	// ABCMean/CubicMean are the mean long-flow throughputs (Mbit/s)
+	// and the Stds their standard deviations across flows and runs.
+	ABCMean, ABCStd     float64
+	CubicMean, CubicStd float64
+}
+
+// Fig12Config sizes the experiment; the paper uses 10 runs of 40 s each,
+// which the benchmarks scale down.
+type Fig12Config struct {
+	Runs     int
+	Duration sim.Time
+	Loads    []float64 // fractions of the 96 Mbit/s link
+	Seed     int64
+}
+
+// DefaultFig12Config mirrors the paper's setup.
+func DefaultFig12Config() Fig12Config {
+	return Fig12Config{
+		Runs:     10,
+		Duration: 40 * sim.Second,
+		Loads:    []float64{0.0625, 0.125, 0.25, 0.50},
+		Seed:     1,
+	}
+}
+
+// Fig12WeightPolicy runs the experiment for one policy ("maxmin" or
+// "zombie") and returns one point per offered load.
+func Fig12WeightPolicy(policy string, cfg Fig12Config) ([]Fig12Point, error) {
+	if cfg.Runs <= 0 {
+		cfg.Runs = 10
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 40 * sim.Second
+	}
+	if len(cfg.Loads) == 0 {
+		cfg.Loads = []float64{0.0625, 0.125, 0.25, 0.50}
+	}
+	out := make([]Fig12Point, 0, len(cfg.Loads))
+	for _, load := range cfg.Loads {
+		var abcRates, cubicRates []float64
+		for run := 0; run < cfg.Runs; run++ {
+			a, c, err := fig12Run(policy, load, cfg.Duration, cfg.Seed+int64(run)*97)
+			if err != nil {
+				return nil, err
+			}
+			abcRates = append(abcRates, a...)
+			cubicRates = append(cubicRates, c...)
+		}
+		pt := Fig12Point{Policy: policy, OfferedLoad: load}
+		pt.ABCMean, pt.ABCStd = meanStd(abcRates)
+		pt.CubicMean, pt.CubicStd = meanStd(cubicRates)
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+func meanStd(xs []float64) (float64, float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	var v float64
+	for _, x := range xs {
+		v += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(v / float64(len(xs)))
+}
+
+// fig12Run executes one 96 Mbit/s dual-queue run with 3 ABC + 3 Cubic
+// long flows and Poisson short Cubic flows at the offered load, returning
+// the long flows' throughputs in Mbit/s.
+func fig12Run(policy string, load float64, dur sim.Time, seed int64) (abcT, cubicT []float64, err error) {
+	const linkBps = 96e6
+	const shortBytes = 10 * 1024
+	const warmup = 4 * sim.Second
+
+	s := sim.New(seed)
+	dq := sched.DefaultConfig()
+	if policy == "zombie" {
+		dq.Policy = sched.ZombieList
+	}
+	qd := sched.NewDualQueue(dq)
+
+	dataDemux := netem.NewDemux()
+	ackDemux := netem.NewDemux()
+	ackWire := netem.NewWire(s, 50*sim.Millisecond, ackDemux)
+	link := netem.NewRateLink(s, netem.ConstRate(linkBps), qd, netem.NewWire(s, 50*sim.Millisecond, dataDemux))
+
+	// Long flows: ids 0..5 (0-2 ABC, 3-5 Cubic).
+	longBytes := make([]int64, 6)
+	for i := 0; i < 6; i++ {
+		scheme := "ABC"
+		if i >= 3 {
+			scheme = "Cubic"
+		}
+		alg, aerr := NewAlgorithm(scheme)
+		if aerr != nil {
+			return nil, nil, aerr
+		}
+		ep := cc.NewEndpoint(s, i, link, alg)
+		ackDemux.Route(i, ep)
+		recv := netem.NewReceiver(s, i, ackWire)
+		idx := i
+		recv.OnData = func(now sim.Time, p *packet.Packet) {
+			if now >= warmup {
+				longBytes[idx] += int64(p.Size)
+			}
+		}
+		dataDemux.Route(i, recv)
+		ep.Start()
+	}
+
+	// Poisson short Cubic flows.
+	arrivalRate := load * linkBps / (shortBytes * 8) // flows/sec
+	nextID := 100
+	var schedule func()
+	schedule = func() {
+		gap := sim.FromSeconds(expRand(s, arrivalRate))
+		s.After(gap, func() {
+			if s.Now() >= dur {
+				return
+			}
+			id := nextID
+			nextID++
+			alg, _ := NewAlgorithm("Cubic")
+			ep := cc.NewEndpoint(s, id, link, alg)
+			ep.Src = cc.NewFixed(shortBytes)
+			ep.OnComplete = func(now sim.Time) { ep.Stop() }
+			ackDemux.Route(id, ep)
+			recv := netem.NewReceiver(s, id, ackWire)
+			dataDemux.Route(id, recv)
+			ep.Start()
+			schedule()
+		})
+	}
+	if arrivalRate > 0 {
+		schedule()
+	}
+
+	s.RunUntil(dur)
+
+	span := (dur - warmup).Seconds()
+	for i := 0; i < 6; i++ {
+		mbps := float64(longBytes[i]) * 8 / span / 1e6
+		if i < 3 {
+			abcT = append(abcT, mbps)
+		} else {
+			cubicT = append(cubicT, mbps)
+		}
+	}
+	return abcT, cubicT, nil
+}
+
+// expRand draws an exponential inter-arrival time with the given rate.
+func expRand(s *sim.Simulator, rate float64) float64 {
+	if rate <= 0 {
+		return math.MaxFloat64
+	}
+	return s.Rand().ExpFloat64() / rate
+}

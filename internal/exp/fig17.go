@@ -1,0 +1,53 @@
+// Fig. 17 (Appendix D): ABC, RCP and XCPw on a link whose capacity
+// square-waves between 12 and 24 Mbit/s every 500 ms. Window-based ABC
+// and per-packet XCPw adapt within an RTT; rate-based RCP lags, over-
+// reducing on downswings and underutilizing.
+package exp
+
+import (
+	"abc/internal/metrics"
+	"abc/internal/sim"
+	"abc/internal/trace"
+)
+
+// Fig17Run is one scheme's square-wave trajectory.
+type Fig17Run struct {
+	Scheme  string
+	Tput    *metrics.Timeseries
+	QDelay  *metrics.Timeseries
+	Summary metrics.Summary
+	// QDelayP95 isolates queuing delay (ms).
+	QDelayP95 float64
+}
+
+// Fig17SquareWave runs the given schemes (default ABC, RCP, XCPw) on the
+// 12↔24 Mbit/s square wave for 10 s.
+func Fig17SquareWave(schemes []string, seed int64) ([]Fig17Run, error) {
+	if len(schemes) == 0 {
+		schemes = []string{"ABC", "RCP", "XCPw"}
+	}
+	tr := trace.SquareWave("fig17", 12e6, 24e6, 500*sim.Millisecond)
+	out := make([]Fig17Run, 0, len(schemes))
+	for _, sch := range schemes {
+		res, pooled, err := Run(Spec{
+			Seed:     seed,
+			Duration: 10 * sim.Second,
+			Warmup:   2 * sim.Second,
+			RTT:      100 * sim.Millisecond,
+			Links:    []LinkSpec{{Trace: tr}},
+			Flows:    []FlowSpec{{Scheme: sch}},
+			Sample:   100 * sim.Millisecond,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig17Run{
+			Scheme:    sch,
+			Tput:      res.Flows[0].Tput,
+			QDelay:    res.QueueDelayTS,
+			Summary:   res.Summary(sch, pooled),
+			QDelayP95: res.Flows[0].QDelay.P95(),
+		})
+	}
+	return out, nil
+}

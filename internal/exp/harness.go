@@ -1,0 +1,481 @@
+// Package exp contains one runner per table/figure of the paper's
+// evaluation, built on a generic scenario harness: flows of any scheme
+// traverse one or more bottleneck links (trace-driven, rate-driven or
+// Wi-Fi modelled) with the qdisc matching the scheme under test, and the
+// harness reports the paper's metrics (utilization, throughput, mean and
+// p95 per-packet delay, fairness).
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"abc/internal/abc"
+	"abc/internal/cc"
+	"abc/internal/explicit"
+	"abc/internal/metrics"
+	"abc/internal/netem"
+	"abc/internal/packet"
+	"abc/internal/qdisc"
+	"abc/internal/sched"
+	"abc/internal/sim"
+	"abc/internal/trace"
+)
+
+// Schemes lists every congestion-control scheme in the paper's
+// evaluation, in the order Fig. 9 reports them.
+var Schemes = []string{
+	"ABC", "XCP", "XCPw", "Cubic+Codel", "Cubic+PIE",
+	"Copa", "Sprout", "Vegas", "Verus", "BBR", "PCC", "Cubic",
+}
+
+// ExplicitSchemes is the Appendix D comparison set.
+var ExplicitSchemes = []string{"ABC", "XCP", "XCPw", "VCP", "RCP"}
+
+// NewAlgorithm constructs the sender algorithm for a scheme name.
+func NewAlgorithm(scheme string) (cc.Algorithm, error) {
+	switch scheme {
+	case "ABC":
+		return abcsender(), nil
+	case "ABC-proxied":
+		return abc.NewProxiedSender(), nil
+	case "Cubic", "Cubic+Codel", "Cubic+PIE":
+		return cc.NewCubic(), nil
+	case "Reno":
+		return cc.NewReno(), nil
+	case "Vegas":
+		return cc.NewVegas(), nil
+	case "Copa":
+		return cc.NewCopa(), nil
+	case "BBR":
+		return cc.NewBBR(), nil
+	case "PCC":
+		return cc.NewVivace(), nil
+	case "Sprout":
+		return cc.NewSprout(), nil
+	case "Verus":
+		return cc.NewVerus(), nil
+	case "XCP":
+		return explicit.NewXCPSender(false), nil
+	case "XCPw":
+		return explicit.NewXCPSender(true), nil
+	case "RCP":
+		return explicit.NewRCPSender(), nil
+	case "VCP":
+		return explicit.NewVCPSender(), nil
+	}
+	return nil, fmt.Errorf("exp: unknown scheme %q", scheme)
+}
+
+func abcsender() *abc.Sender { return abc.NewSender() }
+
+// QdiscSpec selects the bottleneck discipline for a link.
+type QdiscSpec struct {
+	// Kind: "auto" (derive from the first flow's scheme), "droptail",
+	// "codel", "pie", "red", "abc", "xcp", "xcpw", "rcp", "vcp",
+	// "dual-maxmin", "dual-zombie".
+	Kind string
+	// Buffer is the queue limit in packets (default 250, the paper's
+	// emulation buffer).
+	Buffer int
+	// ABCDelayThreshold overrides dt for ABC routers (Fig. 10 sweeps
+	// 20/60/100 ms).
+	ABCDelayThreshold sim.Time
+	// ABCFeedback selects dequeue- vs enqueue-rate feedback (Fig. 2).
+	ABCFeedback abc.FeedbackMode
+	// ABCConfig, when non-nil, fully overrides the ABC router
+	// configuration (ablation sweeps); Buffer still applies if
+	// ABCConfig.Limit is zero.
+	ABCConfig *abc.RouterConfig
+}
+
+// qdiscKindFor maps a scheme to its bottleneck discipline.
+func qdiscKindFor(scheme string) string {
+	switch scheme {
+	case "ABC":
+		return "abc"
+	case "ABC-proxied":
+		return "abc-proxied"
+	case "Cubic+Codel":
+		return "codel"
+	case "Cubic+PIE":
+		return "pie"
+	case "XCP":
+		return "xcp"
+	case "XCPw":
+		return "xcpw"
+	case "RCP":
+		return "rcp"
+	case "VCP":
+		return "vcp"
+	default:
+		return "droptail"
+	}
+}
+
+// buildQdisc constructs the discipline named by spec.
+func buildQdisc(spec QdiscSpec, rng *rand.Rand) (qdisc.Qdisc, error) {
+	buf := spec.Buffer
+	if buf <= 0 {
+		buf = 250
+	}
+	switch spec.Kind {
+	case "droptail", "":
+		return qdisc.NewDropTail(buf), nil
+	case "codel":
+		return qdisc.NewCoDel(buf, false), nil
+	case "pie":
+		return qdisc.NewPIE(buf, false, rng), nil
+	case "red":
+		return qdisc.NewRED(buf, false, rng), nil
+	case "abc":
+		cfg := abc.DefaultRouterConfig()
+		if spec.ABCConfig != nil {
+			cfg = *spec.ABCConfig
+		}
+		if cfg.Limit == 0 {
+			cfg.Limit = buf
+		}
+		if spec.ABCDelayThreshold > 0 {
+			cfg.DelayThreshold = spec.ABCDelayThreshold
+		}
+		if spec.ABCConfig == nil {
+			cfg.Feedback = spec.ABCFeedback
+		}
+		return abc.NewRouter(cfg), nil
+	case "abc-proxied":
+		cfg := abc.DefaultRouterConfig()
+		cfg.Limit = buf
+		if spec.ABCDelayThreshold > 0 {
+			cfg.DelayThreshold = spec.ABCDelayThreshold
+		}
+		cfg.Feedback = spec.ABCFeedback
+		return abc.NewProxiedRouter(cfg), nil
+	case "xcp":
+		cfg := explicit.DefaultXCPConfig()
+		cfg.Limit = buf
+		return explicit.NewXCPRouter(cfg), nil
+	case "xcpw":
+		cfg := explicit.DefaultXCPConfig()
+		cfg.Limit = buf
+		cfg.PerPacket = true
+		return explicit.NewXCPRouter(cfg), nil
+	case "rcp":
+		cfg := explicit.DefaultRCPConfig()
+		cfg.Limit = buf
+		return explicit.NewRCPRouter(cfg), nil
+	case "vcp":
+		cfg := explicit.DefaultVCPConfig()
+		cfg.Limit = buf
+		return explicit.NewVCPRouter(cfg), nil
+	case "dual-maxmin", "dual-zombie":
+		cfg := sched.DefaultConfig()
+		cfg.ABCLimit, cfg.OtherLimit = buf, buf
+		if spec.ABCDelayThreshold > 0 {
+			cfg.Router.DelayThreshold = spec.ABCDelayThreshold
+		}
+		if spec.Kind == "dual-zombie" {
+			cfg.Policy = sched.ZombieList
+		}
+		return sched.NewDualQueue(cfg), nil
+	}
+	return nil, fmt.Errorf("exp: unknown qdisc kind %q", spec.Kind)
+}
+
+// LinkSpec describes one bottleneck hop. Exactly one of Trace and Rate
+// must be set.
+type LinkSpec struct {
+	Trace *trace.Trace
+	Rate  netem.RateFunc
+	Qdisc QdiscSpec
+	// Lookahead enables the PK-ABC future-capacity oracle on trace
+	// links (§6.6).
+	Lookahead sim.Time
+}
+
+// FlowSpec describes one flow.
+type FlowSpec struct {
+	Scheme string
+	// Start/Stop bound the flow's lifetime; Stop 0 means run to the end.
+	Start, Stop sim.Time
+	// Source is the data source; nil means backlogged.
+	Source cc.Source
+	// EnterAt is the index of the first link this flow traverses
+	// (cross-traffic flows can skip upstream links).
+	EnterAt int
+	// Mutate, if set, adjusts the constructed algorithm before the run
+	// (ablation switches such as abc.Sender.DisableAI).
+	Mutate func(alg cc.Algorithm)
+}
+
+// Spec is a complete scenario.
+type Spec struct {
+	Seed     int64
+	Duration sim.Time
+	// Warmup excludes the initial transient from all metrics.
+	Warmup sim.Time
+	// RTT is the round-trip propagation delay (paper default 100 ms).
+	RTT   sim.Time
+	Links []LinkSpec
+	Flows []FlowSpec
+	// Sample enables time-series collection at this period (0 = off).
+	Sample sim.Time
+	// Probe, when set with Sample > 0, is called once per sample period
+	// with the partially built result, letting experiments record
+	// custom series (e.g. Fig. 6's wabc/wcubic windows).
+	Probe func(now sim.Time, r *Result)
+}
+
+// FlowResult reports one flow's measurements over [Warmup, Duration].
+type FlowResult struct {
+	Scheme    string
+	Bytes     int64
+	TputMbps  float64
+	Delay     metrics.DelayRecorder // one-way per-packet delay, ms
+	QDelay    metrics.DelayRecorder // accumulated queuing delay, ms
+	Lost      int64
+	Retx      int64
+	Tput      *metrics.Timeseries // when sampling
+	Endpoint  *cc.Endpoint
+	Algorithm cc.Algorithm
+}
+
+// Result is a completed scenario.
+type Result struct {
+	Spec        Spec
+	Flows       []FlowResult
+	Utilization float64
+	// QueueDelayTS samples the first link's standing queue delay when
+	// sampling is enabled.
+	QueueDelayTS *metrics.Timeseries
+	// WeightTS samples a dual queue's ABC weight when present.
+	WeightTS *metrics.Timeseries
+	// Qdiscs exposes the built bottleneck disciplines, first hop first.
+	Qdiscs []qdisc.Qdisc
+}
+
+// AggTputMbps sums flow throughputs.
+func (r *Result) AggTputMbps() float64 {
+	var t float64
+	for i := range r.Flows {
+		t += r.Flows[i].TputMbps
+	}
+	return t
+}
+
+// MeanDelayMs averages flow mean delays weighted by sample count.
+func (r *Result) MeanDelayMs() float64 {
+	var sum float64
+	var n int
+	for i := range r.Flows {
+		c := r.Flows[i].Delay.Count()
+		sum += r.Flows[i].Delay.Mean() * float64(c)
+		n += c
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Summary condenses a result for scatter/bar figures.
+func (r *Result) Summary(scheme string, pooled *metrics.DelayRecorder) metrics.Summary {
+	return metrics.Summary{
+		Scheme:      scheme,
+		Utilization: r.Utilization,
+		TputMbps:    r.AggTputMbps(),
+		MeanMs:      pooled.Mean(),
+		P95Ms:       pooled.P95(),
+	}
+}
+
+// Run executes the scenario and returns its result along with the pooled
+// per-packet delay recorder used for the paper's delay metrics.
+func Run(spec Spec) (*Result, *metrics.DelayRecorder, error) {
+	if spec.Duration <= 0 {
+		spec.Duration = 60 * sim.Second
+	}
+	if spec.RTT <= 0 {
+		spec.RTT = 100 * sim.Millisecond
+	}
+	if spec.Warmup <= 0 {
+		spec.Warmup = 4 * sim.Second
+	}
+	if len(spec.Links) == 0 {
+		return nil, nil, fmt.Errorf("exp: no links in spec")
+	}
+	if len(spec.Flows) == 0 {
+		return nil, nil, fmt.Errorf("exp: no flows in spec")
+	}
+	s := sim.New(spec.Seed)
+	res := &Result{Spec: spec}
+	pooled := &metrics.DelayRecorder{}
+
+	// Receivers live behind a demux at the end of the path; ACKs return
+	// over a dedicated wire (the paper's emulation carries ACKs on the
+	// reverse direction, which is not the bottleneck in these setups).
+	dataDemux := netem.NewDemux()
+	ackDemux := netem.NewDemux()
+	ackWire := netem.NewWire(s, spec.RTT/2, ackDemux)
+
+	// Build links back to front.
+	var entry []packet.Node // entry node for each link index
+	next := packet.Node(netem.NewWire(s, spec.RTT/2, dataDemux))
+	for i := len(spec.Links) - 1; i >= 0; i-- {
+		ls := spec.Links[i]
+		q := ls.Qdisc
+		if q.Kind == "auto" || q.Kind == "" {
+			q.Kind = qdiscKindFor(spec.Flows[0].Scheme)
+		}
+		qd, err := buildQdisc(q, s.Rand())
+		if err != nil {
+			return nil, nil, err
+		}
+		res.Qdiscs = append([]qdisc.Qdisc{qd}, res.Qdiscs...)
+		switch {
+		case ls.Trace != nil:
+			l := netem.NewTraceLink(s, ls.Trace, qd, next)
+			l.Lookahead = ls.Lookahead
+			next = l
+		case ls.Rate != nil:
+			next = netem.NewRateLink(s, ls.Rate, qd, next)
+		default:
+			return nil, nil, fmt.Errorf("exp: link %d has neither trace nor rate", i)
+		}
+		entry = append([]packet.Node{next}, entry...)
+	}
+
+	// Flows.
+	res.Flows = make([]FlowResult, len(spec.Flows))
+	for i, fs := range spec.Flows {
+		alg, err := NewAlgorithm(fs.Scheme)
+		if err != nil {
+			return nil, nil, err
+		}
+		if fs.Mutate != nil {
+			fs.Mutate(alg)
+		}
+		fr := &res.Flows[i]
+		fr.Scheme = fs.Scheme
+		fr.Algorithm = alg
+		enter := fs.EnterAt
+		if enter < 0 || enter >= len(entry) {
+			enter = 0
+		}
+		ep := cc.NewEndpoint(s, i, entry[enter], alg)
+		ep.Src = fs.Source
+		fr.Endpoint = ep
+		ackDemux.Route(i, ep)
+
+		stop := fs.Stop
+		if stop == 0 || stop > spec.Duration {
+			stop = spec.Duration
+		}
+		recv := netem.NewReceiver(s, i, ackWire)
+		start, warm := fs.Start, spec.Warmup
+		recv.OnData = func(now sim.Time, p *packet.Packet) {
+			if now < warm || now < start {
+				return
+			}
+			fr.Bytes += int64(p.Size)
+			d := now - p.SentAt
+			fr.Delay.Add(d)
+			fr.QDelay.Add(p.QueueDelay)
+			pooled.Add(d)
+		}
+		dataDemux.Route(i, recv)
+
+		s.At(fs.Start, ep.Start)
+		if fs.Stop > 0 {
+			s.At(fs.Stop, ep.Stop)
+		}
+		if spec.Sample > 0 {
+			counter := &metrics.RateCounter{}
+			prev := recv.OnData
+			recv.OnData = func(now sim.Time, p *packet.Packet) {
+				counter.Add(p.Size)
+				if prev != nil {
+					prev(now, p)
+				}
+			}
+			fr.Tput = metrics.NewTimeseries(s, spec.Sample, spec.Duration, func(now sim.Time) float64 {
+				return counter.SampleBps(now) / 1e6
+			})
+		}
+	}
+
+	// Queue-delay time series on the first link.
+	if spec.Sample > 0 {
+		firstQ := res.Qdiscs[0]
+		capAt := func(now sim.Time) float64 {
+			if spec.Links[0].Trace != nil {
+				return spec.Links[0].Trace.CapacityBps(now, 100*sim.Millisecond)
+			}
+			return spec.Links[0].Rate(now)
+		}
+		res.QueueDelayTS = metrics.NewTimeseries(s, spec.Sample, spec.Duration, func(now sim.Time) float64 {
+			mu := capAt(now)
+			if mu <= 0 {
+				return 0
+			}
+			return float64(firstQ.Bytes()) * 8 / mu * 1000 // ms
+		})
+		if dq, ok := res.Qdiscs[0].(*sched.DualQueue); ok {
+			res.WeightTS = metrics.NewTimeseries(s, spec.Sample, spec.Duration, func(now sim.Time) float64 {
+				return dq.WeightABC()
+			})
+		}
+	}
+
+	if spec.Sample > 0 && spec.Probe != nil {
+		s.Every(spec.Sample, func() bool {
+			if s.Now() > spec.Duration {
+				return false
+			}
+			spec.Probe(s.Now(), res)
+			return true
+		})
+	}
+
+	s.RunUntil(spec.Duration)
+
+	// Per-flow throughput over each flow's measured window.
+	for i := range res.Flows {
+		fr := &res.Flows[i]
+		fs := spec.Flows[i]
+		from := fs.Start
+		if from < spec.Warmup {
+			from = spec.Warmup
+		}
+		to := fs.Stop
+		if to == 0 || to > spec.Duration {
+			to = spec.Duration
+		}
+		if to > from {
+			fr.TputMbps = float64(fr.Bytes) * 8 / (to - from).Seconds() / 1e6
+		}
+		fr.Lost = fr.Endpoint.LostPackets
+		fr.Retx = fr.Endpoint.RetxPackets
+	}
+
+	// Utilization against the tightest trace link over the measurement
+	// window (the paper reports utilization of the emulated cell link).
+	var minCapBytes int64 = -1
+	for _, ls := range spec.Links {
+		if ls.Trace == nil {
+			continue
+		}
+		capBytes := ls.Trace.CountIn(spec.Warmup, spec.Duration) * packet.MTU
+		if minCapBytes < 0 || capBytes < minCapBytes {
+			minCapBytes = capBytes
+		}
+	}
+	if minCapBytes > 0 {
+		var delivered int64
+		for i := range res.Flows {
+			delivered += res.Flows[i].Bytes
+		}
+		res.Utilization = metrics.Utilization(delivered, minCapBytes)
+	}
+	return res, pooled, nil
+}

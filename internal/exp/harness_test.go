@@ -1,0 +1,57 @@
+package exp
+
+import (
+	"testing"
+
+	"abc/internal/sim"
+	"abc/internal/trace"
+)
+
+// runScheme runs one backlogged flow of the scheme over a short cellular
+// trace and returns its summary.
+func runScheme(t *testing.T, scheme string, dur sim.Time) (util, meanMs, p95Ms float64) {
+	t.Helper()
+	tr := trace.MustNamedCellular("Verizon1")
+	spec := Spec{
+		Seed:     1,
+		Duration: dur,
+		Warmup:   3 * sim.Second,
+		RTT:      100 * sim.Millisecond,
+		Links:    []LinkSpec{{Trace: tr}},
+		Flows:    []FlowSpec{{Scheme: scheme}},
+	}
+	res, pooled, err := Run(spec)
+	if err != nil {
+		t.Fatalf("Run(%s): %v", scheme, err)
+	}
+	return res.Utilization, pooled.Mean(), pooled.P95()
+}
+
+func TestHarnessABCBasic(t *testing.T) {
+	util, mean, p95 := runScheme(t, "ABC", 20*sim.Second)
+	t.Logf("ABC: util=%.2f mean=%.0fms p95=%.0fms", util, mean, p95)
+	if util < 0.5 {
+		t.Errorf("ABC utilization %.2f too low", util)
+	}
+	if util > 1.05 {
+		t.Errorf("ABC utilization %.2f above capacity", util)
+	}
+	if p95 > 600 {
+		t.Errorf("ABC p95 delay %.0f ms too high", p95)
+	}
+	if mean <= 0 {
+		t.Errorf("no delay samples recorded")
+	}
+}
+
+func TestHarnessCubicBuffers(t *testing.T) {
+	utilC, _, p95C := runScheme(t, "Cubic", 20*sim.Second)
+	t.Logf("Cubic: util=%.2f p95=%.0fms", utilC, p95C)
+	if utilC < 0.7 {
+		t.Errorf("Cubic utilization %.2f too low", utilC)
+	}
+	// Cubic should bufferbloat: delays well above the propagation RTT.
+	if p95C < 150 {
+		t.Errorf("Cubic p95 %.0f ms suspiciously low for a deep buffer", p95C)
+	}
+}

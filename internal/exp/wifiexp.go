@@ -1,0 +1,338 @@
+// Wi-Fi experiments: Fig. 4 (inter-ACK time vs batch size), Fig. 5 (link
+// rate prediction accuracy), Fig. 10 (full-stack comparison on a varying
+// 802.11n link, one and two users) and Fig. 14 (Brownian MCS walk).
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"abc/internal/abc"
+	"abc/internal/cc"
+	"abc/internal/metrics"
+	"abc/internal/netem"
+	"abc/internal/packet"
+	"abc/internal/qdisc"
+	"abc/internal/sim"
+	"abc/internal/wifi"
+)
+
+// Fig4Sample is one (batch size, inter-ACK time) observation.
+type Fig4Sample struct {
+	Batch int
+	TIAms float64
+}
+
+// Fig4Result holds the batching characterization.
+type Fig4Result struct {
+	Samples []Fig4Sample
+	// MeanTIA[b] is the average inter-ACK time for batch size b (ms).
+	MeanTIA map[int]float64
+	// FittedSlopeMs is the slope of mean TIA vs b (ms/frame); the paper
+	// shows it equals S/R.
+	FittedSlopeMs float64
+	// TheorySlopeMs is S/R for the link's bitrate.
+	TheorySlopeMs float64
+}
+
+// Fig4InterACK reproduces Fig. 4: drive a fixed-MCS 802.11n link at
+// several offered loads so batches of every size occur, and record the
+// inter-ACK time for each batch.
+func Fig4InterACK(seed int64) (*Fig4Result, error) {
+	cfg := wifi.DefaultLinkConfig()
+	cfg.MCS = func(sim.Time) int { return 1 } // 13 Mbit/s PHY: visible slope
+	out := &Fig4Result{MeanTIA: make(map[int]float64)}
+	counts := make(map[int]int)
+
+	for _, loadMbps := range []float64{1, 2, 4, 6, 8, 10, 11, 12} {
+		s := sim.New(seed)
+		sink := &packet.Sink{}
+		link := wifi.NewLink(s, cfg, qdisc.NewDropTail(1000), sink, nil)
+		link.OnBatch = func(now sim.Time, b int, tia sim.Time, bitrate float64) {
+			if now < sim.Second { // settle
+				return
+			}
+			out.Samples = append(out.Samples, Fig4Sample{Batch: b, TIAms: tia.Millis()})
+			out.MeanTIA[b] += tia.Millis()
+			counts[b]++
+		}
+		injectCBR(s, link, loadMbps*1e6, 10*sim.Second)
+		s.RunUntil(10 * sim.Second)
+	}
+	for b, c := range counts {
+		out.MeanTIA[b] /= float64(c)
+	}
+	// Least-squares slope over the per-batch means.
+	var sx, sy, sxx, sxy, n float64
+	for b, m := range out.MeanTIA {
+		x := float64(b)
+		sx += x
+		sy += m
+		sxx += x * x
+		sxy += x * m
+		n++
+	}
+	if d := n*sxx - sx*sx; d != 0 {
+		out.FittedSlopeMs = (n*sxy - sx*sy) / d
+	}
+	out.TheorySlopeMs = float64(cfg.FrameSize*8) / wifi.BitrateForMCS(1) * 1000
+	return out, nil
+}
+
+// injectCBR feeds MTU packets into dst at the given bit rate until end.
+func injectCBR(s *sim.Simulator, dst packet.Node, bps float64, end sim.Time) {
+	gap := sim.FromSeconds(float64(packet.MTU*8) / bps)
+	var seq int64
+	var tick func()
+	tick = func() {
+		if s.Now() >= end {
+			return
+		}
+		p := packet.NewData(0, seq, packet.MTU, s.Now())
+		seq++
+		dst.Recv(p)
+		s.After(gap, tick)
+	}
+	s.After(gap, tick)
+}
+
+// Fig5Point is one (offered load, predicted rate) measurement on a link.
+type Fig5Point struct {
+	Link          string
+	OfferedMbps   float64
+	PredictedMbps float64
+	TrueMbps      float64
+	// CapRegion marks points where the 2x-dequeue-rate cap binds (the
+	// dashed slanted line in the figure).
+	CapRegion bool
+}
+
+// Fig5RatePrediction reproduces Fig. 5: the estimator's predictions for a
+// non-backlogged user across offered loads on three different Wi-Fi
+// links. Near and above saturation the prediction lands within 5% of the
+// true link capacity.
+func Fig5RatePrediction(seed int64) ([]Fig5Point, error) {
+	links := map[string]int{"Link1": 2, "Link2": 4, "Link3": 6}
+	loads := []float64{1, 2, 4, 6, 8, 10, 14, 18, 22, 26, 30, 36, 42, 48}
+	var out []Fig5Point
+	for name, mcs := range links {
+		cfg := wifi.DefaultLinkConfig()
+		m := mcs
+		cfg.MCS = func(sim.Time) int { return m }
+		trueCap := wifi.TrueCapacityBps(cfg, 0) / 1e6
+		for _, load := range loads {
+			s := sim.New(seed)
+			est := wifi.NewEstimator(cfg.MaxBatch, cfg.FrameSize, 40*sim.Millisecond)
+			sink := &packet.Sink{}
+			link := wifi.NewLink(s, cfg, qdisc.NewDropTail(1000), sink, est)
+			injectCBR(s, link, load*1e6, 12*sim.Second)
+			// Sample the estimate every 100 ms after settling.
+			var sum float64
+			var n int
+			s.Every(100*sim.Millisecond, func() bool {
+				if s.Now() < 2*sim.Second {
+					return true
+				}
+				if v := est.RateBps(s.Now()); v > 0 {
+					sum += v / 1e6
+					n++
+				}
+				return s.Now() < 12*sim.Second
+			})
+			s.RunUntil(12 * sim.Second)
+			pt := Fig5Point{Link: name, OfferedMbps: load, TrueMbps: trueCap}
+			if n > 0 {
+				pt.PredictedMbps = sum / float64(n)
+			}
+			pt.CapRegion = 2*load < trueCap
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}
+
+// WiFiScheme names one Fig. 10 contender; ABC appears at three delay
+// thresholds.
+type WiFiScheme struct {
+	Label  string
+	Scheme string
+	ABCdt  sim.Time
+}
+
+// Fig10SchemeSet is the paper's Wi-Fi comparison set.
+var Fig10SchemeSet = []WiFiScheme{
+	{Label: "ABC_20", Scheme: "ABC", ABCdt: 20 * sim.Millisecond},
+	{Label: "ABC_60", Scheme: "ABC", ABCdt: 60 * sim.Millisecond},
+	{Label: "ABC_100", Scheme: "ABC", ABCdt: 100 * sim.Millisecond},
+	{Label: "Cubic+Codel", Scheme: "Cubic+Codel"},
+	{Label: "Copa", Scheme: "Copa"},
+	{Label: "Vegas", Scheme: "Vegas"},
+	{Label: "BBR", Scheme: "BBR"},
+	{Label: "PCC", Scheme: "PCC"},
+	{Label: "Cubic", Scheme: "Cubic"},
+}
+
+// MCSWalk produces the MCS trajectory for the Wi-Fi experiments.
+type MCSWalk func(seed int64) func(now sim.Time) int
+
+// AlternatingMCS alternates between MCS 1 and 7 every two seconds
+// (Fig. 10's emulated user movement).
+func AlternatingMCS(seed int64) func(now sim.Time) int {
+	return func(now sim.Time) int {
+		if int(now/(2*sim.Second))%2 == 0 {
+			return 1
+		}
+		return 7
+	}
+}
+
+// BrownianMCS performs the Appendix B random walk on [3, 7], stepping
+// every two seconds (Fig. 14).
+func BrownianMCS(seed int64) func(now sim.Time) int {
+	// Precompute a deterministic walk long enough for any run.
+	walk := make([]int, 512)
+	state := uint64(seed)*2862933555777941757 + 3037000493
+	cur := 5
+	for i := range walk {
+		state = state*6364136223846793005 + 1442695040888963407
+		switch state >> 62 {
+		case 0, 1:
+			cur++
+		case 2, 3:
+			cur--
+		}
+		if cur < 3 {
+			cur = 3
+		}
+		if cur > 7 {
+			cur = 7
+		}
+		walk[i] = cur
+	}
+	return func(now sim.Time) int {
+		i := int(now / (2 * sim.Second))
+		if i >= len(walk) {
+			i = len(walk) - 1
+		}
+		return walk[i]
+	}
+}
+
+// RunWiFi runs nUsers backlogged flows of one scheme over the modelled
+// 802.11n link for the duration and reports total throughput and the
+// mean per-user p95 one-way delay, matching Fig. 10's metrics.
+func RunWiFi(ws WiFiScheme, nUsers int, mcs func(now sim.Time) int, dur sim.Time, seed int64) (metrics.Summary, error) {
+	s := sim.New(seed)
+	cfg := wifi.DefaultLinkConfig()
+	cfg.MCS = mcs
+
+	// The Wi-Fi links reach ~50 Mbit/s; at dt = 100 ms the standing
+	// queue alone is ~400 packets, so the AP buffer must be deeper than
+	// the cellular 250 (commodity APs buffer ~1000 frames).
+	const buf = 1000
+	var q qdisc.Qdisc
+	var est *wifi.Estimator
+	switch ws.Scheme {
+	case "ABC":
+		rc := abc.DefaultRouterConfig()
+		rc.Limit = buf
+		rc.Window = 40 * sim.Millisecond
+		if ws.ABCdt > 0 {
+			rc.DelayThreshold = ws.ABCdt
+		}
+		q = abc.NewRouter(rc)
+		est = wifi.NewEstimator(cfg.MaxBatch, cfg.FrameSize, 40*sim.Millisecond)
+	case "Cubic+Codel":
+		q = qdisc.NewCoDel(buf, false)
+	case "Cubic+PIE":
+		q = qdisc.NewPIE(buf, false, s.Rand())
+	default:
+		q = qdisc.NewDropTail(buf)
+	}
+
+	dataDemux := netem.NewDemux()
+	ackDemux := netem.NewDemux()
+	const rtt = 60 * sim.Millisecond
+	ackWire := netem.NewWire(s, rtt/2, ackDemux)
+	link := wifi.NewLink(s, cfg, q, netem.NewWire(s, rtt/2, dataDemux), est)
+
+	warm := 3 * sim.Second
+	type userStats struct {
+		bytes int64
+		delay metrics.DelayRecorder
+	}
+	stats := make([]*userStats, nUsers)
+	for u := 0; u < nUsers; u++ {
+		alg, err := NewAlgorithm(ws.Scheme)
+		if err != nil {
+			return metrics.Summary{}, err
+		}
+		ep := cc.NewEndpoint(s, u, link, alg)
+		ackDemux.Route(u, ep)
+		recv := netem.NewReceiver(s, u, ackWire)
+		st := &userStats{}
+		stats[u] = st
+		recv.OnData = func(now sim.Time, p *packet.Packet) {
+			if now < warm {
+				return
+			}
+			st.bytes += int64(p.Size)
+			st.delay.Add(now - p.SentAt)
+		}
+		dataDemux.Route(u, recv)
+		ep.Start()
+	}
+	s.RunUntil(dur)
+
+	span := (dur - warm).Seconds()
+	sum := metrics.Summary{Scheme: ws.Label}
+	var p95Sum, meanSum float64
+	for _, st := range stats {
+		sum.TputMbps += float64(st.bytes) * 8 / span / 1e6
+		p95Sum += st.delay.P95()
+		meanSum += st.delay.Mean()
+	}
+	sum.P95Ms = p95Sum / float64(nUsers)
+	sum.MeanMs = meanSum / float64(nUsers)
+	return sum, nil
+}
+
+// Fig10WiFi reproduces Fig. 10 (or Fig. 14 with the Brownian walk): all
+// schemes on the varying Wi-Fi link.
+func Fig10WiFi(nUsers int, mcs func(now sim.Time) int, dur sim.Time, seed int64) ([]metrics.Summary, error) {
+	out := make([]metrics.Summary, 0, len(Fig10SchemeSet))
+	for _, ws := range Fig10SchemeSet {
+		s, err := RunWiFi(ws, nUsers, mcs, dur, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Fig5MaxErrorBacklogged returns the worst relative prediction error
+// among backlogged points (offered ≥ capacity), the paper's 5% claim.
+func Fig5MaxErrorBacklogged(points []Fig5Point) float64 {
+	worst := 0.0
+	for _, p := range points {
+		if p.OfferedMbps < p.TrueMbps {
+			continue
+		}
+		e := math.Abs(p.PredictedMbps-p.TrueMbps) / p.TrueMbps
+		if e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// FormatFig5 renders the prediction table.
+func FormatFig5(points []Fig5Point) string {
+	s := ""
+	for _, p := range points {
+		s += fmt.Sprintf("%-6s offered=%5.1f  predicted=%6.2f  true=%6.2f  cap=%v\n",
+			p.Link, p.OfferedMbps, p.PredictedMbps, p.TrueMbps, p.CapRegion)
+	}
+	return s
+}

@@ -1,0 +1,180 @@
+// RCP (Rate Control Protocol): the router computes a single fair rate
+// R(t) and stamps it into every packet; senders pace at the minimum
+// stamped rate along the path. The paper (Appendix D, Fig. 17) shows RCP's
+// rate-based control reacting more slowly than ABC's window-based control
+// on varying links.
+package explicit
+
+import (
+	"abc/internal/cc"
+	"abc/internal/packet"
+	"abc/internal/qdisc"
+	"abc/internal/sim"
+)
+
+// RCPConfig parameterizes an RCP router.
+type RCPConfig struct {
+	// Alpha and Beta are the rate-update gains; the paper uses the
+	// author-specified 0.5 and 0.25.
+	Alpha, Beta float64
+	// Limit bounds the queue in packets.
+	Limit int
+}
+
+// DefaultRCPConfig returns the paper's RCP parameters.
+func DefaultRCPConfig() RCPConfig { return RCPConfig{Alpha: 0.5, Beta: 0.25, Limit: 250} }
+
+// RCPRouter updates R once per control interval:
+//
+//	R ← R · (1 + (T/d)·(α·(C − y) − β·q/d) / C)
+//
+// and stamps min(R, header) into departing packets.
+type RCPRouter struct {
+	Cfg   RCPConfig
+	Stats qdisc.Stats
+
+	capacity func(now sim.Time) float64
+
+	q     []*packet.Packet
+	head  int
+	bytes int
+
+	rate          float64 // bytes/sec
+	meanRTT       sim.Time
+	intervalStart sim.Time
+	arrivedBytes  int64
+}
+
+// NewRCPRouter returns an RCP router qdisc.
+func NewRCPRouter(cfg RCPConfig) *RCPRouter {
+	return &RCPRouter{Cfg: cfg, meanRTT: 100 * sim.Millisecond}
+}
+
+// SetCapacityProvider implements qdisc.CapacityAware.
+func (r *RCPRouter) SetCapacityProvider(f func(now sim.Time) float64) { r.capacity = f }
+
+func (r *RCPRouter) mu(now sim.Time) float64 {
+	if r.capacity == nil {
+		return 0
+	}
+	return r.capacity(now)
+}
+
+// Enqueue implements qdisc.Qdisc.
+func (r *RCPRouter) Enqueue(now sim.Time, p *packet.Packet) bool {
+	if r.Cfg.Limit > 0 && r.Len() >= r.Cfg.Limit {
+		r.Stats.DroppedPackets++
+		return false
+	}
+	if r.intervalStart == 0 {
+		r.intervalStart = now
+		r.rate = r.mu(now) / 8 / 2 // start at half capacity
+	}
+	p.EnqueuedAt = now
+	r.q = append(r.q, p)
+	r.bytes += p.Size
+	r.arrivedBytes += int64(p.Size)
+	r.Stats.EnqueuedPackets++
+	r.maybeUpdate(now)
+	return true
+}
+
+// maybeUpdate runs the rate controller once per mean RTT.
+func (r *RCPRouter) maybeUpdate(now sim.Time) {
+	d := r.meanRTT
+	T := now - r.intervalStart
+	if T < d/2 { // RCP updates at least every d (use d/2 for agility)
+		return
+	}
+	c := r.mu(now) / 8
+	if c <= 0 {
+		r.intervalStart = now
+		r.arrivedBytes = 0
+		return
+	}
+	y := float64(r.arrivedBytes) / T.Seconds()
+	q := float64(r.bytes)
+	adj := (T.Seconds() / d.Seconds()) *
+		(r.Cfg.Alpha*(c-y) - r.Cfg.Beta*q/d.Seconds()) / c
+	r.rate *= 1 + adj
+	if r.rate < float64(packet.MTU) {
+		r.rate = float64(packet.MTU) // at least one packet per second
+	}
+	if r.rate > 2*c {
+		r.rate = 2 * c
+	}
+	r.intervalStart = now
+	r.arrivedBytes = 0
+}
+
+// Dequeue implements qdisc.Qdisc.
+func (r *RCPRouter) Dequeue(now sim.Time) *packet.Packet {
+	if r.head >= len(r.q) {
+		return nil
+	}
+	p := r.q[r.head]
+	r.q[r.head] = nil
+	r.head++
+	r.bytes -= p.Size
+	if r.head > 64 && r.head*2 >= len(r.q) {
+		n := copy(r.q, r.q[r.head:])
+		r.q = r.q[:n]
+		r.head = 0
+	}
+	rateBits := r.rate * 8
+	if p.RCPRate == 0 || rateBits < p.RCPRate {
+		p.RCPRate = rateBits
+	}
+	r.Stats.DequeuedPackets++
+	r.Stats.DequeuedBytes += int64(p.Size)
+	return p
+}
+
+// Len implements qdisc.Qdisc.
+func (r *RCPRouter) Len() int { return len(r.q) - r.head }
+
+// Bytes implements qdisc.Qdisc.
+func (r *RCPRouter) Bytes() int { return r.bytes }
+
+// RCPSender paces at the router-stamped rate.
+type RCPSender struct {
+	rate float64 // bits/sec
+}
+
+// NewRCPSender returns an RCP sender with a conservative initial rate.
+func NewRCPSender() *RCPSender { return &RCPSender{rate: 1e6} }
+
+// Name implements cc.Algorithm.
+func (s *RCPSender) Name() string { return "RCP" }
+
+// StampData implements cc.DataStamper: clear the rate field so routers
+// along the path stamp their minimum.
+func (s *RCPSender) StampData(now sim.Time, e *cc.Endpoint, p *packet.Packet) {
+	p.RCPRate = 0
+}
+
+// OnAck implements cc.Algorithm.
+func (s *RCPSender) OnAck(now sim.Time, e *cc.Endpoint, info cc.AckInfo) {
+	if info.Ack.RCPRate > 0 {
+		s.rate = info.Ack.RCPRate
+	}
+}
+
+// OnCongestion implements cc.Algorithm.
+func (s *RCPSender) OnCongestion(now sim.Time, e *cc.Endpoint) {}
+
+// OnRTO implements cc.Algorithm.
+func (s *RCPSender) OnRTO(now sim.Time, e *cc.Endpoint) { s.rate /= 2 }
+
+// CwndPkts implements cc.Algorithm: a cap of two rate-RTT products keeps
+// pathological queues bounded while pacing dominates.
+func (s *RCPSender) CwndPkts() float64 {
+	w := 2 * s.rate * 0.1 / 8 / packet.MTU
+	if w < 4 {
+		w = 4
+	}
+	return w
+}
+
+// PacingRate implements cc.Pacer.
+func (s *RCPSender) PacingRate(now sim.Time) (float64, bool) { return s.rate, true }

@@ -1,0 +1,203 @@
+// VCP (Variable-structure Congestion Protocol, Xia et al. 2005): routers
+// quantize their load factor into two ECN bits (low / high / overload) and
+// senders switch between multiplicative increase, additive increase and
+// multiplicative decrease. The paper (§7, Appendix D) notes VCP's
+// coarse-grained feedback can take 12 RTTs to double the rate, versus one
+// RTT for ABC.
+package explicit
+
+import (
+	"abc/internal/cc"
+	"abc/internal/packet"
+	"abc/internal/qdisc"
+	"abc/internal/sim"
+)
+
+// VCP load-factor codes carried in the packet's VCPLoad field.
+const (
+	vcpLow      = 1 // ρ < 80%: multiplicative increase
+	vcpHigh     = 2 // 80% ≤ ρ < 100%: additive increase
+	vcpOverload = 3 // ρ ≥ 100%: multiplicative decrease
+)
+
+// VCPConfig parameterizes a VCP router.
+type VCPConfig struct {
+	// Period is tρ, the load-factor measurement interval (200 ms).
+	Period sim.Time
+	// KappaQ weights persistent queue into the load factor (0.5).
+	KappaQ float64
+	// Gamma is the target utilization (0.98).
+	Gamma float64
+	// Limit bounds the queue in packets.
+	Limit int
+}
+
+// DefaultVCPConfig returns the VCP paper's parameters.
+func DefaultVCPConfig() VCPConfig {
+	return VCPConfig{Period: 200 * sim.Millisecond, KappaQ: 0.5, Gamma: 0.98, Limit: 250}
+}
+
+// VCPRouter measures its load factor each period and stamps the code into
+// departing packets (codes only ever increase along the path).
+type VCPRouter struct {
+	Cfg   VCPConfig
+	Stats qdisc.Stats
+
+	capacity func(now sim.Time) float64
+
+	q     []*packet.Packet
+	head  int
+	bytes int
+
+	periodStart  sim.Time
+	arrivedBytes int64
+	code         uint8
+}
+
+// NewVCPRouter returns a VCP router qdisc.
+func NewVCPRouter(cfg VCPConfig) *VCPRouter {
+	return &VCPRouter{Cfg: cfg, code: vcpLow}
+}
+
+// SetCapacityProvider implements qdisc.CapacityAware.
+func (v *VCPRouter) SetCapacityProvider(f func(now sim.Time) float64) { v.capacity = f }
+
+// Enqueue implements qdisc.Qdisc.
+func (v *VCPRouter) Enqueue(now sim.Time, p *packet.Packet) bool {
+	if v.Cfg.Limit > 0 && v.Len() >= v.Cfg.Limit {
+		v.Stats.DroppedPackets++
+		return false
+	}
+	if v.periodStart == 0 {
+		v.periodStart = now
+	}
+	p.EnqueuedAt = now
+	v.q = append(v.q, p)
+	v.bytes += p.Size
+	v.arrivedBytes += int64(p.Size)
+	v.Stats.EnqueuedPackets++
+	v.maybeUpdate(now)
+	return true
+}
+
+// maybeUpdate recomputes the load factor once per period.
+func (v *VCPRouter) maybeUpdate(now sim.Time) {
+	T := now - v.periodStart
+	if T < v.Cfg.Period {
+		return
+	}
+	var c float64
+	if v.capacity != nil {
+		c = v.capacity(now) / 8 // bytes/sec
+	}
+	if c <= 0 {
+		v.code = vcpOverload
+	} else {
+		rho := (float64(v.arrivedBytes) + v.Cfg.KappaQ*float64(v.bytes)) /
+			(v.Cfg.Gamma * c * T.Seconds())
+		switch {
+		case rho < 0.8:
+			v.code = vcpLow
+		case rho < 1.0:
+			v.code = vcpHigh
+		default:
+			v.code = vcpOverload
+		}
+	}
+	v.periodStart = now
+	v.arrivedBytes = 0
+}
+
+// Dequeue implements qdisc.Qdisc.
+func (v *VCPRouter) Dequeue(now sim.Time) *packet.Packet {
+	if v.head >= len(v.q) {
+		return nil
+	}
+	p := v.q[v.head]
+	v.q[v.head] = nil
+	v.head++
+	v.bytes -= p.Size
+	if v.head > 64 && v.head*2 >= len(v.q) {
+		n := copy(v.q, v.q[v.head:])
+		v.q = v.q[:n]
+		v.head = 0
+	}
+	if v.code > p.VCPLoad {
+		p.VCPLoad = v.code
+	}
+	v.Stats.DequeuedPackets++
+	v.Stats.DequeuedBytes += int64(p.Size)
+	return p
+}
+
+// Len implements qdisc.Qdisc.
+func (v *VCPRouter) Len() int { return len(v.q) - v.head }
+
+// Bytes implements qdisc.Qdisc.
+func (v *VCPRouter) Bytes() int { return v.bytes }
+
+// VCPSender applies MI/AI/MD per the received code with the VCP paper's
+// parameters α=1.0, β=0.875, ξ=0.0625.
+type VCPSender struct {
+	// Alpha, Beta, Xi are the AI, MD and MI parameters.
+	Alpha, Beta, Xi float64
+
+	cwnd    float64
+	lastMD  sim.Time
+	curCode uint8
+}
+
+// NewVCPSender returns a VCP sender with the paper's parameters.
+func NewVCPSender() *VCPSender {
+	return &VCPSender{Alpha: 1.0, Beta: 0.875, Xi: 0.0625, cwnd: 4, curCode: vcpLow}
+}
+
+// Name implements cc.Algorithm.
+func (s *VCPSender) Name() string { return "VCP" }
+
+// StampData implements cc.DataStamper.
+func (s *VCPSender) StampData(now sim.Time, e *cc.Endpoint, p *packet.Packet) {
+	p.VCPLoad = 0
+}
+
+// OnAck implements cc.Algorithm: per-ACK scaled MI/AI, and MD at most
+// once per load-factor period.
+func (s *VCPSender) OnAck(now sim.Time, e *cc.Endpoint, info cc.AckInfo) {
+	if info.AckedBytes == 0 {
+		return
+	}
+	code := info.Ack.VCPLoad
+	if code == 0 {
+		code = s.curCode
+	}
+	s.curCode = code
+	switch code {
+	case vcpLow:
+		// MI scaled per ACK: (1+ξ)^(1/w) per ACK ≈ (1+ξ) per RTT.
+		s.cwnd *= 1 + s.Xi/s.cwnd
+	case vcpHigh:
+		s.cwnd += s.Alpha / s.cwnd
+	case vcpOverload:
+		if now-s.lastMD >= 200*sim.Millisecond {
+			s.cwnd *= s.Beta
+			s.lastMD = now
+		}
+	}
+	if s.cwnd < 2 {
+		s.cwnd = 2
+	}
+}
+
+// OnCongestion implements cc.Algorithm.
+func (s *VCPSender) OnCongestion(now sim.Time, e *cc.Endpoint) {
+	s.cwnd *= s.Beta
+	if s.cwnd < 2 {
+		s.cwnd = 2
+	}
+}
+
+// OnRTO implements cc.Algorithm.
+func (s *VCPSender) OnRTO(now sim.Time, e *cc.Endpoint) { s.cwnd = 2 }
+
+// CwndPkts implements cc.Algorithm.
+func (s *VCPSender) CwndPkts() float64 { return s.cwnd }

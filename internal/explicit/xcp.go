@@ -1,0 +1,312 @@
+// Package explicit implements the explicit congestion-control baselines
+// the paper compares ABC against: XCP (Katabi et al. 2002), the paper's
+// improved per-packet variant XCPw, RCP (Tai, Zhu, Dukkipati 2008) and
+// VCP (Xia et al. 2005). Each consists of a router qdisc that computes
+// feedback and a sender Algorithm that obeys it, communicating through
+// the multi-bit header fields in internal/packet — the header space whose
+// deployment cost motivates ABC's single-bit design.
+package explicit
+
+import (
+	"math"
+
+	"abc/internal/cc"
+	"abc/internal/packet"
+	"abc/internal/qdisc"
+	"abc/internal/sim"
+)
+
+// XCPConfig parameterizes an XCP router.
+type XCPConfig struct {
+	// Alpha and Beta are the efficiency-controller gains. The paper uses
+	// 0.55 and 0.4, "the highest permissible stable values".
+	Alpha, Beta float64
+	// Limit bounds the queue in packets.
+	Limit int
+	// PerPacket enables XCPw: recompute aggregate feedback continuously
+	// over a sliding window instead of once per control interval.
+	PerPacket bool
+	// Window is the sliding measurement window for XCPw.
+	Window sim.Time
+}
+
+// DefaultXCPConfig returns the paper's XCP parameters.
+func DefaultXCPConfig() XCPConfig {
+	return XCPConfig{Alpha: 0.55, Beta: 0.4, Limit: 250, Window: 50 * sim.Millisecond}
+}
+
+// XCPRouter computes aggregate feedback φ = α·d·(C−y) − β·Q once per
+// control interval (mean RTT) and apportions it per packet in proportion
+// to each packet's byte share of the interval's traffic. Senders carry
+// cwnd and RTT in the congestion header; routers only ever reduce the
+// feedback field (min along the path).
+type XCPRouter struct {
+	Cfg   XCPConfig
+	Stats qdisc.Stats
+
+	capacity func(now sim.Time) float64
+
+	q     []*packet.Packet
+	head  int
+	bytes int
+
+	// Control-interval accounting.
+	intervalStart sim.Time
+	arrivedBytes  int64
+	minQueueBytes int
+	rttSum        sim.Time
+	rttCount      int64
+	meanRTT       sim.Time
+
+	// perByte is the feedback (bytes of cwnd change per byte of packet)
+	// computed for the current interval.
+	perByte float64
+
+	// Sliding-window meters for the XCPw variant.
+	arrMeter *meter
+}
+
+// meter is a sliding-window byte-rate estimator.
+type meter struct {
+	window sim.Time
+	times  []sim.Time
+	bytes  []int
+	sum    int64
+	head   int
+}
+
+func newMeter(w sim.Time) *meter { return &meter{window: w} }
+
+func (m *meter) add(now sim.Time, n int) {
+	m.times = append(m.times, now)
+	m.bytes = append(m.bytes, n)
+	m.sum += int64(n)
+	m.prune(now)
+}
+
+func (m *meter) prune(now sim.Time) {
+	for m.head < len(m.times) && m.times[m.head] < now-m.window {
+		m.sum -= int64(m.bytes[m.head])
+		m.head++
+	}
+	if m.head > 256 && m.head*2 >= len(m.times) {
+		n := copy(m.times, m.times[m.head:])
+		copy(m.bytes, m.bytes[m.head:])
+		m.times = m.times[:n]
+		m.bytes = m.bytes[:n]
+		m.head = 0
+	}
+}
+
+func (m *meter) byteRate(now sim.Time) float64 {
+	m.prune(now)
+	return float64(m.sum) / m.window.Seconds()
+}
+
+// NewXCPRouter returns an XCP (or XCPw) router qdisc.
+func NewXCPRouter(cfg XCPConfig) *XCPRouter {
+	if cfg.Window <= 0 {
+		cfg.Window = 50 * sim.Millisecond
+	}
+	return &XCPRouter{
+		Cfg:           cfg,
+		meanRTT:       100 * sim.Millisecond,
+		minQueueBytes: math.MaxInt,
+		arrMeter:      newMeter(cfg.Window),
+	}
+}
+
+// SetCapacityProvider implements qdisc.CapacityAware.
+func (x *XCPRouter) SetCapacityProvider(f func(now sim.Time) float64) { x.capacity = f }
+
+func (x *XCPRouter) mu(now sim.Time) float64 {
+	if x.capacity == nil {
+		return 0
+	}
+	return x.capacity(now)
+}
+
+// Enqueue implements qdisc.Qdisc.
+func (x *XCPRouter) Enqueue(now sim.Time, p *packet.Packet) bool {
+	if x.Cfg.Limit > 0 && x.Len() >= x.Cfg.Limit {
+		x.Stats.DroppedPackets++
+		return false
+	}
+	if x.intervalStart == 0 {
+		x.intervalStart = now
+	}
+	p.EnqueuedAt = now
+	x.q = append(x.q, p)
+	x.bytes += p.Size
+	x.arrivedBytes += int64(p.Size)
+	x.arrMeter.add(now, p.Size)
+	if p.XCP.Valid {
+		if p.XCP.RTT > 0 {
+			x.rttSum += p.XCP.RTT
+			x.rttCount++
+		}
+	}
+	if x.bytes < x.minQueueBytes {
+		x.minQueueBytes = x.bytes
+	}
+	x.Stats.EnqueuedPackets++
+	x.maybeCloseInterval(now)
+	return true
+}
+
+// maybeCloseInterval runs the per-interval efficiency controller.
+func (x *XCPRouter) maybeCloseInterval(now sim.Time) {
+	if x.Cfg.PerPacket {
+		return // XCPw computes continuously in feedbackFor
+	}
+	d := x.meanRTT
+	if now-x.intervalStart < d {
+		return
+	}
+	dur := (now - x.intervalStart).Seconds()
+	y := float64(x.arrivedBytes) / dur // input rate, bytes/sec
+	c := x.mu(now) / 8                 // capacity, bytes/sec
+	q := float64(x.minQueueBytes)
+	if x.minQueueBytes == math.MaxInt {
+		q = float64(x.bytes)
+	}
+	phi := x.Cfg.Alpha*d.Seconds()*(c-y) - x.Cfg.Beta*q // bytes
+	if x.arrivedBytes > 0 {
+		x.perByte = phi / float64(x.arrivedBytes)
+	} else if c > 0 {
+		x.perByte = 1 // idle link: allow growth
+	}
+	if x.rttCount > 0 {
+		x.meanRTT = sim.Time(int64(x.rttSum) / x.rttCount)
+		if x.meanRTT < 10*sim.Millisecond {
+			x.meanRTT = 10 * sim.Millisecond
+		}
+	}
+	x.intervalStart = now
+	x.arrivedBytes = 0
+	x.rttSum, x.rttCount = 0, 0
+	x.minQueueBytes = math.MaxInt
+}
+
+// feedbackFor returns the per-packet feedback in bytes for p.
+func (x *XCPRouter) feedbackFor(now sim.Time, p *packet.Packet) float64 {
+	if x.Cfg.PerPacket {
+		// XCPw: instantaneous aggregate feedback over the sliding
+		// window, apportioned by byte share of the window's traffic.
+		d := x.meanRTT
+		y := x.arrMeter.byteRate(now)
+		c := x.mu(now) / 8
+		phi := x.Cfg.Alpha*d.Seconds()*(c-y) - x.Cfg.Beta*float64(x.bytes)
+		winBytes := y * d.Seconds()
+		if winBytes <= float64(p.Size) {
+			winBytes = float64(p.Size)
+		}
+		if x.rttCount > 16 {
+			x.meanRTT = sim.Time(int64(x.rttSum) / x.rttCount)
+			if x.meanRTT < 10*sim.Millisecond {
+				x.meanRTT = 10 * sim.Millisecond
+			}
+			x.rttSum, x.rttCount = 0, 0
+		}
+		return phi * float64(p.Size) / winBytes
+	}
+	return x.perByte * float64(p.Size)
+}
+
+// Dequeue implements qdisc.Qdisc.
+func (x *XCPRouter) Dequeue(now sim.Time) *packet.Packet {
+	if x.head >= len(x.q) {
+		return nil
+	}
+	p := x.q[x.head]
+	x.q[x.head] = nil
+	x.head++
+	x.bytes -= p.Size
+	if x.head > 64 && x.head*2 >= len(x.q) {
+		n := copy(x.q, x.q[x.head:])
+		x.q = x.q[:n]
+		x.head = 0
+	}
+	if x.bytes < x.minQueueBytes {
+		x.minQueueBytes = x.bytes
+	}
+	if p.XCP.Valid {
+		fb := x.feedbackFor(now, p)
+		if fb < p.XCP.Feedback {
+			p.XCP.Feedback = fb
+		}
+	}
+	x.Stats.DequeuedPackets++
+	x.Stats.DequeuedBytes += int64(p.Size)
+	return p
+}
+
+// Len implements qdisc.Qdisc.
+func (x *XCPRouter) Len() int { return len(x.q) - x.head }
+
+// Bytes implements qdisc.Qdisc.
+func (x *XCPRouter) Bytes() int { return x.bytes }
+
+// XCPSender is the window-based XCP endpoint algorithm: it stamps the
+// congestion header on data and applies the echoed feedback per ACK.
+type XCPSender struct {
+	Wireless bool // reported name XCPw when true (router does the work)
+
+	cwndBytes float64
+}
+
+// NewXCPSender returns an XCP sender.
+func NewXCPSender(wireless bool) *XCPSender {
+	return &XCPSender{Wireless: wireless, cwndBytes: 4 * packet.MTU}
+}
+
+// Name implements cc.Algorithm.
+func (s *XCPSender) Name() string {
+	if s.Wireless {
+		return "XCPw"
+	}
+	return "XCP"
+}
+
+// StampData implements cc.DataStamper.
+func (s *XCPSender) StampData(now sim.Time, e *cc.Endpoint, p *packet.Packet) {
+	rtt := e.SRTT()
+	if rtt == 0 {
+		rtt = 100 * sim.Millisecond
+	}
+	p.XCP = packet.XCPHeader{
+		CwndBytes: s.cwndBytes,
+		RTT:       rtt,
+		// Demand: request up to one extra packet per packet, i.e. at
+		// most window doubling per RTT (mirrors ABC's dynamic range).
+		Feedback: packet.MTU,
+		Valid:    true,
+	}
+}
+
+// OnAck implements cc.Algorithm.
+func (s *XCPSender) OnAck(now sim.Time, e *cc.Endpoint, info cc.AckInfo) {
+	if info.AckedBytes == 0 || !info.Ack.XCP.Valid {
+		return
+	}
+	s.cwndBytes += info.Ack.XCP.Feedback
+	if s.cwndBytes < packet.MTU {
+		s.cwndBytes = packet.MTU
+	}
+}
+
+// OnCongestion implements cc.Algorithm: XCP treats loss as severe.
+func (s *XCPSender) OnCongestion(now sim.Time, e *cc.Endpoint) {
+	s.cwndBytes /= 2
+	if s.cwndBytes < packet.MTU {
+		s.cwndBytes = packet.MTU
+	}
+}
+
+// OnRTO implements cc.Algorithm.
+func (s *XCPSender) OnRTO(now sim.Time, e *cc.Endpoint) {
+	s.cwndBytes = packet.MTU
+}
+
+// CwndPkts implements cc.Algorithm.
+func (s *XCPSender) CwndPkts() float64 { return s.cwndBytes / packet.MTU }

@@ -1,0 +1,186 @@
+// Package metrics collects the measurements the paper reports: per-packet
+// delay distributions (mean and percentiles), link utilization against
+// delivery opportunities, throughput time series and the Jain fairness
+// index.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"abc/internal/sim"
+)
+
+// DelayRecorder accumulates per-packet delay samples.
+type DelayRecorder struct {
+	samples []float64 // milliseconds
+	sorted  bool
+}
+
+// Add records one delay sample.
+func (d *DelayRecorder) Add(t sim.Time) {
+	d.samples = append(d.samples, t.Millis())
+	d.sorted = false
+}
+
+// Count returns the number of samples.
+func (d *DelayRecorder) Count() int { return len(d.samples) }
+
+// Mean returns the mean delay in milliseconds (0 with no samples).
+func (d *DelayRecorder) Mean() float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range d.samples {
+		sum += s
+	}
+	return sum / float64(len(d.samples))
+}
+
+// Percentile returns the p-th percentile delay in milliseconds using
+// nearest-rank on the sorted samples; p in [0,100].
+func (d *DelayRecorder) Percentile(p float64) float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	if !d.sorted {
+		sort.Float64s(d.samples)
+		d.sorted = true
+	}
+	if p <= 0 {
+		return d.samples[0]
+	}
+	if p >= 100 {
+		return d.samples[len(d.samples)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(d.samples))))
+	if rank < 1 {
+		rank = 1
+	}
+	return d.samples[rank-1]
+}
+
+// P95 is the 95th percentile, the paper's headline delay metric.
+func (d *DelayRecorder) P95() float64 { return d.Percentile(95) }
+
+// Timeseries samples a value on a fixed period, for the paper's
+// throughput/queuing-delay time plots.
+type Timeseries struct {
+	Period sim.Time
+	Times  []float64 // seconds
+	Values []float64
+}
+
+// NewTimeseries starts sampling fn every period on the simulator.
+func NewTimeseries(s *sim.Simulator, period sim.Time, until sim.Time, fn func(now sim.Time) float64) *Timeseries {
+	ts := &Timeseries{Period: period}
+	s.Every(period, func() bool {
+		now := s.Now()
+		if now > until {
+			return false
+		}
+		ts.Times = append(ts.Times, now.Seconds())
+		ts.Values = append(ts.Values, fn(now))
+		return true
+	})
+	return ts
+}
+
+// Mean returns the mean of the sampled values.
+func (t *Timeseries) Mean() float64 {
+	if len(t.Values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range t.Values {
+		sum += v
+	}
+	return sum / float64(len(t.Values))
+}
+
+// Max returns the maximum sampled value.
+func (t *Timeseries) Max() float64 {
+	m := math.Inf(-1)
+	for _, v := range t.Values {
+		if v > m {
+			m = v
+		}
+	}
+	if math.IsInf(m, -1) {
+		return 0
+	}
+	return m
+}
+
+// RateCounter converts byte deliveries into interval throughput in bits/s.
+type RateCounter struct {
+	bytes     int64
+	lastBytes int64
+	lastAt    sim.Time
+}
+
+// Add records n delivered bytes.
+func (r *RateCounter) Add(n int) { r.bytes += int64(n) }
+
+// TotalBytes returns all bytes recorded.
+func (r *RateCounter) TotalBytes() int64 { return r.bytes }
+
+// SampleBps returns the average rate since the previous call.
+func (r *RateCounter) SampleBps(now sim.Time) float64 {
+	dur := now - r.lastAt
+	if dur <= 0 {
+		return 0
+	}
+	bps := float64(r.bytes-r.lastBytes) * 8 / dur.Seconds()
+	r.lastBytes = r.bytes
+	r.lastAt = now
+	return bps
+}
+
+// JainIndex computes Jain's fairness index over per-flow throughputs:
+// (Σx)² / (n·Σx²), which is 1 for perfect fairness and 1/n at worst.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1 // all zero: degenerate but "equal"
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// Utilization is delivered/capacity clamped to [0, 1+], reported as the
+// paper does against trace delivery opportunities.
+func Utilization(deliveredBytes, capacityBytes int64) float64 {
+	if capacityBytes <= 0 {
+		return 0
+	}
+	return float64(deliveredBytes) / float64(capacityBytes)
+}
+
+// Summary is the (throughput, delay) pair the paper's scatter plots use.
+type Summary struct {
+	Scheme      string
+	Utilization float64
+	TputMbps    float64
+	MeanMs      float64
+	P95Ms       float64
+}
+
+// String renders one result row; utilization is omitted when unknown
+// (Wi-Fi runs report throughput only, as the paper does).
+func (s Summary) String() string {
+	if s.Utilization == 0 {
+		return fmt.Sprintf("%-14s tput=%6.2f Mbit/s  delay mean=%7.1f ms  p95=%7.1f ms",
+			s.Scheme, s.TputMbps, s.MeanMs, s.P95Ms)
+	}
+	return fmt.Sprintf("%-14s util=%5.1f%%  tput=%6.2f Mbit/s  delay mean=%7.1f ms  p95=%7.1f ms",
+		s.Scheme, s.Utilization*100, s.TputMbps, s.MeanMs, s.P95Ms)
+}

@@ -1,0 +1,222 @@
+package netem
+
+import (
+	"math"
+	"testing"
+
+	"abc/internal/packet"
+	"abc/internal/qdisc"
+	"abc/internal/sim"
+	"abc/internal/trace"
+)
+
+func TestWireDelays(t *testing.T) {
+	s := sim.New(1)
+	sink := &packet.Sink{}
+	w := NewWire(s, 25*sim.Millisecond, sink)
+	var arrival sim.Time
+	w.Dst = packet.NodeFunc(func(p *packet.Packet) {
+		arrival = s.Now()
+		sink.Recv(p)
+	})
+	w.Recv(packet.NewData(1, 0, packet.MTU, 0))
+	s.Run()
+	if arrival != 25*sim.Millisecond {
+		t.Errorf("arrived at %v", arrival)
+	}
+	if sink.Count != 1 {
+		t.Errorf("count = %d", sink.Count)
+	}
+}
+
+func TestDemuxRouting(t *testing.T) {
+	d := NewDemux()
+	a, b, def := &packet.Sink{}, &packet.Sink{}, &packet.Sink{}
+	d.Route(1, a)
+	d.Route(2, b)
+	d.Default = def
+	d.Recv(packet.NewData(1, 0, 100, 0))
+	d.Recv(packet.NewData(2, 0, 100, 0))
+	d.Recv(packet.NewData(9, 0, 100, 0))
+	if a.Count != 1 || b.Count != 1 || def.Count != 1 {
+		t.Errorf("routing: a=%d b=%d def=%d", a.Count, b.Count, def.Count)
+	}
+}
+
+func TestDemuxNoDefaultDrops(t *testing.T) {
+	d := NewDemux()
+	d.Recv(packet.NewData(5, 0, 100, 0)) // must not panic
+}
+
+func TestTraceLinkDeliversAtTraceRate(t *testing.T) {
+	s := sim.New(1)
+	tr := trace.Constant("c", 12e6)
+	sink := &packet.Sink{}
+	link := NewTraceLink(s, tr, qdisc.NewDropTail(0), sink)
+	// Saturate: inject 2000 packets at t=0.
+	for i := int64(0); i < 2000; i++ {
+		link.Recv(packet.NewData(1, i, packet.MTU, 0))
+	}
+	s.RunUntil(sim.Second)
+	// 12 Mbit/s for 1 s = 1000 packets.
+	if sink.Count < 950 || sink.Count > 1050 {
+		t.Errorf("delivered %d packets in 1 s at 12 Mbit/s", sink.Count)
+	}
+	if link.DeliveredBytes() != int64(sink.Count)*packet.MTU {
+		t.Errorf("DeliveredBytes %d != %d", link.DeliveredBytes(), sink.Count*packet.MTU)
+	}
+}
+
+func TestTraceLinkWastesIdleOpportunities(t *testing.T) {
+	s := sim.New(1)
+	tr := trace.Constant("c", 12e6)
+	sink := &packet.Sink{}
+	link := NewTraceLink(s, tr, qdisc.NewDropTail(0), sink)
+	// One packet injected at 500 ms: missed earlier opportunities are
+	// gone (Mahimahi semantics), the packet leaves at the next one.
+	s.At(500*sim.Millisecond, func() {
+		link.Recv(packet.NewData(1, 0, packet.MTU, s.Now()))
+	})
+	s.RunUntil(sim.Second)
+	if sink.Count != 1 {
+		t.Fatalf("delivered %d", sink.Count)
+	}
+	if sink.Last.QueueDelay > 2*sim.Millisecond {
+		t.Errorf("queue delay %v for an idle link", sink.Last.QueueDelay)
+	}
+}
+
+func TestTraceLinkAccumulatesQueueDelay(t *testing.T) {
+	s := sim.New(1)
+	tr := trace.Constant("c", 1.2e6) // 100 pkt/s: 10 ms per packet
+	var delays []sim.Time
+	link := NewTraceLink(s, tr, qdisc.NewDropTail(0), packet.NodeFunc(func(p *packet.Packet) {
+		delays = append(delays, p.QueueDelay)
+	}))
+	for i := int64(0); i < 5; i++ {
+		link.Recv(packet.NewData(1, i, packet.MTU, 0))
+	}
+	s.RunUntil(sim.Second)
+	if len(delays) != 5 {
+		t.Fatalf("delivered %d", len(delays))
+	}
+	// Later packets wait longer behind the head-of-line.
+	for i := 1; i < len(delays); i++ {
+		if delays[i] <= delays[i-1] {
+			t.Errorf("queue delay not increasing: %v", delays)
+		}
+	}
+}
+
+func TestTraceLinkCapacityProviderLookahead(t *testing.T) {
+	s := sim.New(1)
+	tr := trace.SquareWave("sq", 1e6, 20e6, 500*sim.Millisecond)
+	link := NewTraceLink(s, tr, qdisc.NewDropTail(0), &packet.Sink{})
+	// Standing just before the high→low edge, the trailing window sees
+	// high capacity...
+	past := link.CapacityBps(490 * sim.Millisecond)
+	link.Lookahead = 100 * sim.Millisecond
+	future := link.CapacityBps(490 * sim.Millisecond)
+	if future >= past {
+		t.Errorf("lookahead capacity %.1f should fall below trailing %.1f", future/1e6, past/1e6)
+	}
+}
+
+func TestRateLinkServiceTime(t *testing.T) {
+	s := sim.New(1)
+	sink := &packet.Sink{}
+	var done sim.Time
+	link := NewRateLink(s, ConstRate(12e6), qdisc.NewDropTail(0), packet.NodeFunc(func(p *packet.Packet) {
+		done = s.Now()
+		sink.Recv(p)
+	}))
+	link.Recv(packet.NewData(1, 0, packet.MTU, 0))
+	s.Run()
+	want := sim.FromSeconds(1500 * 8 / 12e6) // 1 ms
+	if done != want {
+		t.Errorf("service time %v, want %v", done, want)
+	}
+}
+
+func TestRateLinkBackToBack(t *testing.T) {
+	s := sim.New(1)
+	count := 0
+	link := NewRateLink(s, ConstRate(12e6), qdisc.NewDropTail(0), packet.NodeFunc(func(p *packet.Packet) {
+		count++
+	}))
+	for i := int64(0); i < 100; i++ {
+		link.Recv(packet.NewData(1, i, packet.MTU, 0))
+	}
+	s.RunUntil(99500 * sim.Microsecond) // 99.5 ms: 99 packets done
+	if count != 99 {
+		t.Errorf("delivered %d in 99.5 ms, want 99", count)
+	}
+	s.Run()
+	if count != 100 {
+		t.Errorf("final count %d", count)
+	}
+}
+
+func TestReceiverCumulativeAck(t *testing.T) {
+	s := sim.New(1)
+	var acks []*packet.Packet
+	out := packet.NodeFunc(func(p *packet.Packet) { acks = append(acks, p) })
+	r := NewReceiver(s, 1, out)
+	// In order 0,1 then gap (3), then fill (2).
+	for _, seq := range []int64{0, 1, 3, 2} {
+		r.Recv(packet.NewData(1, seq, packet.MTU, 0))
+	}
+	if len(acks) != 4 {
+		t.Fatalf("acks = %d", len(acks))
+	}
+	wantCum := []int64{1, 2, 2, 4}
+	for i, a := range acks {
+		if a.CumAck != wantCum[i] {
+			t.Errorf("ack %d cum = %d, want %d", i, a.CumAck, wantCum[i])
+		}
+	}
+	if r.CumAck() != 4 {
+		t.Errorf("final cum = %d", r.CumAck())
+	}
+}
+
+func TestReceiverEchoesMarks(t *testing.T) {
+	s := sim.New(1)
+	var last *packet.Packet
+	r := NewReceiver(s, 1, packet.NodeFunc(func(p *packet.Packet) { last = p }))
+	p := packet.NewData(1, 0, packet.MTU, 0)
+	p.ECN = packet.Brake
+	r.Recv(p)
+	if last == nil || !last.EchoValid || last.EchoAccel {
+		t.Errorf("brake echo wrong: %+v", last)
+	}
+}
+
+func TestReceiverIgnoresWrongFlowAndAcks(t *testing.T) {
+	s := sim.New(1)
+	count := 0
+	r := NewReceiver(s, 1, packet.NodeFunc(func(*packet.Packet) { count++ }))
+	r.Recv(packet.NewData(2, 0, packet.MTU, 0)) // wrong flow
+	a := packet.NewData(1, 0, packet.MTU, 0)
+	a.IsAck = true
+	r.Recv(a) // an ACK
+	if count != 0 || r.Delivered != 0 {
+		t.Errorf("receiver accepted foreign traffic: count=%d", count)
+	}
+}
+
+func TestTraceLinkHighRateMultiOpportunity(t *testing.T) {
+	s := sim.New(1)
+	// 36 Mbit/s = 3 opportunities per ms sharing timestamps.
+	tr := trace.Constant("fast", 36e6)
+	sink := &packet.Sink{}
+	link := NewTraceLink(s, tr, qdisc.NewDropTail(0), sink)
+	for i := int64(0); i < 5000; i++ {
+		link.Recv(packet.NewData(1, i, packet.MTU, 0))
+	}
+	s.RunUntil(sim.Second)
+	want := 36e6 / 8 / packet.MTU
+	if math.Abs(float64(sink.Count)-want)/want > 0.05 {
+		t.Errorf("delivered %d packets, want ≈ %.0f", sink.Count, want)
+	}
+}

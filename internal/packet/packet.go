@@ -1,0 +1,209 @@
+// Package packet defines the packet model shared by every simulated
+// network element: senders, routers, links and receivers.
+//
+// The model mirrors what ABC (NSDI 2020) actually puts on the wire. In
+// particular the ECN codepoint carries ABC's accelerate/brake signal using
+// the paper's §5.1.2 reinterpretation of the two IP ECN bits, and a small
+// number of extra fields model the multi-bit headers used by the explicit
+// baselines (XCP, RCP) that the paper compares against.
+package packet
+
+import (
+	"fmt"
+
+	"abc/internal/sim"
+)
+
+// MTU is the packet size used throughout the evaluation, matching the
+// paper's MTU-sized (1500 byte) packets and Mahimahi's delivery
+// opportunities.
+const MTU = 1500
+
+// AckSize is the size of a pure acknowledgement.
+const AckSize = 64
+
+// ECN is the two-bit IP ECN codepoint. ABC reinterprets the two
+// ECN-capable codepoints as accelerate and brake (paper §5.1.2):
+//
+//	ECT CE   standard meaning      ABC meaning
+//	 0  0    Not-ECT               Not-ECT
+//	 0  1    ECT(1)                Accelerate
+//	 1  0    ECT(0)                Brake
+//	 1  1    CE (congestion)       CE (congestion)
+//
+// Routers may flip Accel→Brake (never the reverse), and legacy ECN routers
+// may flip either to CE; both transitions are representable here.
+type ECN uint8
+
+const (
+	// NotECT marks a non-ECN-capable transport.
+	NotECT ECN = iota
+	// Accel is ECT(1): the ABC accelerate signal.
+	Accel
+	// Brake is ECT(0): the ABC brake signal.
+	Brake
+	// CE is the standard congestion-experienced mark set by legacy AQMs.
+	CE
+)
+
+// String returns the codepoint name.
+func (e ECN) String() string {
+	switch e {
+	case NotECT:
+		return "NotECT"
+	case Accel:
+		return "Accel(ECT1)"
+	case Brake:
+		return "Brake(ECT0)"
+	case CE:
+		return "CE"
+	}
+	return fmt.Sprintf("ECN(%d)", uint8(e))
+}
+
+// ECNCapable reports whether a legacy ECN router may mark this packet CE
+// instead of dropping it. Both ABC codepoints present as ECN-capable to
+// legacy routers — that is the heart of the paper's deployment story.
+func (e ECN) ECNCapable() bool { return e == Accel || e == Brake }
+
+// Packet is a simulated packet. A single struct covers both data packets
+// and acknowledgements; IsAck distinguishes them.
+type Packet struct {
+	// Flow identifies the flow this packet belongs to.
+	Flow int
+	// Seq is the data sequence number (in packets, not bytes). For an
+	// ACK, Seq is the sequence of the data packet being acknowledged.
+	Seq int64
+	// CumAck is, on an ACK, the highest sequence such that every packet
+	// below it has been received (cumulative acknowledgement).
+	CumAck int64
+	// Size is the wire size in bytes.
+	Size int
+	// IsAck marks pure acknowledgements.
+	IsAck bool
+	// Retx marks retransmissions (they do not update RTT estimates).
+	Retx bool
+
+	// ECN is the IP ECN codepoint, carrying accel/brake for ABC flows.
+	ECN ECN
+	// EchoAccel is set on ACKs when the receiver echoes an accelerate
+	// (it echoes brake when false and EchoValid is set). This models the
+	// TCP NS-bit echo described in §5.1.2.
+	EchoAccel bool
+	// EchoValid reports whether EchoAccel carries a valid accel/brake echo
+	// (only ABC receivers set it).
+	EchoValid bool
+	// EchoCE is the standard ECN-Echo (ECE) flag: set on ACKs when the
+	// corresponding data packet arrived marked CE.
+	EchoCE bool
+
+	// XCP models the multi-bit congestion header used by XCP-family
+	// protocols: the sender writes its cwnd and RTT estimates, routers
+	// update Feedback, and the receiver echoes it back.
+	XCP XCPHeader
+	// RCPRate is the bottleneck-stamped rate (bits/sec) for RCP flows;
+	// routers take the minimum along the path. Zero means unset.
+	RCPRate float64
+	// VCPLoad is VCP's 2-bit load factor code (0 unset, 1 low, 2 high,
+	// 3 overload). Routers only ever increase it along the path.
+	VCPLoad uint8
+
+	// ABCFlow tags packets of ABC flows so dual-queue routers (§5.2) can
+	// classify them, modelling the IPv6 flow-label convention.
+	ABCFlow bool
+
+	// SentAt is when the (data) packet left the sender.
+	SentAt sim.Time
+	// EnqueuedAt is set by the qdisc on enqueue at the current hop.
+	EnqueuedAt sim.Time
+	// QueueDelay accumulates time spent in queues along the whole path.
+	QueueDelay sim.Time
+	// AckSentAt is copied from SentAt into the ACK so the sender can
+	// compute RTT samples without per-packet maps.
+	AckSentAt sim.Time
+	// AckQueueDelay echoes the data packet's accumulated queue delay.
+	AckQueueDelay sim.Time
+	// AppLimited marks packets from application-limited flows (used only
+	// for reporting).
+	AppLimited bool
+}
+
+// XCPHeader is the congestion header carried by XCP/XCPw packets.
+type XCPHeader struct {
+	// CwndBytes is the sender's current congestion window in bytes.
+	CwndBytes float64
+	// RTT is the sender's current RTT estimate.
+	RTT sim.Time
+	// Feedback is the per-packet window adjustment in bytes, initialized
+	// by the sender to its demand and decreased by routers.
+	Feedback float64
+	// Valid reports whether the header is in use.
+	Valid bool
+}
+
+// NewData returns a data packet of the given flow, sequence and size.
+func NewData(flow int, seq int64, size int, now sim.Time) *Packet {
+	return &Packet{Flow: flow, Seq: seq, Size: size, SentAt: now}
+}
+
+// NewAck builds the acknowledgement for data packet p, carrying the
+// receiver's cumulative ack and echoing ABC/ECN signals.
+func NewAck(p *Packet, cumAck int64, now sim.Time) *Packet {
+	a := &Packet{
+		Flow:          p.Flow,
+		Seq:           p.Seq,
+		CumAck:        cumAck,
+		Size:          AckSize,
+		IsAck:         true,
+		Retx:          p.Retx,
+		AckSentAt:     p.SentAt,
+		AckQueueDelay: p.QueueDelay,
+		ABCFlow:       p.ABCFlow,
+		AppLimited:    p.AppLimited,
+	}
+	switch p.ECN {
+	case Accel:
+		a.EchoValid = true
+		a.EchoAccel = true
+	case Brake:
+		a.EchoValid = true
+		a.EchoAccel = false
+	case CE:
+		a.EchoCE = true
+	}
+	if p.XCP.Valid {
+		a.XCP = p.XCP
+	}
+	if p.RCPRate != 0 {
+		a.RCPRate = p.RCPRate
+	}
+	a.VCPLoad = p.VCPLoad
+	return a
+}
+
+// Node is anything that can receive a packet: links, wires, hosts, routers.
+type Node interface {
+	// Recv hands the packet to the node at the current simulation time.
+	Recv(p *Packet)
+}
+
+// NodeFunc adapts a function to the Node interface.
+type NodeFunc func(p *Packet)
+
+// Recv implements Node.
+func (f NodeFunc) Recv(p *Packet) { f(p) }
+
+// Sink is a Node that counts and then discards packets; useful as a
+// default destination and in tests.
+type Sink struct {
+	Count int
+	Bytes int64
+	Last  *Packet
+}
+
+// Recv implements Node.
+func (s *Sink) Recv(p *Packet) {
+	s.Count++
+	s.Bytes += int64(p.Size)
+	s.Last = p
+}

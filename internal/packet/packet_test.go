@@ -1,0 +1,160 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+
+	"abc/internal/sim"
+)
+
+func TestECNCapable(t *testing.T) {
+	cases := []struct {
+		e    ECN
+		want bool
+	}{
+		{NotECT, false},
+		{Accel, true},
+		{Brake, true},
+		{CE, false},
+	}
+	for _, c := range cases {
+		if got := c.e.ECNCapable(); got != c.want {
+			t.Errorf("%v.ECNCapable() = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestECNString(t *testing.T) {
+	for e, want := range map[ECN]string{
+		NotECT: "NotECT",
+		Accel:  "Accel(ECT1)",
+		Brake:  "Brake(ECT0)",
+		CE:     "CE",
+	} {
+		if got := e.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", e, got, want)
+		}
+	}
+	if got := ECN(9).String(); got != "ECN(9)" {
+		t.Errorf("unknown codepoint String = %q", got)
+	}
+}
+
+func TestNewDataFields(t *testing.T) {
+	p := NewData(3, 17, MTU, 5*sim.Millisecond)
+	if p.Flow != 3 || p.Seq != 17 || p.Size != MTU || p.SentAt != 5*sim.Millisecond {
+		t.Errorf("NewData fields wrong: %+v", p)
+	}
+	if p.IsAck {
+		t.Error("data packet marked as ACK")
+	}
+}
+
+// TestAckEchoesMarks verifies the §5.1.2 echo rules: accel → NS-style
+// accel echo, brake → brake echo, CE → ECE.
+func TestAckEchoesMarks(t *testing.T) {
+	mk := func(e ECN) *Packet {
+		p := NewData(1, 2, MTU, 0)
+		p.ECN = e
+		return p
+	}
+	a := NewAck(mk(Accel), 3, sim.Millisecond)
+	if !a.EchoValid || !a.EchoAccel {
+		t.Errorf("accel echo wrong: %+v", a)
+	}
+	b := NewAck(mk(Brake), 3, sim.Millisecond)
+	if !b.EchoValid || b.EchoAccel {
+		t.Errorf("brake echo wrong: %+v", b)
+	}
+	c := NewAck(mk(CE), 3, sim.Millisecond)
+	if c.EchoValid || !c.EchoCE {
+		t.Errorf("CE echo wrong: %+v", c)
+	}
+	n := NewAck(mk(NotECT), 3, sim.Millisecond)
+	if n.EchoValid || n.EchoCE {
+		t.Errorf("NotECT echo wrong: %+v", n)
+	}
+}
+
+func TestAckCarriesTimestampsAndHeaders(t *testing.T) {
+	p := NewData(1, 9, MTU, 7*sim.Millisecond)
+	p.QueueDelay = 4 * sim.Millisecond
+	p.XCP = XCPHeader{CwndBytes: 30000, RTT: 100 * sim.Millisecond, Feedback: 1500, Valid: true}
+	p.RCPRate = 5e6
+	p.VCPLoad = 2
+	p.ABCFlow = true
+
+	a := NewAck(p, 10, 20*sim.Millisecond)
+	if !a.IsAck || a.Seq != 9 || a.CumAck != 10 {
+		t.Errorf("ack identity wrong: %+v", a)
+	}
+	if a.AckSentAt != 7*sim.Millisecond {
+		t.Errorf("AckSentAt = %v", a.AckSentAt)
+	}
+	if a.AckQueueDelay != 4*sim.Millisecond {
+		t.Errorf("AckQueueDelay = %v", a.AckQueueDelay)
+	}
+	if !a.XCP.Valid || a.XCP.Feedback != 1500 {
+		t.Errorf("XCP header not echoed: %+v", a.XCP)
+	}
+	if a.RCPRate != 5e6 || a.VCPLoad != 2 || !a.ABCFlow {
+		t.Errorf("explicit fields not echoed: %+v", a)
+	}
+	if a.Size != AckSize {
+		t.Errorf("ack size = %d", a.Size)
+	}
+}
+
+// TestAckEchoProperty: for any ECN codepoint, the echo is lossless — the
+// receiver can always distinguish accel, brake and CE.
+func TestAckEchoProperty(t *testing.T) {
+	f := func(raw uint8) bool {
+		e := ECN(raw % 4)
+		p := NewData(1, 1, MTU, 0)
+		p.ECN = e
+		a := NewAck(p, 2, 0)
+		switch e {
+		case Accel:
+			return a.EchoValid && a.EchoAccel && !a.EchoCE
+		case Brake:
+			return a.EchoValid && !a.EchoAccel && !a.EchoCE
+		case CE:
+			return !a.EchoValid && a.EchoCE
+		default:
+			return !a.EchoValid && !a.EchoCE
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSinkCounts(t *testing.T) {
+	s := &Sink{}
+	s.Recv(NewData(1, 0, 100, 0))
+	s.Recv(NewData(1, 1, 200, 0))
+	if s.Count != 2 || s.Bytes != 300 {
+		t.Errorf("sink = %+v", s)
+	}
+	if s.Last == nil || s.Last.Seq != 1 {
+		t.Error("Last not tracked")
+	}
+}
+
+func TestNodeFunc(t *testing.T) {
+	n := 0
+	var f NodeFunc = func(p *Packet) { n += p.Size }
+	f.Recv(NewData(1, 0, 50, 0))
+	if n != 50 {
+		t.Errorf("NodeFunc not invoked: %d", n)
+	}
+}
+
+func TestRetxAckSuppressesRTTSample(t *testing.T) {
+	p := NewData(1, 5, MTU, 3*sim.Millisecond)
+	p.Retx = true
+	a := NewAck(p, 6, 9*sim.Millisecond)
+	if !a.Retx {
+		t.Error("ack of retransmission must carry Retx")
+	}
+}

@@ -1,0 +1,152 @@
+// CoDel per RFC 8289, the AQM the paper pairs with Cubic as its primary
+// low-delay baseline (Cubic+Codel).
+package qdisc
+
+import (
+	"math"
+
+	"abc/internal/packet"
+	"abc/internal/sim"
+)
+
+// CoDel implements the Controlled Delay AQM. Packets whose queue sojourn
+// exceeds Target for at least Interval trigger the dropping state, in which
+// packets are dropped (or CE-marked if ECN-capable) at intervals shrinking
+// with the square root of the drop count, per the RFC 8289 control law.
+type CoDel struct {
+	// Target is the acceptable standing queue delay (RFC default 5 ms).
+	Target sim.Time
+	// Interval is the sliding-minimum window (RFC default 100 ms).
+	Interval sim.Time
+	// Limit bounds the queue in packets; overflow is dropped at the tail.
+	Limit int
+	// UseECN marks ECN-capable packets instead of dropping them.
+	UseECN bool
+
+	Stats Stats
+
+	q             fifo
+	firstAboveAt  sim.Time // when sojourn first went above target (0 = not above)
+	dropping      bool
+	dropNextAt    sim.Time
+	dropCount     int
+	lastDropCount int
+}
+
+// NewCoDel returns a CoDel queue with RFC 8289 defaults and the given
+// packet limit.
+func NewCoDel(limit int, useECN bool) *CoDel {
+	return &CoDel{
+		Target:   5 * sim.Millisecond,
+		Interval: 100 * sim.Millisecond,
+		Limit:    limit,
+		UseECN:   useECN,
+	}
+}
+
+// Enqueue implements Qdisc.
+func (c *CoDel) Enqueue(now sim.Time, p *packet.Packet) bool {
+	if c.Limit > 0 && c.q.len() >= c.Limit {
+		c.Stats.DroppedPackets++
+		return false
+	}
+	p.EnqueuedAt = now
+	c.q.push(p)
+	c.Stats.EnqueuedPackets++
+	return true
+}
+
+// controlLaw returns the next drop time after t for the current count.
+func (c *CoDel) controlLaw(t sim.Time) sim.Time {
+	return t + sim.Time(float64(c.Interval)/math.Sqrt(float64(c.dropCount)))
+}
+
+// doDequeue pops one packet and updates the "ok to drop" condition, per
+// the RFC pseudocode.
+func (c *CoDel) doDequeue(now sim.Time) (*packet.Packet, bool) {
+	p := c.q.pop()
+	if p == nil {
+		c.firstAboveAt = 0
+		return nil, false
+	}
+	sojourn := now - p.EnqueuedAt
+	if sojourn < c.Target || c.q.bytes <= packet.MTU {
+		c.firstAboveAt = 0
+		return p, false
+	}
+	okToDrop := false
+	if c.firstAboveAt == 0 {
+		c.firstAboveAt = now + c.Interval
+	} else if now >= c.firstAboveAt {
+		okToDrop = true
+	}
+	return p, okToDrop
+}
+
+// Dequeue implements Qdisc, applying the CoDel state machine.
+func (c *CoDel) Dequeue(now sim.Time) *packet.Packet {
+	p, okToDrop := c.doDequeue(now)
+	if p == nil {
+		c.dropping = false
+		return nil
+	}
+	if c.dropping {
+		if !okToDrop {
+			c.dropping = false
+		} else {
+			for now >= c.dropNextAt && c.dropping {
+				if c.UseECN && p.ECN.ECNCapable() {
+					// Marking suffices: signal and leave the
+					// dropping schedule advanced.
+					p.ECN = packet.CE
+					c.Stats.MarkedPackets++
+					c.dropCount++
+					c.dropNextAt = c.controlLaw(c.dropNextAt)
+					break
+				}
+				c.Stats.DroppedPackets++
+				c.dropCount++
+				p, okToDrop = c.doDequeue(now)
+				if p == nil {
+					c.dropping = false
+					break
+				}
+				if !okToDrop {
+					c.dropping = false
+				} else {
+					c.dropNextAt = c.controlLaw(c.dropNextAt)
+				}
+			}
+		}
+	} else if okToDrop {
+		// Enter dropping state with one signal.
+		if c.UseECN && p.ECN.ECNCapable() {
+			p.ECN = packet.CE
+			c.Stats.MarkedPackets++
+		} else {
+			c.Stats.DroppedPackets++
+			p, _ = c.doDequeue(now)
+		}
+		c.dropping = true
+		// Restart count near the previous steady-state rate if the last
+		// dropping episode was recent (RFC 8289 §5.4).
+		delta := c.dropCount - c.lastDropCount
+		c.dropCount = 1
+		if delta > 1 && now-c.dropNextAt < 16*c.Interval {
+			c.dropCount = delta
+		}
+		c.dropNextAt = c.controlLaw(now)
+		c.lastDropCount = c.dropCount
+	}
+	if p != nil {
+		c.Stats.DequeuedPackets++
+		c.Stats.DequeuedBytes += int64(p.Size)
+	}
+	return p
+}
+
+// Len implements Qdisc.
+func (c *CoDel) Len() int { return c.q.len() }
+
+// Bytes implements Qdisc.
+func (c *CoDel) Bytes() int { return c.q.bytes }

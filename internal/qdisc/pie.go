@@ -1,0 +1,175 @@
+// PIE per RFC 8033, the second AQM baseline (Cubic+PIE).
+package qdisc
+
+import (
+	"math/rand"
+
+	"abc/internal/packet"
+	"abc/internal/sim"
+)
+
+// PIE implements the Proportional Integral controller Enhanced AQM. The
+// drop probability is updated on a fixed period from the estimated queuing
+// delay (queue bytes / measured departure rate) and applied on enqueue.
+type PIE struct {
+	// Target is the queue-delay reference (RFC default 15 ms).
+	Target sim.Time
+	// TUpdate is the probability-update period (RFC default 15 ms).
+	TUpdate sim.Time
+	// Alpha and Beta are the PI controller gains (RFC defaults).
+	Alpha, Beta float64
+	// Limit bounds the queue in packets.
+	Limit int
+	// UseECN marks ECN-capable packets instead of dropping while the drop
+	// probability is below 10% (RFC 8033 §5.1).
+	UseECN bool
+
+	Stats Stats
+
+	rng *rand.Rand
+	q   fifo
+
+	dropProb     float64
+	qdelayOld    sim.Time
+	lastUpdate   sim.Time
+	burstAllow   sim.Time
+	departedB    int64    // bytes departed in current rate-measurement cycle
+	measStart    sim.Time // start of rate measurement
+	avgDrainRate float64  // bytes/sec
+	inMeasure    bool
+}
+
+// NewPIE returns a PIE queue with RFC 8033 defaults.
+func NewPIE(limit int, useECN bool, rng *rand.Rand) *PIE {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	return &PIE{
+		Target:     15 * sim.Millisecond,
+		TUpdate:    15 * sim.Millisecond,
+		Alpha:      0.125,
+		Beta:       1.25,
+		Limit:      limit,
+		UseECN:     useECN,
+		rng:        rng,
+		burstAllow: 150 * sim.Millisecond,
+	}
+}
+
+// qdelay estimates the current queuing delay from the departure rate.
+func (pi *PIE) qdelay() sim.Time {
+	if pi.avgDrainRate <= 0 {
+		return 0
+	}
+	return sim.FromSeconds(float64(pi.q.bytes) / pi.avgDrainRate)
+}
+
+// update recomputes the drop probability; called lazily from Enqueue and
+// Dequeue whenever TUpdate has elapsed, which keeps the discipline free of
+// timers while remaining faithful to the RFC control law.
+func (pi *PIE) update(now sim.Time) {
+	for now-pi.lastUpdate >= pi.TUpdate {
+		pi.lastUpdate += pi.TUpdate
+		qd := pi.qdelay()
+		p := pi.Alpha*float64(qd-pi.Target)/float64(sim.Second) +
+			pi.Beta*float64(qd-pi.qdelayOld)/float64(sim.Second)
+		// RFC 8033 auto-tuning: scale the adjustment with the current
+		// probability so small probabilities move gently.
+		switch {
+		case pi.dropProb < 0.000001:
+			p /= 2048
+		case pi.dropProb < 0.00001:
+			p /= 512
+		case pi.dropProb < 0.0001:
+			p /= 128
+		case pi.dropProb < 0.001:
+			p /= 32
+		case pi.dropProb < 0.01:
+			p /= 8
+		case pi.dropProb < 0.1:
+			p /= 2
+		}
+		pi.dropProb += p
+		// Exponential decay when the queue is idle.
+		if qd == 0 && pi.qdelayOld == 0 {
+			pi.dropProb *= 0.98
+		}
+		if pi.dropProb < 0 {
+			pi.dropProb = 0
+		}
+		if pi.dropProb > 1 {
+			pi.dropProb = 1
+		}
+		pi.qdelayOld = qd
+		if pi.dropProb == 0 && qd == 0 {
+			pi.burstAllow = 150 * sim.Millisecond
+		} else if pi.burstAllow > 0 {
+			pi.burstAllow -= pi.TUpdate
+		}
+	}
+}
+
+// Enqueue implements Qdisc.
+func (pi *PIE) Enqueue(now sim.Time, p *packet.Packet) bool {
+	if pi.lastUpdate == 0 {
+		pi.lastUpdate = now
+	}
+	pi.update(now)
+	if pi.Limit > 0 && pi.q.len() >= pi.Limit {
+		pi.Stats.DroppedPackets++
+		return false
+	}
+	if pi.burstAllow <= 0 && pi.dropProb > 0 && pi.qdelay() > pi.Target/2 {
+		if pi.rng.Float64() < pi.dropProb {
+			if !pi.UseECN || pi.dropProb >= 0.1 || !p.ECN.ECNCapable() {
+				pi.Stats.DroppedPackets++
+				return false
+			}
+			p.ECN = packet.CE
+			pi.Stats.MarkedPackets++
+		}
+	}
+	p.EnqueuedAt = now
+	pi.q.push(p)
+	pi.Stats.EnqueuedPackets++
+	return true
+}
+
+// Dequeue implements Qdisc, also feeding the departure-rate estimator.
+func (pi *PIE) Dequeue(now sim.Time) *packet.Packet {
+	pi.update(now)
+	p := pi.q.pop()
+	if p == nil {
+		pi.inMeasure = false
+		return nil
+	}
+	pi.Stats.DequeuedPackets++
+	pi.Stats.DequeuedBytes += int64(p.Size)
+	// Departure-rate measurement per RFC 8033 §4.3: measure while at
+	// least a threshold of data is queued.
+	const threshold = 10 * packet.MTU
+	if pi.q.bytes >= threshold && !pi.inMeasure {
+		pi.inMeasure = true
+		pi.measStart = now
+		pi.departedB = 0
+	}
+	if pi.inMeasure {
+		pi.departedB += int64(p.Size)
+		if dur := now - pi.measStart; dur >= 30*sim.Millisecond {
+			rate := float64(pi.departedB) / dur.Seconds()
+			if pi.avgDrainRate == 0 {
+				pi.avgDrainRate = rate
+			} else {
+				pi.avgDrainRate = 0.9*pi.avgDrainRate + 0.1*rate
+			}
+			pi.inMeasure = false
+		}
+	}
+	return p
+}
+
+// Len implements Qdisc.
+func (pi *PIE) Len() int { return pi.q.len() }
+
+// Bytes implements Qdisc.
+func (pi *PIE) Bytes() int { return pi.q.bytes }

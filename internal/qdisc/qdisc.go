@@ -1,0 +1,135 @@
+// Package qdisc implements the queueing disciplines used at simulated
+// bottleneck links: the plain droptail FIFO the paper uses for its
+// cellular-emulation buffers, and the AQM baselines (RED, CoDel, PIE) that
+// the paper evaluates underneath Cubic.
+//
+// All disciplines are passive objects driven by the owning link: the link
+// calls Enqueue when a packet arrives and Dequeue at each transmission
+// opportunity. Time is supplied by the caller so disciplines stay free of
+// any global clock and remain trivially testable.
+package qdisc
+
+import (
+	"abc/internal/packet"
+	"abc/internal/sim"
+)
+
+// Qdisc is a queueing discipline instance for one link.
+type Qdisc interface {
+	// Enqueue offers p to the queue at time now. It reports whether the
+	// packet was accepted; rejected packets are dropped.
+	Enqueue(now sim.Time, p *packet.Packet) bool
+	// Dequeue removes and returns the next packet to transmit, or nil if
+	// the queue is empty (or the discipline chose to drop everything).
+	Dequeue(now sim.Time) *packet.Packet
+	// Len returns the number of queued packets.
+	Len() int
+	// Bytes returns the number of queued bytes.
+	Bytes() int
+}
+
+// CapacityAware is implemented by disciplines that need the link's current
+// capacity estimate (ABC, XCP, RCP, VCP routers). The link installs the
+// provider before the simulation starts.
+type CapacityAware interface {
+	SetCapacityProvider(f func(now sim.Time) float64)
+}
+
+// Stats counts events common to every discipline.
+type Stats struct {
+	EnqueuedPackets int64
+	DroppedPackets  int64
+	MarkedPackets   int64 // CE marks by AQM
+	DequeuedPackets int64
+	DequeuedBytes   int64
+}
+
+// fifo is the common packet store: a slice-backed FIFO with byte counting.
+type fifo struct {
+	pkts  []*packet.Packet
+	bytes int
+	head  int
+}
+
+func (f *fifo) push(p *packet.Packet) {
+	f.pkts = append(f.pkts, p)
+	f.bytes += p.Size
+}
+
+func (f *fifo) pop() *packet.Packet {
+	if f.head >= len(f.pkts) {
+		return nil
+	}
+	p := f.pkts[f.head]
+	f.pkts[f.head] = nil
+	f.head++
+	f.bytes -= p.Size
+	// Compact once the dead prefix dominates, keeping amortized O(1).
+	if f.head > 64 && f.head*2 >= len(f.pkts) {
+		n := copy(f.pkts, f.pkts[f.head:])
+		f.pkts = f.pkts[:n]
+		f.head = 0
+	}
+	return p
+}
+
+func (f *fifo) peek() *packet.Packet {
+	if f.head >= len(f.pkts) {
+		return nil
+	}
+	return f.pkts[f.head]
+}
+
+func (f *fifo) len() int { return len(f.pkts) - f.head }
+
+// DropTail is a FIFO with a packet-count limit, the buffer model used for
+// the paper's 250-packet cellular bottleneck buffers.
+type DropTail struct {
+	Limit int // packets; <=0 means unlimited
+	Stats Stats
+	q     fifo
+}
+
+// NewDropTail returns a droptail queue bounded to limit packets.
+func NewDropTail(limit int) *DropTail { return &DropTail{Limit: limit} }
+
+// Enqueue implements Qdisc.
+func (d *DropTail) Enqueue(now sim.Time, p *packet.Packet) bool {
+	if d.Limit > 0 && d.q.len() >= d.Limit {
+		d.Stats.DroppedPackets++
+		return false
+	}
+	p.EnqueuedAt = now
+	d.q.push(p)
+	d.Stats.EnqueuedPackets++
+	return true
+}
+
+// Dequeue implements Qdisc.
+func (d *DropTail) Dequeue(now sim.Time) *packet.Packet {
+	p := d.q.pop()
+	if p != nil {
+		d.Stats.DequeuedPackets++
+		d.Stats.DequeuedBytes += int64(p.Size)
+	}
+	return p
+}
+
+// Len implements Qdisc.
+func (d *DropTail) Len() int { return d.q.len() }
+
+// Bytes implements Qdisc.
+func (d *DropTail) Bytes() int { return d.q.bytes }
+
+// markOrDrop applies an AQM congestion signal to p: ECN-capable packets
+// are CE-marked (and kept), others indicate they must be dropped.
+// It reports whether the packet survives.
+func markOrDrop(p *packet.Packet, st *Stats) bool {
+	if p.ECN.ECNCapable() {
+		p.ECN = packet.CE
+		st.MarkedPackets++
+		return true
+	}
+	st.DroppedPackets++
+	return false
+}

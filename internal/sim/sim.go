@@ -1,0 +1,220 @@
+// Package sim provides a deterministic discrete-event simulator used as the
+// substrate for all network experiments in this repository.
+//
+// Time is virtual, measured in integer nanoseconds from the start of the
+// simulation. Events are callbacks scheduled at absolute virtual times and
+// executed in (time, insertion-order) order, which makes every run fully
+// deterministic: two simulations configured identically (including RNG
+// seeds) produce byte-identical results.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a virtual timestamp in nanoseconds since simulation start.
+type Time int64
+
+// Common time unit conversions.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Seconds returns t expressed in (floating point) seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis returns t expressed in (floating point) milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// Duration converts t to a time.Duration. Both are int64 nanoseconds.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// FromDuration converts a time.Duration into a sim.Time delta.
+func FromDuration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// FromSeconds converts seconds into a sim.Time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// String formats the time with millisecond precision for logs.
+func (t Time) String() string { return fmt.Sprintf("%.3fms", t.Millis()) }
+
+// event is a scheduled callback. seq breaks ties between events scheduled
+// for the same instant: earlier-scheduled events run first.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+	// canceled events stay in the heap but are skipped when popped.
+	canceled bool
+	index    int
+}
+
+// Timer is a handle to a scheduled event that can be canceled.
+type Timer struct{ ev *event }
+
+// Stop cancels the timer. It is safe to call multiple times and after the
+// event has fired (in which case it has no effect). Reports whether the
+// event had not yet fired.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.canceled || t.ev.index < 0 {
+		return false
+	}
+	t.ev.canceled = true
+	return true
+}
+
+// eventHeap implements container/heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Simulator owns the virtual clock and the event queue.
+type Simulator struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	rng    *rand.Rand
+	// executed counts events run, useful for runaway detection in tests.
+	executed uint64
+	// limit aborts Run after this many events (0 = unlimited).
+	limit  uint64
+	halted bool
+}
+
+// New returns a simulator with its clock at zero and the given RNG seed.
+// All randomness used by simulated components must come from Rand() so that
+// runs are reproducible.
+func New(seed int64) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Rand returns the simulation's deterministic RNG.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Executed returns the number of events executed so far.
+func (s *Simulator) Executed() uint64 { return s.executed }
+
+// SetEventLimit aborts Run after n events; 0 disables the limit.
+func (s *Simulator) SetEventLimit(n uint64) { s.limit = n }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it always indicates a logic error in a component.
+func (s *Simulator) At(t Time, fn func()) *Timer {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	ev := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d after the current time.
+func (s *Simulator) After(d Time, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Halt stops the run loop after the current event completes.
+func (s *Simulator) Halt() { s.halted = true }
+
+// Pending reports the number of scheduled (possibly canceled) events.
+func (s *Simulator) Pending() int { return len(s.events) }
+
+// RunUntil executes events in order until the queue is empty or the next
+// event is strictly after end. The clock is left at min(end, last event
+// time). Reports the number of events executed by this call.
+func (s *Simulator) RunUntil(end Time) uint64 {
+	start := s.executed
+	s.halted = false
+	for len(s.events) > 0 && !s.halted {
+		next := s.events[0]
+		if next.at > end {
+			break
+		}
+		heap.Pop(&s.events)
+		if next.canceled {
+			continue
+		}
+		s.now = next.at
+		s.executed++
+		if s.limit != 0 && s.executed > s.limit {
+			panic(fmt.Sprintf("sim: event limit %d exceeded at %v", s.limit, s.now))
+		}
+		next.fn()
+	}
+	if s.now < end {
+		s.now = end
+	}
+	return s.executed - start
+}
+
+// Run executes all events until the queue drains.
+func (s *Simulator) Run() uint64 {
+	start := s.executed
+	s.halted = false
+	for len(s.events) > 0 && !s.halted {
+		next := heap.Pop(&s.events).(*event)
+		if next.canceled {
+			continue
+		}
+		s.now = next.at
+		s.executed++
+		if s.limit != 0 && s.executed > s.limit {
+			panic(fmt.Sprintf("sim: event limit %d exceeded at %v", s.limit, s.now))
+		}
+		next.fn()
+	}
+	return s.executed - start
+}
+
+// Every schedules fn to run every period until it returns false or the
+// simulation ends. The first call happens one period from now.
+func (s *Simulator) Every(period Time, fn func() bool) {
+	if period <= 0 {
+		panic("sim: Every requires a positive period")
+	}
+	var tick func()
+	tick = func() {
+		if fn() {
+			s.After(period, tick)
+		}
+	}
+	s.After(period, tick)
+}

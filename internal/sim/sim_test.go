@@ -1,0 +1,263 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if Second != 1e9 {
+		t.Fatalf("Second = %d", int64(Second))
+	}
+	if got := (1500 * Millisecond).Seconds(); got != 1.5 {
+		t.Errorf("Seconds() = %v, want 1.5", got)
+	}
+	if got := (250 * Microsecond).Millis(); got != 0.25 {
+		t.Errorf("Millis() = %v, want 0.25", got)
+	}
+	if got := FromSeconds(2.5); got != 2500*Millisecond {
+		t.Errorf("FromSeconds(2.5) = %v", got)
+	}
+	if got := FromDuration(3 * time.Millisecond); got != 3*Millisecond {
+		t.Errorf("FromDuration = %v", got)
+	}
+	if got := (3 * Millisecond).Duration(); got != 3*time.Millisecond {
+		t.Errorf("Duration = %v", got)
+	}
+}
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.At(30*Millisecond, func() { got = append(got, 3) })
+	s.At(10*Millisecond, func() { got = append(got, 1) })
+	s.At(20*Millisecond, func() { got = append(got, 2) })
+	s.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("order = %v", got)
+	}
+	if s.Now() != 30*Millisecond {
+		t.Errorf("clock = %v", s.Now())
+	}
+}
+
+func TestSameTimeEventsFIFO(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5*Millisecond, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-break violated at %d: %v", i, got)
+		}
+	}
+}
+
+func TestSchedulingInsideEvents(t *testing.T) {
+	s := New(1)
+	depth := 0
+	var step func()
+	step = func() {
+		depth++
+		if depth < 100 {
+			s.After(Millisecond, step)
+		}
+	}
+	s.After(0, step)
+	s.Run()
+	if depth != 100 {
+		t.Errorf("depth = %d", depth)
+	}
+	if s.Now() != 99*Millisecond {
+		t.Errorf("clock = %v", s.Now())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New(1)
+	s.At(10*Millisecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		s.At(5*Millisecond, func() {})
+	})
+	s.Run()
+}
+
+func TestRunUntilStopsAndAdvancesClock(t *testing.T) {
+	s := New(1)
+	ran := 0
+	s.At(10*Millisecond, func() { ran++ })
+	s.At(30*Millisecond, func() { ran++ })
+	n := s.RunUntil(20 * Millisecond)
+	if n != 1 || ran != 1 {
+		t.Errorf("ran %d events, counted %d", n, ran)
+	}
+	if s.Now() != 20*Millisecond {
+		t.Errorf("clock = %v, want 20ms", s.Now())
+	}
+	s.RunUntil(40 * Millisecond)
+	if ran != 2 {
+		t.Errorf("second event not run")
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	s := New(1)
+	fired := false
+	timer := s.At(10*Millisecond, func() { fired = true })
+	if !timer.Stop() {
+		t.Error("Stop on pending timer should report true")
+	}
+	if timer.Stop() {
+		t.Error("second Stop should report false")
+	}
+	s.Run()
+	if fired {
+		t.Error("canceled timer fired")
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	s := New(1)
+	timer := s.At(Millisecond, func() {})
+	s.Run()
+	if timer.Stop() {
+		t.Error("Stop after firing should report false")
+	}
+}
+
+func TestHalt(t *testing.T) {
+	s := New(1)
+	ran := 0
+	s.At(Millisecond, func() { ran++; s.Halt() })
+	s.At(2*Millisecond, func() { ran++ })
+	s.Run()
+	if ran != 1 {
+		t.Errorf("ran = %d after Halt", ran)
+	}
+	// Run can resume afterwards.
+	s.Run()
+	if ran != 2 {
+		t.Errorf("ran = %d after resume", ran)
+	}
+}
+
+func TestEvery(t *testing.T) {
+	s := New(1)
+	count := 0
+	s.Every(10*Millisecond, func() bool {
+		count++
+		return count < 5
+	})
+	s.Run()
+	if count != 5 {
+		t.Errorf("count = %d", count)
+	}
+	if s.Now() != 50*Millisecond {
+		t.Errorf("clock = %v", s.Now())
+	}
+}
+
+func TestEveryZeroPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for zero period")
+		}
+	}()
+	New(1).Every(0, func() bool { return false })
+}
+
+func TestEventLimit(t *testing.T) {
+	s := New(1)
+	s.SetEventLimit(10)
+	var loop func()
+	loop = func() { s.After(Millisecond, loop) }
+	s.After(0, loop)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected event-limit panic")
+		}
+	}()
+	s.Run()
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []Time {
+		s := New(42)
+		var times []Time
+		var jitter func()
+		jitter = func() {
+			times = append(times, s.Now())
+			if len(times) < 50 {
+				d := Time(s.Rand().Int63n(int64(10 * Millisecond)))
+				s.After(d, jitter)
+			}
+		}
+		s.After(0, jitter)
+		s.Run()
+		return times
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestHeapOrderingProperty verifies the event queue is a total order over
+// random schedules: execution times must be non-decreasing.
+func TestHeapOrderingProperty(t *testing.T) {
+	f := func(seed int64, delaysRaw []uint32) bool {
+		if len(delaysRaw) == 0 {
+			return true
+		}
+		s := New(seed)
+		rng := rand.New(rand.NewSource(seed))
+		var last Time = -1
+		ok := true
+		check := func() {
+			if s.Now() < last {
+				ok = false
+			}
+			last = s.Now()
+		}
+		for _, d := range delaysRaw {
+			s.At(Time(d%1_000_000)*Microsecond, check)
+		}
+		// A few nested schedulings too.
+		s.At(Time(rng.Int63n(int64(Second))), func() {
+			check()
+			s.After(Time(rng.Int63n(int64(Millisecond))), check)
+		})
+		s.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPendingAndExecuted(t *testing.T) {
+	s := New(1)
+	s.At(Millisecond, func() {})
+	s.At(2*Millisecond, func() {})
+	if s.Pending() != 2 {
+		t.Errorf("Pending = %d", s.Pending())
+	}
+	s.Run()
+	if s.Executed() != 2 {
+		t.Errorf("Executed = %d", s.Executed())
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending after run = %d", s.Pending())
+	}
+}

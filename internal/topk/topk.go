@@ -1,0 +1,83 @@
+// Package topk implements the Space-Saving algorithm (Metwally, Agrawal,
+// El Abbadi 2005) for top-K heavy-hitter measurement in O(K) space. The
+// ABC coexistence scheduler (§5.2) uses it to find the K largest flows in
+// each queue when computing max-min fair queue weights.
+package topk
+
+import "sort"
+
+// Counter is one monitored item.
+type Counter struct {
+	Key   int
+	Count int64
+	// Err bounds the overestimate of Count (the count the key inherited
+	// when it evicted another item).
+	Err int64
+}
+
+// SpaceSaving monitors at most K keys; any key's true count is guaranteed
+// to satisfy Count-Err <= true <= Count, and every key with true count
+// greater than N/K (N = total increments) is present in the table.
+type SpaceSaving struct {
+	k     int
+	items map[int]*Counter
+	total int64
+}
+
+// New returns a Space-Saving sketch tracking up to k keys.
+func New(k int) *SpaceSaving {
+	if k < 1 {
+		k = 1
+	}
+	return &SpaceSaving{k: k, items: make(map[int]*Counter, k)}
+}
+
+// Add increments key by n (e.g. bytes of a packet).
+func (s *SpaceSaving) Add(key int, n int64) {
+	s.total += n
+	if c, ok := s.items[key]; ok {
+		c.Count += n
+		return
+	}
+	if len(s.items) < s.k {
+		s.items[key] = &Counter{Key: key, Count: n}
+		return
+	}
+	// Evict the minimum-count item, inheriting its count as error.
+	var min *Counter
+	for _, c := range s.items {
+		if min == nil || c.Count < min.Count {
+			min = c
+		}
+	}
+	delete(s.items, min.Key)
+	s.items[key] = &Counter{Key: key, Count: min.Count + n, Err: min.Count}
+}
+
+// Total returns the sum of all increments seen.
+func (s *SpaceSaving) Total() int64 { return s.total }
+
+// Top returns up to n monitored counters, largest first, ties broken by
+// key for determinism.
+func (s *SpaceSaving) Top(n int) []Counter {
+	out := make([]Counter, 0, len(s.items))
+	for _, c := range s.items {
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// Reset clears all counters, starting a new measurement epoch.
+func (s *SpaceSaving) Reset() {
+	s.items = make(map[int]*Counter, s.k)
+	s.total = 0
+}

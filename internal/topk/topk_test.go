@@ -1,0 +1,140 @@
+package topk
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExactWhenUnderK(t *testing.T) {
+	s := New(10)
+	s.Add(1, 100)
+	s.Add(2, 50)
+	s.Add(1, 25)
+	top := s.Top(10)
+	if len(top) != 2 {
+		t.Fatalf("items = %d", len(top))
+	}
+	if top[0].Key != 1 || top[0].Count != 125 || top[0].Err != 0 {
+		t.Errorf("top[0] = %+v", top[0])
+	}
+	if top[1].Key != 2 || top[1].Count != 50 {
+		t.Errorf("top[1] = %+v", top[1])
+	}
+	if s.Total() != 175 {
+		t.Errorf("total = %d", s.Total())
+	}
+}
+
+func TestEvictionInheritsError(t *testing.T) {
+	s := New(2)
+	s.Add(1, 10)
+	s.Add(2, 20)
+	s.Add(3, 5) // evicts key 1 (count 10), inherits it
+	top := s.Top(2)
+	found := false
+	for _, c := range top {
+		if c.Key == 3 {
+			found = true
+			if c.Count != 15 || c.Err != 10 {
+				t.Errorf("evictor counter = %+v", c)
+			}
+		}
+		if c.Key == 1 {
+			t.Error("evicted key still present")
+		}
+	}
+	if !found {
+		t.Error("new key not tracked")
+	}
+}
+
+// TestHeavyHitterGuarantee: any key with true count > Total/K must be in
+// the table — the Space-Saving guarantee the coexistence scheduler
+// relies on.
+func TestHeavyHitterGuarantee(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const k = 8
+		s := New(k)
+		truth := map[int]int64{}
+		// One heavy key amid noise.
+		heavy := 999
+		for i := 0; i < 5000; i++ {
+			var key int
+			if rng.Float64() < 0.3 {
+				key = heavy
+			} else {
+				key = rng.Intn(500)
+			}
+			s.Add(key, 1)
+			truth[key]++
+		}
+		if truth[heavy] <= s.Total()/int64(k) {
+			return true // not actually heavy this time
+		}
+		for _, c := range s.Top(k) {
+			if c.Key == heavy {
+				// Overestimate-bounded: Count-Err <= true <= Count.
+				return c.Count >= truth[heavy] && c.Count-c.Err <= truth[heavy]
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOverestimateProperty: for every monitored key, Count >= true count
+// and Count - Err <= true count.
+func TestOverestimateProperty(t *testing.T) {
+	f := func(keysRaw []uint8) bool {
+		s := New(4)
+		truth := map[int]int64{}
+		for _, kr := range keysRaw {
+			k := int(kr % 32)
+			s.Add(k, 1)
+			truth[k]++
+		}
+		for _, c := range s.Top(4) {
+			tr := truth[c.Key]
+			if c.Count < tr || c.Count-c.Err > tr {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopOrderingDeterministic(t *testing.T) {
+	s := New(5)
+	s.Add(3, 10)
+	s.Add(1, 10)
+	s.Add(2, 20)
+	top := s.Top(3)
+	if top[0].Key != 2 || top[1].Key != 1 || top[2].Key != 3 {
+		t.Errorf("ordering: %+v", top)
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := New(3)
+	s.Add(1, 5)
+	s.Reset()
+	if s.Total() != 0 || len(s.Top(3)) != 0 {
+		t.Error("reset did not clear")
+	}
+}
+
+func TestMinimumK(t *testing.T) {
+	s := New(0) // clamps to 1
+	s.Add(1, 1)
+	s.Add(2, 1)
+	if len(s.Top(5)) != 1 {
+		t.Error("k=0 not clamped to 1")
+	}
+}

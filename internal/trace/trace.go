@@ -1,0 +1,399 @@
+// Package trace models time-varying link capacity as Mahimahi-style packet
+// delivery traces, and generates the synthetic cellular traces used in
+// place of the paper's recorded Verizon/AT&T/T-Mobile captures.
+//
+// A trace is a sorted multiset of millisecond timestamps. Each entry is one
+// delivery opportunity: the link may transmit up to one MTU-sized (1500 B)
+// packet at that instant. The trace loops forever with period equal to its
+// last timestamp (rounded up to a millisecond). These are exactly the
+// semantics of Mahimahi's LinkShell, which the paper uses for all cellular
+// experiments.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"abc/internal/packet"
+	"abc/internal/sim"
+)
+
+// Trace is an immutable delivery-opportunity schedule that loops forever.
+type Trace struct {
+	// Name identifies the trace in reports.
+	Name string
+	// ops holds opportunity times within one period, sorted ascending.
+	ops []sim.Time
+	// period is the loop length; always >= the last opportunity and > 0.
+	period sim.Time
+}
+
+// New builds a trace from opportunity times (need not be sorted) and a loop
+// period. Opportunities at or after the period are rejected.
+func New(name string, ops []sim.Time, period sim.Time) (*Trace, error) {
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("trace %q: no delivery opportunities", name)
+	}
+	if period <= 0 {
+		return nil, fmt.Errorf("trace %q: non-positive period %v", name, period)
+	}
+	sorted := make([]sim.Time, len(ops))
+	copy(sorted, ops)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if sorted[0] < 0 {
+		return nil, fmt.Errorf("trace %q: negative opportunity time", name)
+	}
+	if last := sorted[len(sorted)-1]; last >= period {
+		return nil, fmt.Errorf("trace %q: opportunity %v at/after period %v", name, last, period)
+	}
+	return &Trace{Name: name, ops: sorted, period: period}, nil
+}
+
+// Parse reads the Mahimahi trace format: one integer millisecond timestamp
+// per line, non-decreasing, possibly repeated. The loop period is the last
+// timestamp (a trailing entry at N ms yields an N ms period, matching
+// Mahimahi's convention).
+func Parse(name string, r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	var ops []sim.Time
+	var last int64 = -1
+	line := 0
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if s == "" || strings.HasPrefix(s, "#") {
+			continue
+		}
+		ms, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace %q line %d: %v", name, line, err)
+		}
+		if ms < last {
+			return nil, fmt.Errorf("trace %q line %d: timestamps must be non-decreasing", name, line)
+		}
+		last = ms
+		ops = append(ops, sim.Time(ms)*sim.Millisecond)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("trace %q: empty", name)
+	}
+	period := ops[len(ops)-1]
+	if period == 0 {
+		period = sim.Millisecond
+	}
+	// Mahimahi treats the final timestamp as the wrap point: an
+	// opportunity exactly at the period belongs to the next cycle.
+	body := ops
+	for len(body) > 0 && body[len(body)-1] >= period {
+		body = body[:len(body)-1]
+	}
+	if len(body) == 0 {
+		// Degenerate single-timestamp trace: one opportunity per period.
+		body = []sim.Time{0}
+	}
+	return New(name, body, period)
+}
+
+// WriteTo emits the trace in Mahimahi format (millisecond resolution).
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	for _, op := range t.ops {
+		c, err := fmt.Fprintf(bw, "%d\n", int64(op/sim.Millisecond))
+		n += int64(c)
+		if err != nil {
+			return n, err
+		}
+	}
+	c, err := fmt.Fprintf(bw, "%d\n", int64(t.period/sim.Millisecond))
+	n += int64(c)
+	if err != nil {
+		return n, err
+	}
+	return n, bw.Flush()
+}
+
+// Period returns the loop period.
+func (t *Trace) Period() sim.Time { return t.period }
+
+// Opportunities returns the number of delivery opportunities per period.
+func (t *Trace) Opportunities() int { return len(t.ops) }
+
+// countUpTo returns the number of opportunities in [0, x) for x >= 0.
+func (t *Trace) countUpTo(x sim.Time) int64 {
+	if x <= 0 {
+		return 0
+	}
+	full := int64(x / t.period)
+	rem := x % t.period
+	idx := sort.Search(len(t.ops), func(i int) bool { return t.ops[i] >= rem })
+	return full*int64(len(t.ops)) + int64(idx)
+}
+
+// CountIn returns the number of delivery opportunities in the half-open
+// interval [from, to).
+func (t *Trace) CountIn(from, to sim.Time) int64 {
+	if to <= from {
+		return 0
+	}
+	return t.countUpTo(to) - t.countUpTo(from)
+}
+
+// NextOpportunity returns the first opportunity time strictly after now.
+func (t *Trace) NextOpportunity(now sim.Time) sim.Time {
+	if now < 0 {
+		now = -1
+	}
+	cycle := now / t.period
+	rem := now % t.period
+	idx := sort.Search(len(t.ops), func(i int) bool { return t.ops[i] > rem })
+	if idx < len(t.ops) {
+		return cycle*t.period + t.ops[idx]
+	}
+	return (cycle+1)*t.period + t.ops[0]
+}
+
+// CapacityBps returns the average link capacity over the window ending at
+// now, in bits per second, assuming each opportunity carries one MTU.
+func (t *Trace) CapacityBps(now, window sim.Time) float64 {
+	if window <= 0 {
+		window = 100 * sim.Millisecond
+	}
+	from := now - window
+	if from < 0 {
+		from = 0
+	}
+	if now <= from {
+		return 0
+	}
+	n := t.CountIn(from, now)
+	return float64(n) * packet.MTU * 8 / (now - from).Seconds()
+}
+
+// FutureCapacityBps returns the average capacity over [now, now+window):
+// the oracle used by PK-ABC (§6.6).
+func (t *Trace) FutureCapacityBps(now, window sim.Time) float64 {
+	if window <= 0 {
+		window = 100 * sim.Millisecond
+	}
+	n := t.CountIn(now, now+window)
+	return float64(n) * packet.MTU * 8 / window.Seconds()
+}
+
+// AvgRateBps returns the long-run average capacity of the trace.
+func (t *Trace) AvgRateBps() float64 {
+	return float64(len(t.ops)) * packet.MTU * 8 / t.period.Seconds()
+}
+
+// --- Constructors for analytically shaped traces ---
+
+// Constant returns a fixed-rate trace of the given bits/sec. The period is
+// chosen to give millisecond-accurate spacing.
+func Constant(name string, bps float64) *Trace {
+	if bps <= 0 {
+		panic("trace: Constant requires positive rate")
+	}
+	// Opportunities are evenly spaced at MTU*8/bps.
+	gap := float64(packet.MTU*8) / bps // seconds per opportunity
+	n := int(math.Round(1.0 / gap))    // opportunities per second
+	if n < 1 {
+		n = 1
+		gap = 1.0
+	}
+	ops := make([]sim.Time, n)
+	for i := range ops {
+		ops[i] = sim.FromSeconds(float64(i) * gap)
+	}
+	period := sim.FromSeconds(float64(n) * gap)
+	tr, err := New(name, ops, period)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}
+
+// FromRateFunc samples a rate function (bits/sec as a function of time)
+// into delivery opportunities over [0, total) and loops it.
+func FromRateFunc(name string, total sim.Time, rate func(sim.Time) float64) *Trace {
+	if total <= 0 {
+		panic("trace: FromRateFunc requires positive duration")
+	}
+	const tick = sim.Millisecond
+	var ops []sim.Time
+	var credit float64 // accumulated bytes
+	for t := sim.Time(0); t < total; t += tick {
+		r := rate(t)
+		if r < 0 {
+			r = 0
+		}
+		credit += r * tick.Seconds() / 8
+		for credit >= packet.MTU {
+			credit -= packet.MTU
+			ops = append(ops, t)
+		}
+	}
+	if len(ops) == 0 {
+		ops = []sim.Time{0}
+	}
+	tr, err := New(name, ops, total)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}
+
+// SquareWave alternates between lowBps and highBps every halfPeriod,
+// starting high. Used for the Fig. 17 12↔24 Mbit/s experiment.
+func SquareWave(name string, lowBps, highBps float64, halfPeriod sim.Time) *Trace {
+	return FromRateFunc(name, 2*halfPeriod, func(t sim.Time) float64 {
+		if t < halfPeriod {
+			return highBps
+		}
+		return lowBps
+	})
+}
+
+// Steps holds each rate for stepDur in sequence, then loops. Used for the
+// Fig. 6 wired/wireless bottleneck-switching experiment.
+func Steps(name string, ratesBps []float64, stepDur sim.Time) *Trace {
+	if len(ratesBps) == 0 {
+		panic("trace: Steps requires at least one rate")
+	}
+	total := sim.Time(len(ratesBps)) * stepDur
+	return FromRateFunc(name, total, func(t sim.Time) float64 {
+		return ratesBps[int(t/stepDur)%len(ratesBps)]
+	})
+}
+
+// --- Synthetic cellular traces ---
+
+// CellParams shapes a synthetic cellular trace.
+type CellParams struct {
+	// Seed makes the trace reproducible.
+	Seed int64
+	// Duration is the loop length.
+	Duration sim.Time
+	// MeanMbps is the long-run average rate.
+	MeanMbps float64
+	// Sigma is the per-step standard deviation of the log-rate random
+	// walk. Larger values give the violent swings of LTE links.
+	Sigma float64
+	// MinMbps / MaxMbps clamp the walk.
+	MinMbps, MaxMbps float64
+	// OutageProb is the per-100ms probability of entering an outage.
+	OutageProb float64
+	// OutageMs is the mean outage duration in milliseconds.
+	OutageMs float64
+}
+
+// Cellular generates a synthetic cellular trace: a mean-reverting random
+// walk in log-rate space with occasional outages, producing the 4x-within-
+// a-second swings the paper describes (§2), at millisecond granularity.
+func Cellular(name string, p CellParams) *Trace {
+	if p.Duration <= 0 {
+		p.Duration = 60 * sim.Second
+	}
+	if p.MeanMbps <= 0 {
+		p.MeanMbps = 10
+	}
+	if p.Sigma <= 0 {
+		p.Sigma = 0.18
+	}
+	if p.MinMbps <= 0 {
+		p.MinMbps = 0.4
+	}
+	if p.MaxMbps <= 0 {
+		p.MaxMbps = 4 * p.MeanMbps
+	}
+	if p.OutageMs <= 0 {
+		p.OutageMs = 250
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	logMean := math.Log(p.MeanMbps)
+	logRate := logMean
+	outageLeft := 0.0 // ms of outage remaining
+	// The walk steps every 100 ms: LTE scheduling-grant granularity.
+	// With σ ≈ 0.2–0.3 per step the rate typically swings 2–4x within a
+	// second, matching the variability the paper describes (§2).
+	const stepMs = 100.0
+	steps := int(p.Duration.Millis() / stepMs)
+	rates := make([]float64, steps)
+	for i := range rates {
+		if outageLeft > 0 {
+			outageLeft -= stepMs
+			rates[i] = 0
+			continue
+		}
+		// Mean-reverting (Ornstein-Uhlenbeck-like) walk in log space.
+		logRate += 0.1*(logMean-logRate) + p.Sigma*rng.NormFloat64()
+		lo, hi := math.Log(p.MinMbps), math.Log(p.MaxMbps)
+		if logRate < lo {
+			logRate = lo
+		}
+		if logRate > hi {
+			logRate = hi
+		}
+		rates[i] = math.Exp(logRate)
+		if rng.Float64() < p.OutageProb*stepMs/100.0 {
+			outageLeft = p.OutageMs * (0.5 + rng.Float64())
+		}
+	}
+	// Linear interpolation between steps keeps capacity continuous, as
+	// real schedulers ramp rather than jump.
+	return FromRateFunc(name, p.Duration, func(t sim.Time) float64 {
+		pos := t.Millis() / stepMs
+		i := int(pos)
+		if i >= len(rates)-1 {
+			return rates[len(rates)-1] * 1e6
+		}
+		frac := pos - float64(i)
+		return (rates[i]*(1-frac) + rates[i+1]*frac) * 1e6
+	})
+}
+
+// CellularNames lists the eight synthetic traces standing in for the
+// paper's recorded captures (Fig. 9).
+var CellularNames = []string{
+	"Verizon1", "Verizon2", "Verizon3", "Verizon4",
+	"TMobile1", "TMobile2", "ATT1", "ATT2",
+}
+
+// NamedCellular returns one of the eight standard synthetic traces by
+// name. Parameters differ per carrier family to span the range of mean
+// rates and variability the paper's trace set covers.
+func NamedCellular(name string) (*Trace, error) {
+	params := map[string]CellParams{
+		"Verizon1": {Seed: 11, MeanMbps: 9, Sigma: 0.22, OutageProb: 0.015},
+		"Verizon2": {Seed: 12, MeanMbps: 6, Sigma: 0.26, OutageProb: 0.03},
+		"Verizon3": {Seed: 13, MeanMbps: 14, Sigma: 0.18, OutageProb: 0.01},
+		"Verizon4": {Seed: 14, MeanMbps: 4, Sigma: 0.3, OutageProb: 0.04},
+		"TMobile1": {Seed: 21, MeanMbps: 11, Sigma: 0.2, OutageProb: 0.02},
+		"TMobile2": {Seed: 22, MeanMbps: 7, Sigma: 0.24, OutageProb: 0.025},
+		"ATT1":     {Seed: 31, MeanMbps: 12, Sigma: 0.16, OutageProb: 0.012},
+		"ATT2":     {Seed: 32, MeanMbps: 5, Sigma: 0.28, OutageProb: 0.035},
+	}
+	p, ok := params[name]
+	if !ok {
+		return nil, fmt.Errorf("trace: unknown cellular trace %q", name)
+	}
+	p.Duration = 60 * sim.Second
+	return Cellular(name, p), nil
+}
+
+// MustNamedCellular is NamedCellular panicking on error.
+func MustNamedCellular(name string) *Trace {
+	t, err := NamedCellular(name)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

@@ -1,0 +1,289 @@
+// Package wifi models an 802.11n access point at the fidelity ABC's
+// link-rate estimator needs (§4.1): A-MPDU batch transmission, block
+// acknowledgements, per-MCS PHY bitrates and stochastic per-batch overhead
+// (channel contention, preamble, ACK turnaround). It also implements the
+// paper's estimator itself: from each (batch size, inter-ACK time,
+// bitrate) observation it extrapolates the backlogged inter-ACK time
+// (Eq. 8) and hence the link capacity (Eq. 6).
+package wifi
+
+import (
+	"math/rand"
+
+	"abc/internal/packet"
+	"abc/internal/qdisc"
+	"abc/internal/sim"
+)
+
+// MCSRates maps 802.11n MCS index (20 MHz, one spatial stream, 800 ns GI)
+// to PHY bitrate in bits/sec.
+var MCSRates = []float64{
+	6.5e6, 13e6, 19.5e6, 26e6, 39e6, 52e6, 58.5e6, 65e6,
+}
+
+// BitrateForMCS returns the PHY rate for an MCS index, clamping the index
+// to the valid range.
+func BitrateForMCS(idx int) float64 {
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(MCSRates) {
+		idx = len(MCSRates) - 1
+	}
+	return MCSRates[idx]
+}
+
+// LinkConfig parameterizes the modelled AP.
+type LinkConfig struct {
+	// MaxBatch is M, the negotiated A-MPDU limit in frames.
+	MaxBatch int
+	// FrameSize is S in bytes (all frames are MTU-sized, footnote 4).
+	FrameSize int
+	// OverheadBase is the deterministic part of h(t): DIFS, preamble,
+	// block-ACK turnaround.
+	OverheadBase sim.Time
+	// OverheadJitter is the half-width of the uniform contention jitter
+	// added to h(t); Fig. 4's vertical spread comes from this.
+	OverheadJitter sim.Time
+	// MCS returns the MCS index at a given time (experiments vary it to
+	// model user movement).
+	MCS func(now sim.Time) int
+}
+
+// DefaultLinkConfig models the paper's testbed defaults.
+func DefaultLinkConfig() LinkConfig {
+	return LinkConfig{
+		MaxBatch:       20,
+		FrameSize:      packet.MTU,
+		OverheadBase:   1200 * sim.Microsecond,
+		OverheadJitter: 900 * sim.Microsecond,
+		MCS:            func(sim.Time) int { return 5 },
+	}
+}
+
+// BatchObserver receives one observation per block ACK: the batch size b,
+// the inter-ACK time TIA(b, t) and the PHY bitrate R used.
+type BatchObserver func(now sim.Time, b int, tia sim.Time, bitrate float64)
+
+// Link is the AP: packets enter a qdisc (droptail or an ABC router) and
+// leave in A-MPDU batches.
+type Link struct {
+	S   *sim.Simulator
+	Cfg LinkConfig
+	Q   qdisc.Qdisc
+	Dst packet.Node
+	// Est, when set, is fed every block ACK and provides the capacity
+	// estimate to a capacity-aware qdisc.
+	Est *Estimator
+	// OnBatch, if set, observes batches (Fig. 4 sampling).
+	OnBatch BatchObserver
+	// OnDeliver, if set, observes each delivered frame.
+	OnDeliver func(now sim.Time, p *packet.Packet)
+
+	rng       *rand.Rand
+	busy      bool
+	delivered int64
+}
+
+// NewLink wires an 802.11n link. If est is non-nil it becomes the
+// capacity provider for capacity-aware qdiscs (the ABC deployment).
+func NewLink(s *sim.Simulator, cfg LinkConfig, q qdisc.Qdisc, dst packet.Node, est *Estimator) *Link {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 20
+	}
+	if cfg.FrameSize <= 0 {
+		cfg.FrameSize = packet.MTU
+	}
+	if cfg.MCS == nil {
+		cfg.MCS = func(sim.Time) int { return 5 }
+	}
+	l := &Link{S: s, Cfg: cfg, Q: q, Dst: dst, Est: est, rng: s.Rand()}
+	if est != nil {
+		if ca, ok := q.(qdisc.CapacityAware); ok {
+			ca.SetCapacityProvider(est.RateBps)
+		}
+	}
+	return l
+}
+
+// DeliveredBytes reports total payload bytes delivered.
+func (l *Link) DeliveredBytes() int64 { return l.delivered }
+
+// Recv implements packet.Node.
+func (l *Link) Recv(p *packet.Packet) {
+	now := l.S.Now()
+	if !l.Q.Enqueue(now, p) {
+		return
+	}
+	if !l.busy {
+		l.startBatch()
+	}
+}
+
+// overhead draws h(t) for one batch.
+func (l *Link) overhead() sim.Time {
+	j := l.Cfg.OverheadJitter
+	if j <= 0 {
+		return l.Cfg.OverheadBase
+	}
+	return l.Cfg.OverheadBase + sim.Time(l.rng.Int63n(int64(2*j))) - j
+}
+
+// startBatch assembles up to M frames and transmits them as one A-MPDU.
+func (l *Link) startBatch() {
+	now := l.S.Now()
+	var batch []*packet.Packet
+	for len(batch) < l.Cfg.MaxBatch {
+		p := l.Q.Dequeue(now)
+		if p == nil {
+			break
+		}
+		batch = append(batch, p)
+	}
+	if len(batch) == 0 {
+		l.busy = false
+		return
+	}
+	l.busy = true
+	b := len(batch)
+	bitrate := BitrateForMCS(l.Cfg.MCS(now))
+	txTime := sim.FromSeconds(float64(b*l.Cfg.FrameSize*8) / bitrate)
+	tia := txTime + l.overhead()
+	l.S.After(tia, func() {
+		done := l.S.Now()
+		for _, p := range batch {
+			p.QueueDelay += done - p.EnqueuedAt
+			l.delivered += int64(p.Size)
+			if l.OnDeliver != nil {
+				l.OnDeliver(done, p)
+			}
+			l.Dst.Recv(p)
+		}
+		if l.Est != nil {
+			l.Est.OnBlockAck(done, b, tia, bitrate)
+		}
+		if l.OnBatch != nil {
+			l.OnBatch(done, b, tia, bitrate)
+		}
+		l.startBatch()
+	})
+}
+
+// Estimator implements the paper's §4.1 link-rate estimation. On each
+// block ACK it extrapolates what the inter-ACK time would have been for a
+// full M-frame batch,
+//
+//	T̂IA(M, t) = TIA(b, t) + (M − b)·S/R        (Eq. 8)
+//
+// estimates the capacity µ̂(t) = M·S / T̂IA(M, t) (Eq. 6), smooths over a
+// sliding window of length T (40 ms in the paper) and caps the prediction
+// at twice the current dequeue rate, since ABC cannot more than double a
+// sender's rate in one RTT.
+type Estimator struct {
+	// M and S mirror the link's negotiated batch limit and frame size.
+	M int
+	S int
+	// Window is the smoothing window T.
+	Window sim.Time
+	// Cap enables the 2x-current-rate prediction cap.
+	Cap bool
+
+	samples  []estSample
+	head     int
+	deqBytes []estSample
+	deqHead  int
+	// lastMu holds the most recent per-batch estimate so a lightly
+	// loaded link (batches sparser than the window) still reports its
+	// last known capacity instead of zero, which would deadlock an ABC
+	// router into permanent brakes.
+	lastMu float64
+}
+
+type estSample struct {
+	at sim.Time
+	v  float64
+}
+
+// NewEstimator returns an estimator for a link with batch limit m and
+// frame size s bytes.
+func NewEstimator(m, s int, window sim.Time) *Estimator {
+	if window <= 0 {
+		window = 40 * sim.Millisecond
+	}
+	return &Estimator{M: m, S: s, Window: window, Cap: true}
+}
+
+// OnBlockAck feeds one batch observation.
+func (e *Estimator) OnBlockAck(now sim.Time, b int, tia sim.Time, bitrate float64) {
+	if b <= 0 || tia <= 0 || bitrate <= 0 {
+		return
+	}
+	tiaFull := tia + sim.FromSeconds(float64((e.M-b)*e.S*8)/bitrate)
+	mu := float64(e.M*e.S*8) / tiaFull.Seconds()
+	e.samples = append(e.samples, estSample{now, mu})
+	e.deqBytes = append(e.deqBytes, estSample{now, float64(b * e.S)})
+	e.lastMu = mu
+	e.prune(now)
+}
+
+func (e *Estimator) prune(now sim.Time) {
+	for e.head < len(e.samples) && e.samples[e.head].at < now-e.Window {
+		e.head++
+	}
+	if e.head > 64 && e.head*2 >= len(e.samples) {
+		n := copy(e.samples, e.samples[e.head:])
+		e.samples = e.samples[:n]
+		e.head = 0
+	}
+	// The dequeue meter for the 2x cap uses a longer horizon than the
+	// estimate itself: with a lightly loaded link, batches arrive
+	// sparser than T and a T-length cap window would collapse to zero
+	// between batches.
+	for e.deqHead < len(e.deqBytes) && e.deqBytes[e.deqHead].at < now-5*e.Window {
+		e.deqHead++
+	}
+	if e.deqHead > 64 && e.deqHead*2 >= len(e.deqBytes) {
+		n := copy(e.deqBytes, e.deqBytes[e.deqHead:])
+		e.deqBytes = e.deqBytes[:n]
+		e.deqHead = 0
+	}
+}
+
+// RateBps returns the smoothed capacity estimate µ̂(t) at time now.
+func (e *Estimator) RateBps(now sim.Time) float64 {
+	e.prune(now)
+	n := len(e.samples) - e.head
+	var mu float64
+	if n == 0 {
+		// No batch inside the window: hold the last known estimate.
+		mu = e.lastMu
+	} else {
+		var sum float64
+		for _, s := range e.samples[e.head:] {
+			sum += s.v
+		}
+		mu = sum / float64(n)
+	}
+	if e.Cap && mu > 0 {
+		// Dequeue rate over the (longer) cap horizon.
+		var bytes float64
+		for _, s := range e.deqBytes[e.deqHead:] {
+			bytes += s.v
+		}
+		cr := bytes * 8 / (5 * e.Window).Seconds()
+		if cap2 := 2 * cr; mu > cap2 && cap2 > 0 {
+			mu = cap2
+		}
+	}
+	return mu
+}
+
+// TrueCapacityBps returns the ground-truth backlogged capacity of a link
+// with the given config at time now: M frames per TIA(M) with the mean
+// overhead. Fig. 5 compares estimates against this.
+func TrueCapacityBps(cfg LinkConfig, now sim.Time) float64 {
+	bitrate := BitrateForMCS(cfg.MCS(now))
+	tx := float64(cfg.MaxBatch*cfg.FrameSize*8) / bitrate
+	tia := tx + cfg.OverheadBase.Seconds()
+	return float64(cfg.MaxBatch*cfg.FrameSize*8) / tia
+}
