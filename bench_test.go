@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"abc/internal/exp"
+	"abc/internal/packet"
 	"abc/internal/sim"
 	"abc/internal/trace"
 )
@@ -443,4 +444,42 @@ func itoa(v int) string {
 		v /= 10
 	}
 	return string(buf[i:])
+}
+
+// BenchmarkSimCore measures the raw event core: schedule, cancel and pop
+// with a recycled heap and slot table (see DESIGN.md §2). Steady state
+// must report 0 allocs/op; a regression here taxes every experiment.
+func BenchmarkSimCore(b *testing.B) {
+	s := sim.New(1)
+	nop := func(a, c any) {}
+	// Warm the heap, slot table and free list.
+	for j := 0; j < 1024; j++ {
+		s.AfterArgs(sim.Time(j)*sim.Microsecond, nop, nil, nil)
+	}
+	s.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// 64 schedules, 32 eager cancels, 64 pops per iteration.
+		for j := 0; j < 64; j++ {
+			s.AfterArgs(sim.Time(j)*sim.Microsecond, nop, nil, nil)
+		}
+		for j := 0; j < 32; j++ {
+			s.AfterArgs(sim.Time(j)*sim.Microsecond, nop, nil, nil).Stop()
+		}
+		s.Run()
+	}
+}
+
+// BenchmarkPacketChurn measures one data/ACK exchange through the packet
+// free-list (see DESIGN.md §2): steady state must report 0 allocs/op.
+func BenchmarkPacketChurn(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := packet.NewData(1, int64(i), packet.MTU, 0)
+		p.ECN = packet.Accel
+		a := packet.NewAck(p, int64(i)+1, 1)
+		p.Release()
+		a.Release()
+	}
 }

@@ -7,6 +7,17 @@
 // XCP, RCP, VCP), plus a benchmark harness regenerating each table and
 // figure of the paper's evaluation.
 //
-// See README.md for a tour, DESIGN.md for the system inventory and
-// EXPERIMENTS.md for paper-versus-measured results.
+// The simulation fast path is engineered to be allocation-free in steady
+// state: the event core recycles inline event structs through a 4-ary
+// heap with a slot free-list (internal/sim), packets cycle through a
+// free-list with single-owner release semantics (internal/packet — see
+// packet.Get for the ownership rules), per-packet delay statistics
+// stream through fixed-memory Greenwald-Khanna sketches
+// (internal/metrics), and the multi-run figure drivers fan independent
+// (trace, scheme, seed) cells across a bounded worker pool
+// (internal/exp) with byte-identical results to a sequential sweep.
+//
+// See DESIGN.md for the system inventory, the fast-path architecture
+// (§2) and the experiment index mapping each benchmark to its paper
+// figure or table (§3).
 package abc

@@ -1,0 +1,3 @@
+module abc
+
+go 1.21

@@ -10,7 +10,6 @@
 package cc
 
 import (
-	"container/heap"
 	"math"
 
 	"abc/internal/packet"
@@ -87,15 +86,50 @@ type sent struct {
 	retx   bool
 }
 
-// seqHeap is a min-heap of outstanding sequence numbers for O(log n)
-// loss detection.
+// seqHeap is a hand-rolled min-heap of outstanding sequence numbers for
+// O(log n) loss detection. Avoiding container/heap keeps push/pop free
+// of the per-call int64 boxing that used to dominate sender allocations.
 type seqHeap []int64
 
-func (h seqHeap) Len() int           { return len(h) }
-func (h seqHeap) Less(i, j int) bool { return h[i] < h[j] }
-func (h seqHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *seqHeap) Push(x any)        { *h = append(*h, x.(int64)) }
-func (h *seqHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+func (h *seqHeap) push(v int64) {
+	q := append(*h, v)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q[parent] <= q[i] {
+			break
+		}
+		q[parent], q[i] = q[i], q[parent]
+		i = parent
+	}
+	*h = q
+}
+
+func (h *seqHeap) pop() int64 {
+	q := *h
+	v := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q = q[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		least := l
+		if r := l + 1; r < n && q[r] < q[l] {
+			least = r
+		}
+		if q[i] <= q[least] {
+			break
+		}
+		q[i], q[least] = q[least], q[i]
+		i = least
+	}
+	*h = q
+	return v
+}
 
 // Endpoint is one sender. It implements packet.Node to receive ACKs.
 type Endpoint struct {
@@ -120,7 +154,7 @@ type Endpoint struct {
 	stopped bool
 
 	nextSeq   int64
-	inflight  map[int64]*sent
+	inflight  map[int64]sent
 	outSeqs   seqHeap
 	hiSacked  int64 // highest individually acked sequence
 	cumAcked  int64
@@ -144,11 +178,14 @@ type Endpoint struct {
 	pacing        bool
 	pacerArmed    bool
 	completeFired bool
+	// paceFn is the bound pacing callback, created once so re-arming the
+	// pacer does not allocate a method-value closure per packet.
+	paceFn func()
 }
 
 // NewEndpoint wires a sender for the flow. Call Start to begin.
 func NewEndpoint(s *sim.Simulator, flow int, out packet.Node, alg Algorithm) *Endpoint {
-	return &Endpoint{
+	e := &Endpoint{
 		S:             s,
 		Flow:          flow,
 		Out:           out,
@@ -156,9 +193,11 @@ func NewEndpoint(s *sim.Simulator, flow int, out packet.Node, alg Algorithm) *En
 		PktSize:       packet.MTU,
 		MinRTO:        250 * sim.Millisecond,
 		ReorderThresh: 3,
-		inflight:      make(map[int64]*sent),
+		inflight:      make(map[int64]sent),
 		minRTT:        math.MaxInt64,
 	}
+	e.paceFn = e.paceNext
+	return e
 }
 
 // Start begins transmission at the current simulation time.
@@ -337,8 +376,8 @@ func (e *Endpoint) sendOne() {
 	if st, ok := e.Alg.(DataStamper); ok {
 		st.StampData(now, e, p)
 	}
-	e.inflight[seq] = &sent{seq: seq, size: e.PktSize, sentAt: now, retx: retx}
-	heap.Push(&e.outSeqs, seq)
+	e.inflight[seq] = sent{seq: seq, size: e.PktSize, sentAt: now, retx: retx}
+	e.outSeqs.push(seq)
 	e.SentPackets++
 	e.Out.Recv(p)
 }
@@ -367,7 +406,7 @@ func (e *Endpoint) paceNext() {
 	}
 	if rate <= 0 {
 		// No rate yet: poll shortly.
-		e.S.After(5*sim.Millisecond, e.paceNext)
+		e.S.After(5*sim.Millisecond, e.paceFn)
 		return
 	}
 	gap := sim.FromSeconds(float64(e.PktSize*8) / rate)
@@ -376,14 +415,14 @@ func (e *Endpoint) paceNext() {
 	}
 	if e.canSend() {
 		e.sendOne()
-		e.S.After(gap, e.paceNext)
+		e.S.After(gap, e.paceFn)
 	} else {
 		// Window-limited or source-limited: retry soon.
 		retry := gap
 		if retry < sim.Millisecond {
 			retry = sim.Millisecond
 		}
-		e.S.After(retry, e.paceNext)
+		e.S.After(retry, e.paceFn)
 	}
 	e.maybeComplete()
 }
@@ -399,11 +438,20 @@ func (e *Endpoint) maybeComplete() {
 	}
 }
 
-// Recv implements packet.Node for acknowledgements.
+// Recv implements packet.Node for acknowledgements. The endpoint is the
+// ACK's terminal consumer and releases it; algorithms must not retain
+// info.Ack beyond OnAck.
 func (e *Endpoint) Recv(p *packet.Packet) {
-	if !p.IsAck || p.Flow != e.Flow || e.stopped {
+	if !p.IsAck || p.Flow != e.Flow {
+		// Misrouted traffic: the endpoint is still the last holder.
+		p.Release()
 		return
 	}
+	if e.stopped {
+		p.Release()
+		return
+	}
+	defer p.Release()
 	now := e.S.Now()
 	info := AckInfo{Ack: p}
 
@@ -455,7 +503,7 @@ func (e *Endpoint) detectLoss(now sim.Time) {
 		top := e.outSeqs[0]
 		s, stillOut := e.inflight[top]
 		if !stillOut {
-			heap.Pop(&e.outSeqs) // already acked (lazy deletion)
+			e.outSeqs.pop() // already acked (lazy deletion)
 			continue
 		}
 		if top <= e.hiSacked-e.ReorderThresh {
@@ -470,7 +518,7 @@ func (e *Endpoint) detectLoss(now sim.Time) {
 					break
 				}
 			}
-			heap.Pop(&e.outSeqs)
+			e.outSeqs.pop()
 			delete(e.inflight, top)
 			e.lostQueue = append(e.lostQueue, top)
 			e.LostPackets++

@@ -53,8 +53,9 @@ func LTETrace() *trace.Trace {
 func Fig1Timeseries(seed int64) ([]TimeseriesRun, error) {
 	tr := LTETrace()
 	schemes := []string{"Cubic", "Verus", "Cubic+Codel", "ABC"}
-	out := make([]TimeseriesRun, 0, len(schemes))
-	for _, sch := range schemes {
+	out := make([]TimeseriesRun, len(schemes))
+	err := forEach(len(schemes), func(i int) error {
+		sch := schemes[i]
 		res, pooled, err := Run(Spec{
 			Seed:     seed,
 			Duration: 30 * sim.Second,
@@ -65,14 +66,18 @@ func Fig1Timeseries(seed int64) ([]TimeseriesRun, error) {
 			Sample:   200 * sim.Millisecond,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, TimeseriesRun{
+		out[i] = TimeseriesRun{
 			Scheme:  sch,
 			Tput:    res.Flows[0].Tput,
 			QDelay:  res.QueueDelayTS,
 			Summary: res.Summary(sch, pooled),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -151,8 +156,9 @@ func Fig8Scatter(kind ScatterKind, schemes []string, dur sim.Time, seed int64) (
 	case UplinkDownlink:
 		links = []LinkSpec{{Trace: up}, {Trace: down}}
 	}
-	out := make([]metrics.Summary, 0, len(schemes))
-	for _, sch := range schemes {
+	out := make([]metrics.Summary, len(schemes))
+	err := forEach(len(schemes), func(i int) error {
+		sch := schemes[i]
 		ls := make([]LinkSpec, len(links))
 		copy(ls, links)
 		res, pooled, err := Run(Spec{
@@ -160,9 +166,13 @@ func Fig8Scatter(kind ScatterKind, schemes []string, dur sim.Time, seed int64) (
 			Links: ls, Flows: []FlowSpec{{Scheme: sch}},
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, res.Summary(sch, pooled))
+		out[i] = res.Summary(sch, pooled)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -196,7 +206,9 @@ func (b *BarsResult) Average(scheme string) (util, meanMs, p95Ms float64) {
 }
 
 // Fig9Bars reproduces Fig. 9 (and feeds Fig. 15, Fig. 16 and Table 1):
-// every scheme on the eight-trace cellular corpus.
+// every scheme on the eight-trace cellular corpus. The (trace, scheme)
+// cells are independent simulations and fan out across the worker pool;
+// results are byte-identical to a sequential sweep.
 func Fig9Bars(schemes, traces []string, dur sim.Time, seed int64) (*BarsResult, error) {
 	if len(schemes) == 0 {
 		schemes = Schemes
@@ -209,18 +221,29 @@ func Fig9Bars(schemes, traces []string, dur sim.Time, seed int64) (*BarsResult, 
 		Schemes: schemes,
 		Cells:   make(map[string]map[string]metrics.Summary),
 	}
-	for _, trName := range traces {
+	// Parse traces up front (shared immutable inputs for all cells).
+	trs := make([]*trace.Trace, len(traces))
+	for i, trName := range traces {
 		tr, err := trace.NamedCellular(trName)
 		if err != nil {
 			return nil, err
 		}
-		res.Cells[trName] = make(map[string]metrics.Summary)
-		for _, sch := range schemes {
-			s, err := RunSingle(sch, tr, 100*sim.Millisecond, dur, seed)
-			if err != nil {
-				return nil, err
-			}
-			res.Cells[trName][sch] = s
+		trs[i] = tr
+	}
+	sums := make([]metrics.Summary, len(traces)*len(schemes))
+	err := forEach(len(sums), func(i int) error {
+		ti, si := i/len(schemes), i%len(schemes)
+		s, err := RunSingle(schemes[si], trs[ti], 100*sim.Millisecond, dur, seed)
+		sums[i] = s
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ti, trName := range traces {
+		res.Cells[trName] = make(map[string]metrics.Summary, len(schemes))
+		for si, sch := range schemes {
+			res.Cells[trName][sch] = sums[ti*len(schemes)+si]
 		}
 	}
 	return res, nil
@@ -259,30 +282,41 @@ func Fig18RTTSweep(schemes []string, dur sim.Time, seed int64) (map[int]map[stri
 		schemes = Schemes
 	}
 	tr := trace.MustNamedCellular("Verizon1")
-	out := make(map[int]map[string]metrics.Summary)
-	for _, rttMs := range []int{20, 50, 100, 200} {
-		rtt := sim.Time(rttMs) * sim.Millisecond
-		out[rttMs] = make(map[string]metrics.Summary)
-		for _, sch := range schemes {
-			link := LinkSpec{Trace: tr}
-			if sch == "ABC" {
-				// Theorem 3.1 requires δ > (2/3)τ; scale δ with the
-				// propagation RTT as the paper's 133 ms = 1.33 × 100 ms.
-				cfg := abc.DefaultRouterConfig()
-				if d := sim.Time(float64(rtt) * 1.33); d > cfg.Delta {
-					cfg.Delta = d
-				}
-				link.Qdisc = QdiscSpec{Kind: "abc", ABCConfig: &cfg}
+	rtts := []int{20, 50, 100, 200}
+	sums := make([]metrics.Summary, len(rtts)*len(schemes))
+	err := forEach(len(sums), func(i int) error {
+		ri, si := i/len(schemes), i%len(schemes)
+		rtt := sim.Time(rtts[ri]) * sim.Millisecond
+		sch := schemes[si]
+		link := LinkSpec{Trace: tr}
+		if sch == "ABC" {
+			// Theorem 3.1 requires δ > (2/3)τ; scale δ with the
+			// propagation RTT as the paper's 133 ms = 1.33 × 100 ms.
+			cfg := abc.DefaultRouterConfig()
+			if d := sim.Time(float64(rtt) * 1.33); d > cfg.Delta {
+				cfg.Delta = d
 			}
-			res, pooled, err := Run(Spec{
-				Seed: seed, Duration: dur, RTT: rtt,
-				Links: []LinkSpec{link},
-				Flows: []FlowSpec{{Scheme: sch}},
-			})
-			if err != nil {
-				return nil, err
-			}
-			out[rttMs][sch] = res.Summary(sch, pooled)
+			link.Qdisc = QdiscSpec{Kind: "abc", ABCConfig: &cfg}
+		}
+		res, pooled, err := Run(Spec{
+			Seed: seed, Duration: dur, RTT: rtt,
+			Links: []LinkSpec{link},
+			Flows: []FlowSpec{{Scheme: sch}},
+		})
+		if err != nil {
+			return err
+		}
+		sums[i] = res.Summary(sch, pooled)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]map[string]metrics.Summary, len(rtts))
+	for ri, rttMs := range rtts {
+		out[rttMs] = make(map[string]metrics.Summary, len(schemes))
+		for si, sch := range schemes {
+			out[rttMs][sch] = sums[ri*len(schemes)+si]
 		}
 	}
 	return out, nil

@@ -57,16 +57,27 @@ func Fig12WeightPolicy(policy string, cfg Fig12Config) ([]Fig12Point, error) {
 	if len(cfg.Loads) == 0 {
 		cfg.Loads = []float64{0.0625, 0.125, 0.25, 0.50}
 	}
+	// Every (load, run) cell is an independent simulation; fan them all
+	// out and aggregate per load afterwards, preserving run order so the
+	// concatenated rate vectors match a sequential sweep byte for byte.
+	type cellOut struct{ abc, cubic []float64 }
+	cells := make([]cellOut, len(cfg.Loads)*cfg.Runs)
+	err := forEach(len(cells), func(i int) error {
+		li, run := i/cfg.Runs, i%cfg.Runs
+		a, c, err := fig12Run(policy, cfg.Loads[li], cfg.Duration, cfg.Seed+int64(run)*97)
+		cells[i] = cellOut{abc: a, cubic: c}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
 	out := make([]Fig12Point, 0, len(cfg.Loads))
-	for _, load := range cfg.Loads {
+	for li, load := range cfg.Loads {
 		var abcRates, cubicRates []float64
 		for run := 0; run < cfg.Runs; run++ {
-			a, c, err := fig12Run(policy, load, cfg.Duration, cfg.Seed+int64(run)*97)
-			if err != nil {
-				return nil, err
-			}
-			abcRates = append(abcRates, a...)
-			cubicRates = append(cubicRates, c...)
+			cell := cells[li*cfg.Runs+run]
+			abcRates = append(abcRates, cell.abc...)
+			cubicRates = append(cubicRates, cell.cubic...)
 		}
 		pt := Fig12Point{Policy: policy, OfferedLoad: load}
 		pt.ABCMean, pt.ABCStd = meanStd(abcRates)

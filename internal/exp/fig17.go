@@ -27,8 +27,9 @@ func Fig17SquareWave(schemes []string, seed int64) ([]Fig17Run, error) {
 		schemes = []string{"ABC", "RCP", "XCPw"}
 	}
 	tr := trace.SquareWave("fig17", 12e6, 24e6, 500*sim.Millisecond)
-	out := make([]Fig17Run, 0, len(schemes))
-	for _, sch := range schemes {
+	out := make([]Fig17Run, len(schemes))
+	err := forEach(len(schemes), func(i int) error {
+		sch := schemes[i]
 		res, pooled, err := Run(Spec{
 			Seed:     seed,
 			Duration: 10 * sim.Second,
@@ -39,15 +40,19 @@ func Fig17SquareWave(schemes []string, seed int64) ([]Fig17Run, error) {
 			Sample:   100 * sim.Millisecond,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, Fig17Run{
+		out[i] = Fig17Run{
 			Scheme:    sch,
 			Tput:      res.Flows[0].Tput,
 			QDelay:    res.QueueDelayTS,
 			Summary:   res.Summary(sch, pooled),
 			QDelayP95: res.Flows[0].QDelay.P95(),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,80 @@
+// Bounded worker pool for the multi-run figure drivers. Every (trace,
+// scheme, seed) cell of a figure owns its own sim.Simulator, RNG and
+// metric recorders, and reads only immutable shared state (parsed
+// traces), so independent cells can run on separate cores with results
+// byte-identical to a sequential sweep.
+package exp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallelism bounds the number of experiment cells running concurrently
+// in the multi-run figure drivers (Fig. 1/8/9/10/12/17/18, Table 1).
+// Zero, the default, means one worker per available CPU. Set to 1 to
+// force sequential execution (useful when bisecting or profiling a
+// single cell).
+//
+// Determinism contract: each cell is a pure function of its spec — the
+// pool only changes *when* cells run, never what they compute — so for a
+// fixed seed the driver output is byte-identical at any parallelism
+// level. A regression test asserts this.
+var Parallelism int
+
+// workers resolves the worker count for n independent cells.
+func workers(n int) int {
+	w := Parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// forEach runs fn(i) for every i in [0, n) across the worker pool and
+// returns the lowest-index error (so error reporting is deterministic
+// too). fn must write its result into a caller-provided slot indexed by
+// i and must not touch other slots.
+func forEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if w := workers(n); w > 1 {
+		var next atomic.Int64
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		wg.Add(w)
+		for k := 0; k < w; k++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					errs[i] = fn(i)
+				}
+			}()
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		if err := fn(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}

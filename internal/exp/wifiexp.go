@@ -300,13 +300,14 @@ func RunWiFi(ws WiFiScheme, nUsers int, mcs func(now sim.Time) int, dur sim.Time
 // Fig10WiFi reproduces Fig. 10 (or Fig. 14 with the Brownian walk): all
 // schemes on the varying Wi-Fi link.
 func Fig10WiFi(nUsers int, mcs func(now sim.Time) int, dur sim.Time, seed int64) ([]metrics.Summary, error) {
-	out := make([]metrics.Summary, 0, len(Fig10SchemeSet))
-	for _, ws := range Fig10SchemeSet {
-		s, err := RunWiFi(ws, nUsers, mcs, dur, seed)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, s)
+	out := make([]metrics.Summary, len(Fig10SchemeSet))
+	err := forEach(len(Fig10SchemeSet), func(i int) error {
+		s, err := RunWiFi(Fig10SchemeSet[i], nUsers, mcs, dur, seed)
+		out[i] = s
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

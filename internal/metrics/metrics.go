@@ -12,54 +12,84 @@ import (
 	"abc/internal/sim"
 )
 
-// DelayRecorder accumulates per-packet delay samples.
+// DelayRecorder accumulates per-packet delay statistics in fixed memory:
+// a running sum for the mean and a Greenwald-Khanna sketch for
+// percentiles. The zero value is ready to use. Setting Exact to true
+// before the first Add switches to the historical exact mode, which
+// buffers every sample and sorts on query — kept for tests that need
+// bit-exact percentiles on large inputs.
 type DelayRecorder struct {
-	samples []float64 // milliseconds
+	// Exact, when set before the first Add, stores every sample and
+	// computes exact nearest-rank percentiles (unbounded memory).
+	Exact bool
+
+	count  int64
+	sum    float64
+	sketch gkSketch
+
+	samples []float64 // exact mode only, milliseconds
 	sorted  bool
 }
 
-// Add records one delay sample.
+// Add records one delay sample. The sketch is fed in both modes (it is
+// cheap and fixed-memory), so flipping Exact mid-stream degrades to the
+// streaming estimate instead of misbehaving.
 func (d *DelayRecorder) Add(t sim.Time) {
-	d.samples = append(d.samples, t.Millis())
-	d.sorted = false
+	ms := t.Millis()
+	d.count++
+	d.sum += ms
+	if d.Exact {
+		d.samples = append(d.samples, ms)
+		d.sorted = false
+	}
+	d.sketch.Add(ms)
 }
 
 // Count returns the number of samples.
-func (d *DelayRecorder) Count() int { return len(d.samples) }
+func (d *DelayRecorder) Count() int { return int(d.count) }
 
 // Mean returns the mean delay in milliseconds (0 with no samples).
 func (d *DelayRecorder) Mean() float64 {
-	if len(d.samples) == 0 {
+	if d.count == 0 {
 		return 0
 	}
-	var sum float64
-	for _, s := range d.samples {
-		sum += s
-	}
-	return sum / float64(len(d.samples))
+	return d.sum / float64(d.count)
 }
 
-// Percentile returns the p-th percentile delay in milliseconds using
-// nearest-rank on the sorted samples; p in [0,100].
+// Percentile returns the p-th percentile delay in milliseconds with
+// nearest-rank semantics; p in [0,100]. In the default streaming mode the
+// returned rank is within the sketch's epsilon of the true rank (exact
+// for small sample counts); in Exact mode it is the true order statistic.
 func (d *DelayRecorder) Percentile(p float64) float64 {
-	if len(d.samples) == 0 {
+	if d.count == 0 {
 		return 0
 	}
-	if !d.sorted {
-		sort.Float64s(d.samples)
-		d.sorted = true
+	// Exact mode only has the full sample set if Exact was set before
+	// the first Add; otherwise fall back to the (complete) sketch.
+	if d.Exact && int64(len(d.samples)) == d.count {
+		if !d.sorted {
+			sort.Float64s(d.samples)
+			d.sorted = true
+		}
+		if p <= 0 {
+			return d.samples[0]
+		}
+		if p >= 100 {
+			return d.samples[len(d.samples)-1]
+		}
+		rank := int(math.Ceil(p / 100 * float64(len(d.samples))))
+		if rank < 1 {
+			rank = 1
+		}
+		return d.samples[rank-1]
 	}
 	if p <= 0 {
-		return d.samples[0]
+		return d.sketch.Min()
 	}
 	if p >= 100 {
-		return d.samples[len(d.samples)-1]
+		return d.sketch.Max()
 	}
-	rank := int(math.Ceil(p / 100 * float64(len(d.samples))))
-	if rank < 1 {
-		rank = 1
-	}
-	return d.samples[rank-1]
+	return d.sketch.Query(int64(math.Ceil(p / 100 * float64(d.count))))
 }
 
 // P95 is the 95th percentile, the paper's headline delay metric.

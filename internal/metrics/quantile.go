@@ -1,0 +1,202 @@
+// Greenwald-Khanna streaming quantile sketch (SIGMOD '01), the engine
+// behind DelayRecorder's fixed-memory percentile estimates. The sketch
+// keeps a sorted list of tuples (v, g, delta) such that for every tuple
+// the true rank of v lies in [rmin, rmin+delta], with rmin the running sum
+// of g. Inserts are buffered and merged in sorted batches so the
+// per-sample cost is amortized O(log b + s/b); memory is
+// O((1/eps)·log(eps·n)) instead of one float64 per sample.
+//
+// For small inputs (n < 1/(2·eps) samples, i.e. before the first
+// compression) the sketch holds every sample with g=1, delta=0 and
+// queries degenerate to exact nearest-rank percentiles, which keeps unit
+// tests on handfuls of samples bit-exact with a sorted slice.
+package metrics
+
+import "sort"
+
+// defaultEpsilon is the rank-error bound: p95 on n samples is off by at
+// most epsilon·n ranks. 0.0005 keeps sketches exact below 1000 samples
+// and within ±0.05% rank at the millions of samples a 60 s cellular run
+// produces, while bounding memory to a few thousand tuples.
+const defaultEpsilon = 0.0005
+
+// gkTuple is one summary entry: value, rank gap to the previous tuple's
+// minimum rank, and rank uncertainty.
+type gkTuple struct {
+	v     float64
+	g     int64
+	delta int64
+}
+
+// gkSketch is a Greenwald-Khanna epsilon-approximate quantile summary.
+// The zero value is ready to use with defaultEpsilon.
+type gkSketch struct {
+	eps    float64
+	n      int64
+	tuples []gkTuple
+	// spare is the previous tuple buffer, recycled as the next flush's
+	// merge destination so steady-state flushes do not allocate.
+	spare []gkTuple
+	buf   []float64
+	// bufLimit caches bufCap() so the per-sample path skips the float
+	// division.
+	bufLimit int
+}
+
+// epsilon returns the configured error bound.
+func (s *gkSketch) epsilon() float64 {
+	if s.eps <= 0 {
+		return defaultEpsilon
+	}
+	return s.eps
+}
+
+// bufCap is the insert-buffer size: one compression period's worth of
+// samples, so merges amortize to O(1) comparisons per sample.
+func (s *gkSketch) bufCap() int { return int(1/(2*s.epsilon())) + 1 }
+
+// Add inserts one observation.
+func (s *gkSketch) Add(v float64) {
+	if s.bufLimit == 0 {
+		s.bufLimit = s.bufCap()
+	}
+	s.buf = append(s.buf, v)
+	s.n++
+	if len(s.buf) >= s.bufLimit {
+		s.flush()
+	}
+}
+
+// Count returns the number of observations.
+func (s *gkSketch) Count() int64 { return s.n }
+
+// flush sort-merges the buffered samples into the tuple list and
+// compresses mergeable neighbours in the same pass.
+func (s *gkSketch) flush() {
+	if len(s.buf) == 0 {
+		return
+	}
+	sort.Float64s(s.buf)
+	// Merge the sorted buffer and the existing tuples into the recycled
+	// spare buffer. New samples enter with g=1; delta is the standard
+	// insertion bound floor(2·eps·n)-ish, except at the extremes which
+	// must stay exact.
+	maxDelta := int64(2 * s.epsilon() * float64(s.n))
+	need := len(s.tuples) + len(s.buf)
+	merged := s.spare[:0]
+	if cap(merged) < need {
+		merged = make([]gkTuple, 0, need+need/2)
+	}
+	ti, bi := 0, 0
+	for ti < len(s.tuples) || bi < len(s.buf) {
+		if bi >= len(s.buf) {
+			merged = append(merged, s.tuples[ti])
+			ti++
+			continue
+		}
+		if ti >= len(s.tuples) {
+			merged = append(merged, s.newTuple(s.buf[bi], len(merged) == 0, bi == len(s.buf)-1, maxDelta))
+			bi++
+			continue
+		}
+		if s.tuples[ti].v <= s.buf[bi] {
+			merged = append(merged, s.tuples[ti])
+			ti++
+		} else {
+			// A tuple with a larger value remains, so this insert is
+			// never the new maximum.
+			merged = append(merged, s.newTuple(s.buf[bi], len(merged) == 0, false, maxDelta))
+			bi++
+		}
+	}
+	s.buf = s.buf[:0]
+	s.spare = s.tuples[:0]
+	s.tuples = s.compress(merged)
+}
+
+// newTuple builds the insertion tuple for value v. Extremes carry delta 0
+// so min/max stay exact.
+func (s *gkSketch) newTuple(v float64, first, last bool, maxDelta int64) gkTuple {
+	d := maxDelta
+	if d > 0 {
+		d-- // standard GK insertion uses floor(2·eps·n)-1 when positive
+	}
+	if first || last {
+		d = 0
+	}
+	return gkTuple{v: v, g: 1, delta: d}
+}
+
+// compress merges adjacent tuples whose combined rank band fits within
+// the error budget, bounding summary size.
+func (s *gkSketch) compress(ts []gkTuple) []gkTuple {
+	if len(ts) <= 2 {
+		return ts
+	}
+	budget := int64(2 * s.epsilon() * float64(s.n))
+	out := ts[:1] // never merge away the minimum
+	for i := 1; i < len(ts); i++ {
+		t := ts[i]
+		last := &out[len(out)-1]
+		// Merging last into t: t absorbs last's gap.
+		if len(out) > 1 && i < len(ts)-1 && last.g+t.g+t.delta <= budget {
+			t.g += last.g
+			out[len(out)-1] = t
+		} else {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Query returns the value whose rank is within epsilon·n of r (1-based).
+// With an uncompressed summary this is exactly the rank-r order statistic.
+func (s *gkSketch) Query(r int64) float64 {
+	s.flush()
+	if len(s.tuples) == 0 {
+		return 0
+	}
+	if r < 1 {
+		r = 1
+	}
+	if r > s.n {
+		r = s.n
+	}
+	margin := int64(s.epsilon() * float64(s.n))
+	var rmin int64
+	for i := range s.tuples {
+		rmin += s.tuples[i].g
+		if i+1 == len(s.tuples) {
+			return s.tuples[i].v
+		}
+		nextRmax := rmin + s.tuples[i+1].g + s.tuples[i+1].delta
+		if nextRmax > r+margin {
+			return s.tuples[i].v
+		}
+	}
+	return s.tuples[len(s.tuples)-1].v
+}
+
+// Min returns the smallest observation (exact).
+func (s *gkSketch) Min() float64 {
+	s.flush()
+	if len(s.tuples) == 0 {
+		return 0
+	}
+	return s.tuples[0].v
+}
+
+// Max returns the largest observation (exact).
+func (s *gkSketch) Max() float64 {
+	s.flush()
+	if len(s.tuples) == 0 {
+		return 0
+	}
+	return s.tuples[len(s.tuples)-1].v
+}
+
+// TupleCount reports the summary size (for memory-bound tests).
+func (s *gkSketch) TupleCount() int {
+	s.flush()
+	return len(s.tuples)
+}

@@ -1,0 +1,183 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"abc/internal/sim"
+)
+
+// exactPercentile is the nearest-rank reference implementation.
+func exactPercentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// distributions generate the delay shapes the paper's experiments see:
+// roughly uniform queuing sweeps, bimodal outage/no-outage mixtures, and
+// heavy-tailed bufferbloat spikes.
+var distributions = map[string]func(rng *rand.Rand) float64{
+	"uniform": func(rng *rand.Rand) float64 { return 10 + 90*rng.Float64() },
+	"bimodal": func(rng *rand.Rand) float64 {
+		if rng.Float64() < 0.8 {
+			return 20 + 5*rng.NormFloat64()
+		}
+		return 400 + 50*rng.NormFloat64()
+	},
+	"heavytail": func(rng *rand.Rand) float64 {
+		// Pareto(alpha=1.5): infinite variance, the worst case for
+		// rank sketches.
+		return 10 * math.Pow(rng.Float64(), -1/1.5)
+	},
+}
+
+// TestStreamingPercentileMatchesExact: the default streaming recorder's
+// p50/p95/p99 must land within the sketch's rank tolerance of the exact
+// sorted-sample percentile across distribution shapes and sizes.
+func TestStreamingPercentileMatchesExact(t *testing.T) {
+	for name, gen := range distributions {
+		for _, n := range []int{10, 999, 5_000, 200_000} {
+			rng := rand.New(rand.NewSource(int64(n) + 17))
+			var d DelayRecorder
+			samples := make([]float64, 0, n)
+			for i := 0; i < n; i++ {
+				v := gen(rng)
+				samples = append(samples, v)
+				d.Add(sim.FromSeconds(v / 1000))
+			}
+			sort.Float64s(samples)
+			for _, p := range []float64{50, 95, 99} {
+				got := d.Percentile(p)
+				// The sketch guarantees a rank within eps*n of the
+				// target; accept any value between the bracketing
+				// order statistics (plus float conversion slack).
+				slack := int(math.Ceil(2 * defaultEpsilon * float64(n)))
+				rank := int(math.Ceil(p / 100 * float64(n)))
+				lo := samples[clampIdx(rank-1-slack, n)]
+				hi := samples[clampIdx(rank-1+slack, n)]
+				if got < lo-1e-6 || got > hi+1e-6 {
+					t.Errorf("%s n=%d p%.0f: streaming %.4f outside exact band [%.4f, %.4f]",
+						name, n, p, got, lo, hi)
+				}
+			}
+		}
+	}
+}
+
+func clampIdx(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// TestStreamingSmallInputsExact: below the first compression the sketch
+// must reproduce nearest-rank percentiles bit-exactly.
+func TestStreamingSmallInputsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var stream, exact DelayRecorder
+	exact.Exact = true
+	var raw []float64
+	for i := 0; i < 500; i++ {
+		v := rng.Float64() * 250
+		raw = append(raw, v)
+		ts := sim.FromSeconds(v / 1000)
+		stream.Add(ts)
+		exact.Add(ts)
+	}
+	sort.Float64s(raw)
+	for p := 0.0; p <= 100; p += 2.5 {
+		if got, want := stream.Percentile(p), exact.Percentile(p); got != want {
+			t.Fatalf("p%.1f: streaming %v != exact %v", p, got, want)
+		}
+	}
+}
+
+// TestStreamingMemoryBounded: the sketch must not grow linearly with the
+// input. 2M samples must fit in a few thousand tuples.
+func TestStreamingMemoryBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2M-sample soak")
+	}
+	rng := rand.New(rand.NewSource(11))
+	var d DelayRecorder
+	for i := 0; i < 2_000_000; i++ {
+		d.Add(sim.Time(rng.Int63n(int64(sim.Second))))
+	}
+	if got := d.sketch.TupleCount(); got > 64*int(1/defaultEpsilon) {
+		t.Errorf("sketch holds %d tuples for 2M samples; not fixed-memory", got)
+	}
+	if d.Count() != 2_000_000 {
+		t.Errorf("count = %d", d.Count())
+	}
+}
+
+// TestStreamingMinMaxExact: extremes are tracked exactly in both modes.
+func TestStreamingMinMaxExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var d DelayRecorder
+	min, max := math.Inf(1), math.Inf(-1)
+	for i := 0; i < 10_000; i++ {
+		ts := sim.FromSeconds(rng.ExpFloat64() / 10)
+		// Track extremes of the value the recorder actually stores
+		// (milliseconds after integer-nanosecond quantization).
+		min = math.Min(min, ts.Millis())
+		max = math.Max(max, ts.Millis())
+		d.Add(ts)
+	}
+	if got := d.Percentile(0); math.Abs(got-min) > 1e-9 {
+		t.Errorf("p0 = %v, want exact min %v", got, min)
+	}
+	if got := d.Percentile(100); math.Abs(got-max) > 1e-9 {
+		t.Errorf("p100 = %v, want exact max %v", got, max)
+	}
+}
+
+// TestExactModeMatchesSeedBehaviour: Exact mode reproduces the original
+// buffered implementation including re-sorting after late Adds.
+func TestExactModeMatchesSeedBehaviour(t *testing.T) {
+	var d DelayRecorder
+	d.Exact = true
+	d.Add(10 * sim.Millisecond)
+	_ = d.P95()
+	d.Add(5 * sim.Millisecond)
+	if got := d.Percentile(0); got != 5 {
+		t.Errorf("min after re-sort = %v", got)
+	}
+	if got := d.Mean(); math.Abs(got-7.5) > 1e-12 {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+// TestExactSetAfterAddFallsBack: flipping Exact on mid-stream must not
+// panic — the recorder falls back to the (complete) sketch.
+func TestExactSetAfterAddFallsBack(t *testing.T) {
+	var d DelayRecorder
+	d.Add(10 * sim.Millisecond)
+	d.Add(20 * sim.Millisecond)
+	d.Exact = true
+	d.Add(30 * sim.Millisecond)
+	if got := d.Percentile(50); got != 20 {
+		t.Errorf("p50 after late Exact = %v, want 20 (sketch fallback)", got)
+	}
+	if got := d.Count(); got != 3 {
+		t.Errorf("count = %d", got)
+	}
+}

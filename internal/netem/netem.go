@@ -28,9 +28,13 @@ func NewWire(s *sim.Simulator, delay sim.Time, dst packet.Node) *Wire {
 	return &Wire{S: s, Delay: delay, Dst: dst}
 }
 
+// wireDeliver is the static delivery callback: scheduling it with AfterArgs
+// avoids a per-packet closure on the busiest path in the simulator.
+func wireDeliver(a, b any) { a.(*Wire).Dst.Recv(b.(*packet.Packet)) }
+
 // Recv implements packet.Node.
 func (w *Wire) Recv(p *packet.Packet) {
-	w.S.After(w.Delay, func() { w.Dst.Recv(p) })
+	w.S.AfterArgs(w.Delay, wireDeliver, w, p)
 }
 
 // Demux routes packets to per-flow destinations.
@@ -54,7 +58,10 @@ func (d *Demux) Recv(p *packet.Packet) {
 	}
 	if d.Default != nil {
 		d.Default.Recv(p)
+		return
 	}
+	// No route and no default: the demux is the last holder.
+	p.Release()
 }
 
 // DeliveryFunc observes packets delivered by a link or receiver.
@@ -77,6 +84,9 @@ type TraceLink struct {
 	OnDeliver DeliveryFunc
 
 	tr *trace.Trace
+	// oppFn is the bound opportunity callback, created once so arming the
+	// next delivery does not allocate a method-value closure per packet.
+	oppFn func()
 
 	running   bool
 	delivered int64 // bytes
@@ -90,6 +100,7 @@ type TraceLink struct {
 // provider reporting the trace's windowed rate.
 func NewTraceLink(s *sim.Simulator, tr *trace.Trace, q qdisc.Qdisc, dst packet.Node) *TraceLink {
 	l := &TraceLink{S: s, Q: q, Dst: dst, CapWindow: 80 * sim.Millisecond, tr: tr}
+	l.oppFn = l.opportunity
 	if ca, ok := q.(qdisc.CapacityAware); ok {
 		ca.SetCapacityProvider(l.CapacityBps)
 	}
@@ -119,7 +130,8 @@ func (l *TraceLink) DeliveredBytes() int64 { return l.delivered }
 func (l *TraceLink) Recv(p *packet.Packet) {
 	now := l.S.Now()
 	if !l.Q.Enqueue(now, p) {
-		return // dropped by the discipline
+		p.Release() // dropped by the discipline
+		return
 	}
 	if !l.running {
 		l.running = true
@@ -130,7 +142,7 @@ func (l *TraceLink) Recv(p *packet.Packet) {
 // scheduleNext arms the next delivery opportunity strictly after now.
 func (l *TraceLink) scheduleNext(now sim.Time) {
 	next := l.tr.NextOpportunity(now)
-	l.S.At(next, l.opportunity)
+	l.S.At(next, l.oppFn)
 }
 
 // opportunity fires at a trace delivery instant and drains one MTU per
@@ -209,12 +221,17 @@ func (l *RateLink) DeliveredBytes() int64 { return l.delivered }
 func (l *RateLink) Recv(p *packet.Packet) {
 	now := l.S.Now()
 	if !l.Q.Enqueue(now, p) {
+		p.Release()
 		return
 	}
 	if !l.busy {
 		l.startNext()
 	}
 }
+
+// rateLinkFinish is the static transmission-complete callback (no
+// per-packet closure).
+func rateLinkFinish(a, b any) { a.(*RateLink).finish(b.(*packet.Packet)) }
 
 // startNext begins transmitting the head packet if any.
 func (l *RateLink) startNext() {
@@ -227,20 +244,16 @@ func (l *RateLink) startNext() {
 	l.busy = true
 	p.QueueDelay += now - p.EnqueuedAt
 	rate := l.Rate(now)
-	var txTime sim.Time
 	if rate <= 0 {
 		// Zero-rate interval: poll again shortly rather than divide by
-		// zero; the packet transmits when capacity returns.
-		txTime = sim.Millisecond
-		l.S.After(txTime, func() {
-			// Re-enqueue at the head is impossible generically; treat
-			// the packet as transmitting across the outage.
-			l.finish(p)
-		})
+		// zero; the packet transmits when capacity returns (re-enqueueing
+		// at the head is impossible generically, so treat the packet as
+		// transmitting across the outage).
+		l.S.AfterArgs(sim.Millisecond, rateLinkFinish, l, p)
 		return
 	}
-	txTime = sim.FromSeconds(float64(p.Size*8) / rate)
-	l.S.After(txTime, func() { l.finish(p) })
+	txTime := sim.FromSeconds(float64(p.Size*8) / rate)
+	l.S.AfterArgs(txTime, rateLinkFinish, l, p)
 }
 
 // finish completes a transmission and hands the packet on.

@@ -37,6 +37,9 @@ func NewReceiver(s *sim.Simulator, flow int, out packet.Node) *Receiver {
 // Recv implements packet.Node for data packets.
 func (r *Receiver) Recv(p *packet.Packet) {
 	if p.IsAck || p.Flow != r.Flow {
+		// Misrouted traffic still ends here: the receiver is the last
+		// holder, so the ownership contract says it releases.
+		p.Release()
 		return
 	}
 	now := r.S.Now()
@@ -57,6 +60,9 @@ func (r *Receiver) Recv(p *packet.Packet) {
 	}
 	ack := packet.NewAck(p, r.nextExpected, now)
 	r.Out.Recv(ack)
+	// The receiver is the data packet's terminal consumer: observers and
+	// the ACK builder are done with it, so it goes back to the free list.
+	p.Release()
 }
 
 // CumAck returns the receiver's current cumulative acknowledgement point.

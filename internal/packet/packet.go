@@ -10,6 +10,7 @@ package packet
 
 import (
 	"fmt"
+	"sync"
 
 	"abc/internal/sim"
 )
@@ -141,26 +142,53 @@ type XCPHeader struct {
 	Valid bool
 }
 
-// NewData returns a data packet of the given flow, sequence and size.
+// pool recycles Packet structs across the whole process. Simulated flows
+// churn through one data packet and one ACK per exchange; without
+// recycling that is the dominant allocation in every experiment. The pool
+// is safe for concurrent use, so parallel experiment cells share it.
+var pool = sync.Pool{New: func() any { return new(Packet) }}
+
+// Get returns a zeroed packet from the free list.
+//
+// Ownership rules: a packet has exactly one owner at a time — whoever
+// holds the pointer last is responsible for either forwarding it (links,
+// qdiscs, wires) or releasing it (terminal consumers: the receiver for
+// data packets, the sender endpoint for ACKs, and whichever element drops
+// it). Qdisc.Enqueue returning false leaves ownership with the caller;
+// drops inside a qdisc's Dequeue are released by the qdisc itself.
+func Get() *Packet { return pool.Get().(*Packet) }
+
+// Release zeroes p and returns it to the free list. The caller must not
+// touch p afterwards. Test sinks that retain packets simply skip Release.
+func (p *Packet) Release() {
+	*p = Packet{}
+	pool.Put(p)
+}
+
+// NewData returns a data packet of the given flow, sequence and size,
+// drawn from the free list.
 func NewData(flow int, seq int64, size int, now sim.Time) *Packet {
-	return &Packet{Flow: flow, Seq: seq, Size: size, SentAt: now}
+	p := Get()
+	p.Flow, p.Seq, p.Size, p.SentAt = flow, seq, size, now
+	return p
 }
 
 // NewAck builds the acknowledgement for data packet p, carrying the
-// receiver's cumulative ack and echoing ABC/ECN signals.
+// receiver's cumulative ack and echoing ABC/ECN signals. The ACK is drawn
+// from the free list; p itself is left untouched (the caller still owns
+// and eventually releases it).
 func NewAck(p *Packet, cumAck int64, now sim.Time) *Packet {
-	a := &Packet{
-		Flow:          p.Flow,
-		Seq:           p.Seq,
-		CumAck:        cumAck,
-		Size:          AckSize,
-		IsAck:         true,
-		Retx:          p.Retx,
-		AckSentAt:     p.SentAt,
-		AckQueueDelay: p.QueueDelay,
-		ABCFlow:       p.ABCFlow,
-		AppLimited:    p.AppLimited,
-	}
+	a := Get()
+	a.Flow = p.Flow
+	a.Seq = p.Seq
+	a.CumAck = cumAck
+	a.Size = AckSize
+	a.IsAck = true
+	a.Retx = p.Retx
+	a.AckSentAt = p.SentAt
+	a.AckQueueDelay = p.QueueDelay
+	a.ABCFlow = p.ABCFlow
+	a.AppLimited = p.AppLimited
 	switch p.ECN {
 	case Accel:
 		a.EchoValid = true

@@ -158,3 +158,38 @@ func TestRetxAckSuppressesRTTSample(t *testing.T) {
 		t.Error("ack of retransmission must carry Retx")
 	}
 }
+
+func TestPoolRecyclesZeroed(t *testing.T) {
+	p := NewData(3, 42, MTU, 7)
+	p.ECN = Accel
+	p.QueueDelay = 5
+	p.Release()
+	q := Get()
+	// q may or may not be the same object (sync.Pool), but it must be
+	// zeroed either way.
+	if *q != (Packet{}) {
+		t.Errorf("Get returned a dirty packet: %+v", q)
+	}
+	q.Release()
+}
+
+func TestNewAckLeavesDataPacketIntact(t *testing.T) {
+	p := NewData(1, 9, MTU, 100)
+	p.ECN = Brake
+	p.QueueDelay = 11
+	a := NewAck(p, 10, 200)
+	if a == p {
+		t.Fatal("ACK aliases the data packet")
+	}
+	if p.ECN != Brake || p.Seq != 9 || p.QueueDelay != 11 {
+		t.Errorf("data packet mutated by NewAck: %+v", p)
+	}
+	if !a.IsAck || a.Size != AckSize || a.AckSentAt != 100 || a.AckQueueDelay != 11 {
+		t.Errorf("ack fields wrong: %+v", a)
+	}
+	if !a.EchoValid || a.EchoAccel {
+		t.Errorf("brake echo wrong: %+v", a)
+	}
+	p.Release()
+	a.Release()
+}

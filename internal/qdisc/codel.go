@@ -106,6 +106,7 @@ func (c *CoDel) Dequeue(now sim.Time) *packet.Packet {
 				}
 				c.Stats.DroppedPackets++
 				c.dropCount++
+				p.Release() // dropped inside the discipline: it owns p
 				p, okToDrop = c.doDequeue(now)
 				if p == nil {
 					c.dropping = false
@@ -125,6 +126,7 @@ func (c *CoDel) Dequeue(now sim.Time) *packet.Packet {
 			c.Stats.MarkedPackets++
 		} else {
 			c.Stats.DroppedPackets++
+			p.Release() // dropped inside the discipline: it owns p
 			p, _ = c.doDequeue(now)
 		}
 		c.dropping = true

@@ -6,10 +6,19 @@
 // executed in (time, insertion-order) order, which makes every run fully
 // deterministic: two simulations configured identically (including RNG
 // seeds) produce byte-identical results.
+//
+// The event queue is a hand-rolled 4-ary min-heap over inline event
+// structs. Scheduling state (the heap slice, the slot table and its free
+// list) is recycled across events, so At/After/Stop and the run loop are
+// allocation-free in steady state; the only per-event allocation is
+// whatever closure the caller passes in. Callers on hot paths can avoid
+// even that with AtArgs/AfterArgs, which carry a static function plus two
+// pointer-shaped arguments inline in the event. Timer.Stop removes the
+// event from the heap eagerly, so canceled events cost nothing and
+// Pending() reflects live events only.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -44,67 +53,65 @@ func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
 // String formats the time with millisecond precision for logs.
 func (t Time) String() string { return fmt.Sprintf("%.3fms", t.Millis()) }
 
-// event is a scheduled callback. seq breaks ties between events scheduled
-// for the same instant: earlier-scheduled events run first.
+// ArgsFunc is a callback that receives the two scheduling arguments given
+// to AtArgs/AfterArgs. Both arguments should be pointer-shaped so that
+// boxing them into the event is allocation-free.
+type ArgsFunc func(a, b any)
+
+// event is a scheduled callback, stored inline in the heap slice. seq
+// breaks ties between events scheduled for the same instant:
+// earlier-scheduled events run first. Exactly one of fn and fn2 is set.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
-	// canceled events stay in the heap but are skipped when popped.
-	canceled bool
-	index    int
+	at   Time
+	seq  uint64
+	fn   func()
+	fn2  ArgsFunc
+	a, b any
+	slot int32
 }
 
-// Timer is a handle to a scheduled event that can be canceled.
-type Timer struct{ ev *event }
+// slotInfo tracks one Timer handle slot: the event's current heap index
+// and a generation counter that invalidates stale Timers when the slot is
+// recycled.
+type slotInfo struct {
+	idx int32
+	gen uint32
+}
 
-// Stop cancels the timer. It is safe to call multiple times and after the
-// event has fired (in which case it has no effect). Reports whether the
-// event had not yet fired.
-func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.canceled || t.ev.index < 0 {
+// Timer is a handle to a scheduled event that can be canceled. The zero
+// Timer is inert: Stop on it reports false.
+type Timer struct {
+	s    *Simulator
+	slot int32
+	gen  uint32
+}
+
+// Stop cancels the timer, eagerly removing the event from the queue. It
+// is safe to call multiple times and after the event has fired (in which
+// case it has no effect). Reports whether the event had not yet fired.
+func (t Timer) Stop() bool {
+	if t.s == nil {
 		return false
 	}
-	t.ev.canceled = true
-	return true
-}
-
-// eventHeap implements container/heap ordered by (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+	sl := &t.s.slots[t.slot]
+	if sl.gen != t.gen {
+		return false // already fired, stopped, or slot recycled
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+	t.s.heapRemove(int(sl.idx))
+	t.s.freeSlot(t.slot)
+	return true
 }
 
 // Simulator owns the virtual clock and the event queue.
 type Simulator struct {
-	now    Time
-	seq    uint64
-	events eventHeap
-	rng    *rand.Rand
+	now  Time
+	seq  uint64
+	heap []event
+	// slots maps Timer handles to heap positions; free lists recyclable
+	// slot indices. Both are reused for the life of the simulator.
+	slots []slotInfo
+	free  []int32
+	rng   *rand.Rand
 	// executed counts events run, useful for runaway detection in tests.
 	executed uint64
 	// limit aborts Run after this many events (0 = unlimited).
@@ -131,31 +138,171 @@ func (s *Simulator) Executed() uint64 { return s.executed }
 // SetEventLimit aborts Run after n events; 0 disables the limit.
 func (s *Simulator) SetEventLimit(n uint64) { s.limit = n }
 
-// At schedules fn to run at absolute virtual time t. Scheduling in the past
-// panics: it always indicates a logic error in a component.
-func (s *Simulator) At(t Time, fn func()) *Timer {
+// less orders events by (at, seq).
+func (s *Simulator) less(i, j int) bool {
+	if s.heap[i].at != s.heap[j].at {
+		return s.heap[i].at < s.heap[j].at
+	}
+	return s.heap[i].seq < s.heap[j].seq
+}
+
+// place writes ev into heap position i and updates its slot's index.
+func (s *Simulator) place(i int, ev event) {
+	s.heap[i] = ev
+	s.slots[ev.slot].idx = int32(i)
+}
+
+// siftUp restores the heap invariant upward from position i.
+func (s *Simulator) siftUp(i int) {
+	ev := s.heap[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		p := s.heap[parent]
+		if ev.at > p.at || (ev.at == p.at && ev.seq > p.seq) {
+			break
+		}
+		s.place(i, p)
+		i = parent
+	}
+	s.place(i, ev)
+}
+
+// siftDown restores the heap invariant downward from position i.
+func (s *Simulator) siftDown(i int) {
+	n := len(s.heap)
+	ev := s.heap[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if s.less(c, best) {
+				best = c
+			}
+		}
+		b := s.heap[best]
+		if ev.at < b.at || (ev.at == b.at && ev.seq < b.seq) {
+			break
+		}
+		s.place(i, b)
+		i = best
+	}
+	s.place(i, ev)
+}
+
+// heapPush inserts ev.
+func (s *Simulator) heapPush(ev event) {
+	s.heap = append(s.heap, ev)
+	s.slots[ev.slot].idx = int32(len(s.heap) - 1)
+	s.siftUp(len(s.heap) - 1)
+}
+
+// heapRemove deletes the event at heap index i, preserving the invariant.
+func (s *Simulator) heapRemove(i int) {
+	n := len(s.heap) - 1
+	last := s.heap[n]
+	s.heap[n] = event{} // drop closure/arg references
+	s.heap = s.heap[:n]
+	if i == n {
+		return
+	}
+	s.place(i, last)
+	s.siftDown(i)
+	if int(s.slots[last.slot].idx) == i {
+		s.siftUp(i)
+	}
+}
+
+// allocSlot returns a slot index for a new event, reusing freed slots.
+func (s *Simulator) allocSlot() int32 {
+	if n := len(s.free); n > 0 {
+		sl := s.free[n-1]
+		s.free = s.free[:n-1]
+		return sl
+	}
+	// Generations start at 1 so the zero Timer never matches a live slot.
+	s.slots = append(s.slots, slotInfo{gen: 1})
+	return int32(len(s.slots) - 1)
+}
+
+// freeSlot invalidates outstanding Timers for the slot and recycles it.
+func (s *Simulator) freeSlot(sl int32) {
+	s.slots[sl].gen++
+	s.free = append(s.free, sl)
+}
+
+// schedule inserts an event at absolute time t.
+func (s *Simulator) schedule(t Time, fn func(), fn2 ArgsFunc, a, b any) Timer {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
 	}
-	ev := &event{at: t, seq: s.seq, fn: fn}
+	sl := s.allocSlot()
+	s.heapPush(event{at: t, seq: s.seq, fn: fn, fn2: fn2, a: a, b: b, slot: sl})
 	s.seq++
-	heap.Push(&s.events, ev)
-	return &Timer{ev: ev}
+	return Timer{s: s, slot: sl, gen: s.slots[sl].gen}
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it always indicates a logic error in a component.
+func (s *Simulator) At(t Time, fn func()) Timer {
+	return s.schedule(t, fn, nil, nil, nil)
 }
 
 // After schedules fn to run d after the current time.
-func (s *Simulator) After(d Time, fn func()) *Timer {
+func (s *Simulator) After(d Time, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
-	return s.At(s.now+d, fn)
+	return s.schedule(s.now+d, fn, nil, nil, nil)
+}
+
+// AtArgs schedules fn(a, b) at absolute time t without allocating a
+// closure: fn should be a static function and a, b pointer-shaped values.
+func (s *Simulator) AtArgs(t Time, fn ArgsFunc, a, b any) Timer {
+	return s.schedule(t, nil, fn, a, b)
+}
+
+// AfterArgs schedules fn(a, b) to run d after the current time; see AtArgs.
+func (s *Simulator) AfterArgs(d Time, fn ArgsFunc, a, b any) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.schedule(s.now+d, nil, fn, a, b)
 }
 
 // Halt stops the run loop after the current event completes.
 func (s *Simulator) Halt() { s.halted = true }
 
-// Pending reports the number of scheduled (possibly canceled) events.
-func (s *Simulator) Pending() int { return len(s.events) }
+// Pending reports the number of scheduled events. Canceled events are
+// removed eagerly and never counted.
+func (s *Simulator) Pending() int { return len(s.heap) }
+
+// popHead removes the root event and returns it.
+func (s *Simulator) popHead() event {
+	ev := s.heap[0]
+	s.heapRemove(0)
+	s.freeSlot(ev.slot)
+	return ev
+}
+
+// dispatch runs one event's callback.
+func (s *Simulator) dispatch(ev event) {
+	s.executed++
+	if s.limit != 0 && s.executed > s.limit {
+		panic(fmt.Sprintf("sim: event limit %d exceeded at %v", s.limit, s.now))
+	}
+	if ev.fn2 != nil {
+		ev.fn2(ev.a, ev.b)
+	} else {
+		ev.fn()
+	}
+}
 
 // RunUntil executes events in order until the queue is empty or the next
 // event is strictly after end. The clock is left at min(end, last event
@@ -163,21 +310,13 @@ func (s *Simulator) Pending() int { return len(s.events) }
 func (s *Simulator) RunUntil(end Time) uint64 {
 	start := s.executed
 	s.halted = false
-	for len(s.events) > 0 && !s.halted {
-		next := s.events[0]
-		if next.at > end {
+	for len(s.heap) > 0 && !s.halted {
+		if s.heap[0].at > end {
 			break
 		}
-		heap.Pop(&s.events)
-		if next.canceled {
-			continue
-		}
-		s.now = next.at
-		s.executed++
-		if s.limit != 0 && s.executed > s.limit {
-			panic(fmt.Sprintf("sim: event limit %d exceeded at %v", s.limit, s.now))
-		}
-		next.fn()
+		ev := s.popHead()
+		s.now = ev.at
+		s.dispatch(ev)
 	}
 	if s.now < end {
 		s.now = end
@@ -189,17 +328,10 @@ func (s *Simulator) RunUntil(end Time) uint64 {
 func (s *Simulator) Run() uint64 {
 	start := s.executed
 	s.halted = false
-	for len(s.events) > 0 && !s.halted {
-		next := heap.Pop(&s.events).(*event)
-		if next.canceled {
-			continue
-		}
-		s.now = next.at
-		s.executed++
-		if s.limit != 0 && s.executed > s.limit {
-			panic(fmt.Sprintf("sim: event limit %d exceeded at %v", s.limit, s.now))
-		}
-		next.fn()
+	for len(s.heap) > 0 && !s.halted {
+		ev := s.popHead()
+		s.now = ev.at
+		s.dispatch(ev)
 	}
 	return s.executed - start
 }

@@ -261,3 +261,118 @@ func TestPendingAndExecuted(t *testing.T) {
 		t.Errorf("Pending after run = %d", s.Pending())
 	}
 }
+
+// TestTimerStopEagerRemoval is the tombstone-leak regression test: a
+// long-lived simulation that schedules and cancels many timers (e.g.
+// retransmission timers) must not grow its event queue. Before eager
+// removal, canceled events lingered until their deadline and Pending()
+// counted them.
+func TestTimerStopEagerRemoval(t *testing.T) {
+	s := New(1)
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		timer := s.At(Time(i+1)*Second, func() { t.Error("canceled event fired") })
+		if !timer.Stop() {
+			t.Fatalf("Stop %d reported false", i)
+		}
+	}
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("Pending() = %d after canceling all %d timers, want 0", got, n)
+	}
+	if s.Run() != 0 {
+		t.Error("Run executed canceled events")
+	}
+}
+
+// TestTimerStopInterleaved cancels a random subset and checks the
+// survivors run in order with the canceled ones truly gone.
+func TestTimerStopInterleaved(t *testing.T) {
+	s := New(7)
+	rng := rand.New(rand.NewSource(99))
+	var want []Time
+	var got []Time
+	timers := make([]Timer, 0, 1000)
+	ats := make([]Time, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		at := Time(rng.Int63n(int64(Second)))
+		timers = append(timers, s.At(at, func() { got = append(got, s.Now()) }))
+		ats = append(ats, at)
+	}
+	for i := range timers {
+		if rng.Intn(2) == 0 {
+			if !timers[i].Stop() {
+				t.Fatalf("Stop %d reported false", i)
+			}
+			ats[i] = -1
+		}
+	}
+	for _, at := range ats {
+		if at >= 0 {
+			want = append(want, at)
+		}
+	}
+	if s.Pending() != len(want) {
+		t.Fatalf("Pending() = %d, want %d", s.Pending(), len(want))
+	}
+	s.Run()
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(got), len(want))
+	}
+	last := Time(-1)
+	for _, at := range got {
+		if at < last {
+			t.Fatalf("out of order execution at %v after %v", at, last)
+		}
+		last = at
+	}
+}
+
+// TestTimerSlotReuseDoesNotCrossCancel checks that a Timer kept after its
+// event fired cannot cancel an unrelated event that recycled the slot.
+func TestTimerSlotReuseDoesNotCrossCancel(t *testing.T) {
+	s := New(1)
+	old := s.At(Millisecond, func() {})
+	s.Run() // fires; slot freed
+	fired := false
+	s.At(2*Millisecond, func() { fired = true })
+	if old.Stop() {
+		t.Error("stale Timer canceled a recycled slot's event")
+	}
+	s.Run()
+	if !fired {
+		t.Error("second event did not fire")
+	}
+}
+
+// TestZeroTimerStop: the zero Timer is inert.
+func TestZeroTimerStop(t *testing.T) {
+	var timer Timer
+	if timer.Stop() {
+		t.Error("zero Timer Stop reported true")
+	}
+}
+
+// TestScheduleSteadyStateAllocs verifies the event core recycles its heap
+// and slot storage: scheduling and draining events in steady state must
+// not allocate (the static callback carries pointer-shaped args).
+func TestScheduleSteadyStateAllocs(t *testing.T) {
+	s := New(1)
+	ping := func(a, b any) {}
+	// Warm up the heap, slot table and free list.
+	for i := 0; i < 1024; i++ {
+		s.AfterArgs(Time(i)*Microsecond, ping, s, nil)
+	}
+	s.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			s.AfterArgs(Time(i)*Microsecond, ping, s, nil)
+		}
+		for i := 0; i < 32; i++ {
+			s.AfterArgs(Time(i)*Microsecond, ping, s, nil).Stop()
+		}
+		s.Run()
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state schedule/cancel/run allocated %.1f times per run, want 0", allocs)
+	}
+}

@@ -83,6 +83,13 @@ type Link struct {
 	rng       *rand.Rand
 	busy      bool
 	delivered int64
+	// batch is the in-flight A-MPDU, reused across batches; finishFn is
+	// the bound completion callback. Together they keep the per-batch
+	// path allocation-free.
+	batch        []*packet.Packet
+	batchTIA     sim.Time
+	batchBitrate float64
+	finishFn     func()
 }
 
 // NewLink wires an 802.11n link. If est is non-nil it becomes the
@@ -98,6 +105,7 @@ func NewLink(s *sim.Simulator, cfg LinkConfig, q qdisc.Qdisc, dst packet.Node, e
 		cfg.MCS = func(sim.Time) int { return 5 }
 	}
 	l := &Link{S: s, Cfg: cfg, Q: q, Dst: dst, Est: est, rng: s.Rand()}
+	l.finishFn = l.finishBatch
 	if est != nil {
 		if ca, ok := q.(qdisc.CapacityAware); ok {
 			ca.SetCapacityProvider(est.RateBps)
@@ -113,6 +121,7 @@ func (l *Link) DeliveredBytes() int64 { return l.delivered }
 func (l *Link) Recv(p *packet.Packet) {
 	now := l.S.Now()
 	if !l.Q.Enqueue(now, p) {
+		p.Release()
 		return
 	}
 	if !l.busy {
@@ -132,41 +141,47 @@ func (l *Link) overhead() sim.Time {
 // startBatch assembles up to M frames and transmits them as one A-MPDU.
 func (l *Link) startBatch() {
 	now := l.S.Now()
-	var batch []*packet.Packet
-	for len(batch) < l.Cfg.MaxBatch {
+	l.batch = l.batch[:0]
+	for len(l.batch) < l.Cfg.MaxBatch {
 		p := l.Q.Dequeue(now)
 		if p == nil {
 			break
 		}
-		batch = append(batch, p)
+		l.batch = append(l.batch, p)
 	}
-	if len(batch) == 0 {
+	if len(l.batch) == 0 {
 		l.busy = false
 		return
 	}
 	l.busy = true
-	b := len(batch)
-	bitrate := BitrateForMCS(l.Cfg.MCS(now))
-	txTime := sim.FromSeconds(float64(b*l.Cfg.FrameSize*8) / bitrate)
-	tia := txTime + l.overhead()
-	l.S.After(tia, func() {
-		done := l.S.Now()
-		for _, p := range batch {
-			p.QueueDelay += done - p.EnqueuedAt
-			l.delivered += int64(p.Size)
-			if l.OnDeliver != nil {
-				l.OnDeliver(done, p)
-			}
-			l.Dst.Recv(p)
+	b := len(l.batch)
+	l.batchBitrate = BitrateForMCS(l.Cfg.MCS(now))
+	txTime := sim.FromSeconds(float64(b*l.Cfg.FrameSize*8) / l.batchBitrate)
+	l.batchTIA = txTime + l.overhead()
+	l.S.After(l.batchTIA, l.finishFn)
+}
+
+// finishBatch fires at the block-ACK instant: it delivers the batch,
+// feeds the estimator, and starts the next A-MPDU.
+func (l *Link) finishBatch() {
+	done := l.S.Now()
+	b := len(l.batch)
+	for i, p := range l.batch {
+		l.batch[i] = nil
+		p.QueueDelay += done - p.EnqueuedAt
+		l.delivered += int64(p.Size)
+		if l.OnDeliver != nil {
+			l.OnDeliver(done, p)
 		}
-		if l.Est != nil {
-			l.Est.OnBlockAck(done, b, tia, bitrate)
-		}
-		if l.OnBatch != nil {
-			l.OnBatch(done, b, tia, bitrate)
-		}
-		l.startBatch()
-	})
+		l.Dst.Recv(p)
+	}
+	if l.Est != nil {
+		l.Est.OnBlockAck(done, b, l.batchTIA, l.batchBitrate)
+	}
+	if l.OnBatch != nil {
+		l.OnBatch(done, b, l.batchTIA, l.batchBitrate)
+	}
+	l.startBatch()
 }
 
 // Estimator implements the paper's §4.1 link-rate estimation. On each
