@@ -1,11 +1,14 @@
-// Command abcsim runs any of the paper's experiments by ID and prints the
-// corresponding table rows or series.
+// Command abcsim runs any of the paper's experiments by ID — or any
+// declarative scenario file — and prints the corresponding table rows or
+// series.
 //
 // Usage:
 //
 //	abcsim -exp list
 //	abcsim -exp fig1 [-seed 1] [-dur 60]
 //	abcsim -exp fig9 -schemes ABC,Cubic,Cubic+Codel
+//	abcsim -exp schemes                      # registered schemes/qdiscs
+//	abcsim -scenario examples/scenarios/congested-uplink.json
 package main
 
 import (
@@ -15,17 +18,20 @@ import (
 	"sort"
 	"strings"
 
+	"abc/internal/cc"
 	"abc/internal/exp"
+	"abc/internal/qdisc"
 	"abc/internal/sim"
 )
 
 var (
-	expName = flag.String("exp", "list", "experiment id (use 'list' to enumerate)")
-	seed    = flag.Int64("seed", 1, "simulation seed")
-	durSec  = flag.Float64("dur", 60, "run duration in seconds (where applicable)")
-	schemes = flag.String("schemes", "", "comma-separated scheme subset (where applicable)")
-	users   = flag.Int("users", 1, "number of Wi-Fi users (fig10)")
-	runs    = flag.Int("runs", 3, "runs per point (fig12)")
+	expName  = flag.String("exp", "list", "experiment id (use 'list' to enumerate)")
+	seed     = flag.Int64("seed", 1, "simulation seed")
+	durSec   = flag.Float64("dur", 60, "run duration in seconds (where applicable)")
+	schemes  = flag.String("schemes", "", "comma-separated scheme subset (where applicable)")
+	users    = flag.Int("users", 1, "number of Wi-Fi users (fig10)")
+	runs     = flag.Int("runs", 3, "runs per point (fig12)")
+	scenario = flag.String("scenario", "", "path to a declarative scenario file (overrides -exp)")
 )
 
 func main() {
@@ -76,10 +82,17 @@ func experiments() []experiment {
 		{"proxied", "§5.1.2 proxied-network ECN encoding vs NS-bit encoding", runProxied},
 		{"pkabc", "§6.6 perfect-knowledge ABC", runPKABC},
 		{"stability", "Theorem 3.1 stability boundary sweep", runStability},
+		{"uplink", "asymmetric cellular: congested uplink carrying the ACKs", runUplink},
+		{"heterortt", "heterogeneous-RTT fairness sweep", runHeteroRTT},
+		{"lossy", "lossy-link robustness sweep (random + bursty loss)", runLossy},
+		{"schemes", "registered schemes and qdisc kinds", runSchemes},
 	}
 }
 
 func run() error {
+	if *scenario != "" {
+		return runScenarioFile(*scenario)
+	}
 	exps := experiments()
 	if *expName == "list" {
 		for _, e := range exps {
@@ -422,6 +435,109 @@ func runStability() error {
 			mark = "stable"
 		}
 		fmt.Printf("delta/tau=%.2f  %-8s  peak-to-peak=%.4f s\n", p.DeltaOverTau, mark, p.PeakToPeak)
+	}
+	return nil
+}
+
+func runUplink() error {
+	out, err := exp.UplinkCongestedACK(schemeList(), 2, dur(), *seed)
+	if err != nil {
+		return err
+	}
+	var names []string
+	for sch := range out {
+		names = append(names, sch)
+	}
+	sort.Strings(names)
+	fmt.Printf("%-14s %8s %10s %12s %12s %10s\n",
+		"Scheme", "DownUtil", "Down Mbps", "p95 q (ms)", "AckDrops", "Up Mbps")
+	for _, sch := range names {
+		r := out[sch]
+		fmt.Printf("%-14s %7.1f%% %10.2f %12.0f %12d %10.2f\n",
+			sch, r.Down.Utilization*100, r.Down.TputMbps, r.QDelayP95, r.AckPathDrops, r.UpTputMbps)
+	}
+	return nil
+}
+
+func runHeteroRTT() error {
+	list := schemeList()
+	if len(list) == 0 {
+		list = []string{"ABC", "Cubic"}
+	}
+	for _, sch := range list {
+		r, err := exp.HeteroRTTFairness(sch, nil, dur(), *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("## %s (Jain=%.3f, worst-flow p95 queuing %.0f ms)\n", sch, r.Jain, r.MaxQDelayP95)
+		for i, ms := range r.RTTsMs {
+			fmt.Printf("rtt=%3d ms  %6.2f Mbps\n", ms, r.TputMbps[i])
+		}
+	}
+	return nil
+}
+
+func runLossy() error {
+	for _, bursty := range []bool{false, true} {
+		pts, err := exp.LossyLink(schemeList(), nil, bursty, dur(), *seed)
+		if err != nil {
+			return err
+		}
+		kind := "random"
+		if bursty {
+			kind = "bursty"
+		}
+		fmt.Printf("## %s loss\n", kind)
+		for _, p := range pts {
+			fmt.Printf("%-14s loss=%5.3f  tput=%6.2f Mbps  p95=%6.0f ms  dropped=%d\n",
+				p.Scheme, p.LossRate, p.TputMbps, p.P95Ms, p.ImpairDrops)
+		}
+	}
+	return nil
+}
+
+func runSchemes() error {
+	fmt.Println("schemes:", strings.Join(cc.SchemeNames(), " "))
+	fmt.Println("qdiscs: ", strings.Join(qdisc.Kinds(), " "))
+	return nil
+}
+
+func runScenarioFile(path string) error {
+	sc, err := exp.LoadScenario(path)
+	if err != nil {
+		return err
+	}
+	spec, err := sc.Compile()
+	if err != nil {
+		return err
+	}
+	res, pooled, err := exp.Run(spec)
+	if err != nil {
+		return err
+	}
+	if sc.Name != "" {
+		fmt.Printf("## %s\n", sc.Name)
+	}
+	fmt.Printf("%-4s %-14s %-8s %10s %12s %12s %8s\n",
+		"Flow", "Scheme", "Dir", "Tput Mbps", "delay p95", "queue p95", "lost")
+	for i := range res.Flows {
+		f := &res.Flows[i]
+		dir := "forward"
+		if spec.Flows[i].Dir == exp.Reverse {
+			dir = "reverse"
+		}
+		fmt.Printf("%-4d %-14s %-8s %10.2f %9.0f ms %9.0f ms %8d\n",
+			i, f.Scheme, dir, f.TputMbps, f.Delay.P95(), f.QDelay.P95(), f.Lost)
+	}
+	if res.Utilization > 0 {
+		fmt.Printf("utilization: %.1f%%\n", res.Utilization*100)
+	}
+	fmt.Printf("pooled delay: mean %.0f ms, p95 %.0f ms\n", pooled.Mean(), pooled.P95())
+	if res.ImpairDrops > 0 {
+		fmt.Printf("impairment drops: %d\n", res.ImpairDrops)
+	}
+	if res.Drops > 0 {
+		fmt.Printf("UNROUTED DROPS: %d (wiring bug in the scenario)\n", res.Drops)
 	}
 	return nil
 }

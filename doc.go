@@ -7,6 +7,18 @@
 // XCP, RCP, VCP), plus a benchmark harness regenerating each table and
 // figure of the paper's evaluation.
 //
+// Experiments are scenarios over a topology graph (internal/topo): a
+// directed graph of junction nodes and edges, each edge an optional
+// bottleneck link (trace-, rate- or Wi-Fi-modelled behind one topo.Link
+// interface), an impairment stage (jitter, random/burst loss,
+// reordering) and a propagation delay. Every flow's data path and ACK
+// path are explicit routes over the graph, so asymmetric paths,
+// congested reverse (ACK) links, per-flow RTTs and mid-path cross
+// traffic are all plain specs (internal/exp.Spec) — or declarative JSON
+// scenario files (cmd/abcsim -scenario, examples/scenarios/). Schemes
+// and queueing disciplines self-register (cc.Register, qdisc.Register)
+// from their own packages, so the harness constructs nothing by name.
+//
 // The simulation fast path is engineered to be allocation-free in steady
 // state: the event core recycles inline event structs through a 4-ary
 // heap with a slot free-list (internal/sim), packets cycle through a
@@ -16,8 +28,10 @@
 // (internal/metrics), and the multi-run figure drivers fan independent
 // (trace, scheme, seed) cells across a bounded worker pool
 // (internal/exp) with byte-identical results to a sequential sweep.
+// CI guards the zero-alloc property against regression
+// (scripts/check_allocs.sh, bench_thresholds.txt).
 //
-// See DESIGN.md for the system inventory, the fast-path architecture
-// (§2) and the experiment index mapping each benchmark to its paper
-// figure or table (§3).
+// See DESIGN.md for the system inventory, the topology/registry
+// architecture and fast path (§1–§2) and the experiment index mapping
+// each benchmark to its paper figure or table (§3).
 package abc

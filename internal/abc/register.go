@@ -1,0 +1,69 @@
+// Registry hookup: ABC contributes its sender to the scheme registry and
+// its routers to the qdisc registry, so the experiment harness never
+// constructs ABC objects directly.
+package abc
+
+import (
+	"abc/internal/cc"
+	"abc/internal/qdisc"
+)
+
+// routerConfigFor resolves a BuildSpec into a RouterConfig, applying the
+// harness conventions: an explicit *RouterConfig override wins (with the
+// buffer still defaulted if unset), otherwise the spec's delay threshold
+// and feedback mode are layered over the defaults.
+func routerConfigFor(s qdisc.BuildSpec) (RouterConfig, error) {
+	cfg := DefaultRouterConfig()
+	override := false
+	switch c := s.Config.(type) {
+	case nil:
+	case *RouterConfig:
+		cfg = *c
+		override = true
+	default:
+		return RouterConfig{}, &UnknownConfigError{Kind: s.Kind, Config: s.Config}
+	}
+	if cfg.Limit == 0 {
+		cfg.Limit = s.Buffer
+	}
+	if s.DelayThreshold > 0 {
+		cfg.DelayThreshold = s.DelayThreshold
+	}
+	if !override {
+		cfg.Feedback = FeedbackMode(s.Feedback)
+	}
+	return cfg, nil
+}
+
+// UnknownConfigError reports a BuildSpec.Config of a type the ABC builders
+// do not understand.
+type UnknownConfigError struct {
+	Kind   string
+	Config any
+}
+
+func (e *UnknownConfigError) Error() string {
+	return "abc: qdisc " + e.Kind + " given a non-ABC config"
+}
+
+func init() {
+	cc.Register(cc.Scheme{Name: "ABC", New: func() cc.Algorithm { return NewSender() }, Qdisc: "abc"})
+	cc.Register(cc.Scheme{Name: "ABC-proxied", New: func() cc.Algorithm { return NewProxiedSender() }, Qdisc: "abc-proxied"})
+
+	qdisc.Register("abc", func(s qdisc.BuildSpec) (qdisc.Qdisc, error) {
+		cfg, err := routerConfigFor(s)
+		if err != nil {
+			return nil, err
+		}
+		return NewRouter(cfg), nil
+	})
+	qdisc.Register("abc-proxied", func(s qdisc.BuildSpec) (qdisc.Qdisc, error) {
+		cfg := DefaultRouterConfig()
+		cfg.Limit = s.Buffer
+		if s.DelayThreshold > 0 {
+			cfg.DelayThreshold = s.DelayThreshold
+		}
+		cfg.Feedback = FeedbackMode(s.Feedback)
+		return NewProxiedRouter(cfg), nil
+	})
+}

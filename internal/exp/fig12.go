@@ -2,7 +2,7 @@
 // when long-running ABC and Cubic flows share a 96 Mbit/s dual-queue
 // bottleneck with Poisson arrivals of short (10 KB) Cubic flows at
 // several offered loads. This experiment needs dynamically created flows,
-// so it builds its topology directly rather than through the Spec
+// so it builds its topo.Graph directly rather than through the Spec
 // harness.
 package exp
 
@@ -12,8 +12,9 @@ import (
 	"abc/internal/cc"
 	"abc/internal/netem"
 	"abc/internal/packet"
-	"abc/internal/sched"
+	"abc/internal/qdisc"
 	"abc/internal/sim"
+	"abc/internal/topo"
 )
 
 // Fig12Point is one (policy, load) cell.
@@ -105,23 +106,57 @@ func meanStd(xs []float64) (float64, float64) {
 
 // fig12Run executes one 96 Mbit/s dual-queue run with 3 ABC + 3 Cubic
 // long flows and Poisson short Cubic flows at the offered load, returning
-// the long flows' throughputs in Mbit/s.
+// the long flows' throughputs in Mbit/s. The experiment needs flows
+// created mid-run, so it builds its topo.Graph directly instead of going
+// through the Spec harness; routes for the short flows are installed on
+// the same graph as they arrive.
 func fig12Run(policy string, load float64, dur sim.Time, seed int64) (abcT, cubicT []float64, err error) {
 	const linkBps = 96e6
 	const shortBytes = 10 * 1024
 	const warmup = 4 * sim.Second
 
 	s := sim.New(seed)
-	dq := sched.DefaultConfig()
-	if policy == "zombie" {
-		dq.Policy = sched.ZombieList
+	qd, err := qdisc.Build(qdisc.BuildSpec{Kind: "dual-" + policy})
+	if err != nil {
+		return nil, nil, err
 	}
-	qd := sched.NewDualQueue(dq)
 
-	dataDemux := netem.NewDemux()
-	ackDemux := netem.NewDemux()
-	ackWire := netem.NewWire(s, 50*sim.Millisecond, ackDemux)
-	link := netem.NewRateLink(s, netem.ConstRate(linkBps), qd, netem.NewWire(s, 50*sim.Millisecond, dataDemux))
+	// Two-node graph: the bottleneck edge carries data left to right, a
+	// pure-delay edge carries ACKs back.
+	g := topo.New(s)
+	lhs, rhs := g.AddNode("lhs"), g.AddNode("rhs")
+	dataEdge, err := g.AddEdge(lhs, rhs, 50*sim.Millisecond, topo.Impairments{},
+		func(dst packet.Node) (topo.Link, error) {
+			return netem.NewRateLink(s, netem.ConstRate(linkBps), qd, dst), nil
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	ackEdge, err := g.AddEdge(rhs, lhs, 50*sim.Millisecond, topo.Impairments{}, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// attach wires one flow onto the graph: data over the bottleneck
+	// edge, ACKs over the return edge.
+	attach := func(id int, scheme string) (*cc.Endpoint, *netem.Receiver, error) {
+		alg, aerr := NewAlgorithm(scheme)
+		if aerr != nil {
+			return nil, nil, aerr
+		}
+		ep := cc.NewEndpoint(s, id, nil, alg)
+		ackEntry, aerr := g.RouteFlow(id, []int{ackEdge}, 0, ep)
+		if aerr != nil {
+			return nil, nil, aerr
+		}
+		recv := netem.NewReceiver(s, id, ackEntry)
+		dataEntry, aerr := g.RouteFlow(id, []int{dataEdge}, 0, recv)
+		if aerr != nil {
+			return nil, nil, aerr
+		}
+		ep.Out = dataEntry
+		return ep, recv, nil
+	}
 
 	// Long flows: ids 0..5 (0-2 ABC, 3-5 Cubic).
 	longBytes := make([]int64, 6)
@@ -130,26 +165,23 @@ func fig12Run(policy string, load float64, dur sim.Time, seed int64) (abcT, cubi
 		if i >= 3 {
 			scheme = "Cubic"
 		}
-		alg, aerr := NewAlgorithm(scheme)
+		ep, recv, aerr := attach(i, scheme)
 		if aerr != nil {
 			return nil, nil, aerr
 		}
-		ep := cc.NewEndpoint(s, i, link, alg)
-		ackDemux.Route(i, ep)
-		recv := netem.NewReceiver(s, i, ackWire)
 		idx := i
 		recv.OnData = func(now sim.Time, p *packet.Packet) {
 			if now >= warmup {
 				longBytes[idx] += int64(p.Size)
 			}
 		}
-		dataDemux.Route(i, recv)
 		ep.Start()
 	}
 
 	// Poisson short Cubic flows.
 	arrivalRate := load * linkBps / (shortBytes * 8) // flows/sec
 	nextID := 100
+	var schedErr error
 	var schedule func()
 	schedule = func() {
 		gap := sim.FromSeconds(expRand(s, arrivalRate))
@@ -159,13 +191,17 @@ func fig12Run(policy string, load float64, dur sim.Time, seed int64) (abcT, cubi
 			}
 			id := nextID
 			nextID++
-			alg, _ := NewAlgorithm("Cubic")
-			ep := cc.NewEndpoint(s, id, link, alg)
+			ep, _, aerr := attach(id, "Cubic")
+			if aerr != nil {
+				// Surface after the run: dropping the offered load on
+				// the floor would corrupt the experiment silently.
+				if schedErr == nil {
+					schedErr = aerr
+				}
+				return
+			}
 			ep.Src = cc.NewFixed(shortBytes)
 			ep.OnComplete = func(now sim.Time) { ep.Stop() }
-			ackDemux.Route(id, ep)
-			recv := netem.NewReceiver(s, id, ackWire)
-			dataDemux.Route(id, recv)
 			ep.Start()
 			schedule()
 		})
@@ -175,6 +211,9 @@ func fig12Run(policy string, load float64, dur sim.Time, seed int64) (abcT, cubi
 	}
 
 	s.RunUntil(dur)
+	if schedErr != nil {
+		return nil, nil, schedErr
+	}
 
 	span := (dur - warmup).Seconds()
 	for i := 0; i < 6; i++ {

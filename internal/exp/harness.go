@@ -1,25 +1,28 @@
 // Package exp contains one runner per table/figure of the paper's
-// evaluation, built on a generic scenario harness: flows of any scheme
-// traverse one or more bottleneck links (trace-driven, rate-driven or
-// Wi-Fi modelled) with the qdisc matching the scheme under test, and the
-// harness reports the paper's metrics (utilization, throughput, mean and
-// p95 per-packet delay, fairness).
+// evaluation, built on a generic scenario harness: flows of any
+// registered scheme traverse a topology graph (internal/topo) of
+// bottleneck links — trace-driven, rate-driven or Wi-Fi modelled — with
+// optional impairments, and both the data path and the ACK path are
+// explicit routes, so reverse-path bottlenecks and per-flow RTTs are
+// first-class. Schemes and queueing disciplines are resolved through the
+// cc and qdisc registries; this package constructs nothing by name.
 package exp
 
 import (
 	"fmt"
-	"math/rand"
 
 	"abc/internal/abc"
 	"abc/internal/cc"
-	"abc/internal/explicit"
+	_ "abc/internal/explicit" // registers the XCP/XCPw/RCP/VCP schemes and routers
 	"abc/internal/metrics"
 	"abc/internal/netem"
 	"abc/internal/packet"
 	"abc/internal/qdisc"
 	"abc/internal/sched"
 	"abc/internal/sim"
+	"abc/internal/topo"
 	"abc/internal/trace"
+	"abc/internal/wifi"
 )
 
 // Schemes lists every congestion-control scheme in the paper's
@@ -32,48 +35,16 @@ var Schemes = []string{
 // ExplicitSchemes is the Appendix D comparison set.
 var ExplicitSchemes = []string{"ABC", "XCP", "XCPw", "VCP", "RCP"}
 
-// NewAlgorithm constructs the sender algorithm for a scheme name.
-func NewAlgorithm(scheme string) (cc.Algorithm, error) {
-	switch scheme {
-	case "ABC":
-		return abcsender(), nil
-	case "ABC-proxied":
-		return abc.NewProxiedSender(), nil
-	case "Cubic", "Cubic+Codel", "Cubic+PIE":
-		return cc.NewCubic(), nil
-	case "Reno":
-		return cc.NewReno(), nil
-	case "Vegas":
-		return cc.NewVegas(), nil
-	case "Copa":
-		return cc.NewCopa(), nil
-	case "BBR":
-		return cc.NewBBR(), nil
-	case "PCC":
-		return cc.NewVivace(), nil
-	case "Sprout":
-		return cc.NewSprout(), nil
-	case "Verus":
-		return cc.NewVerus(), nil
-	case "XCP":
-		return explicit.NewXCPSender(false), nil
-	case "XCPw":
-		return explicit.NewXCPSender(true), nil
-	case "RCP":
-		return explicit.NewRCPSender(), nil
-	case "VCP":
-		return explicit.NewVCPSender(), nil
-	}
-	return nil, fmt.Errorf("exp: unknown scheme %q", scheme)
-}
-
-func abcsender() *abc.Sender { return abc.NewSender() }
+// NewAlgorithm constructs the sender algorithm for a registered scheme
+// name. It is a thin veneer over the cc registry, kept for callers that
+// build topologies by hand (Fig. 12's dynamic flows).
+func NewAlgorithm(scheme string) (cc.Algorithm, error) { return cc.New(scheme) }
 
 // QdiscSpec selects the bottleneck discipline for a link.
 type QdiscSpec struct {
-	// Kind: "auto" (derive from the first flow's scheme), "droptail",
-	// "codel", "pie", "red", "abc", "xcp", "xcpw", "rcp", "vcp",
-	// "dual-maxmin", "dual-zombie".
+	// Kind names a registered discipline (qdisc.Kinds lists them), or
+	// "auto" (the default) to derive it from the first flow whose data
+	// path traverses the link.
 	Kind string
 	// Buffer is the queue limit in packets (default 250, the paper's
 	// emulation buffer).
@@ -89,109 +60,96 @@ type QdiscSpec struct {
 	ABCConfig *abc.RouterConfig
 }
 
-// qdiscKindFor maps a scheme to its bottleneck discipline.
-func qdiscKindFor(scheme string) string {
-	switch scheme {
-	case "ABC":
-		return "abc"
-	case "ABC-proxied":
-		return "abc-proxied"
-	case "Cubic+Codel":
-		return "codel"
-	case "Cubic+PIE":
-		return "pie"
-	case "XCP":
-		return "xcp"
-	case "XCPw":
-		return "xcpw"
-	case "RCP":
-		return "rcp"
-	case "VCP":
-		return "vcp"
-	default:
-		return "droptail"
+// build resolves the spec through the qdisc registry. scheme is the
+// deriving scheme for "auto" kinds ("" falls back to droptail).
+func (q QdiscSpec) build(scheme string, s *sim.Simulator) (qdisc.Qdisc, error) {
+	kind := q.Kind
+	if kind == "auto" || kind == "" {
+		kind = cc.QdiscFor(scheme)
 	}
+	bs := qdisc.BuildSpec{
+		Kind:           kind,
+		Buffer:         q.Buffer,
+		DelayThreshold: q.ABCDelayThreshold,
+		Feedback:       uint8(q.ABCFeedback),
+		Rand:           s.Rand(),
+	}
+	if q.ABCConfig != nil {
+		// Only the plain ABC router consumes a full RouterConfig;
+		// letting other kinds silently ignore one would be exactly the
+		// misconfiguration the explicit spec is meant to prevent.
+		if kind != "abc" {
+			return nil, fmt.Errorf("exp: ABCConfig set for qdisc kind %q, which does not consume it", kind)
+		}
+		bs.Config = q.ABCConfig
+	}
+	return qdisc.Build(bs)
 }
 
-// buildQdisc constructs the discipline named by spec.
-func buildQdisc(spec QdiscSpec, rng *rand.Rand) (qdisc.Qdisc, error) {
-	buf := spec.Buffer
-	if buf <= 0 {
-		buf = 250
-	}
-	switch spec.Kind {
-	case "droptail", "":
-		return qdisc.NewDropTail(buf), nil
-	case "codel":
-		return qdisc.NewCoDel(buf, false), nil
-	case "pie":
-		return qdisc.NewPIE(buf, false, rng), nil
-	case "red":
-		return qdisc.NewRED(buf, false, rng), nil
-	case "abc":
-		cfg := abc.DefaultRouterConfig()
-		if spec.ABCConfig != nil {
-			cfg = *spec.ABCConfig
-		}
-		if cfg.Limit == 0 {
-			cfg.Limit = buf
-		}
-		if spec.ABCDelayThreshold > 0 {
-			cfg.DelayThreshold = spec.ABCDelayThreshold
-		}
-		if spec.ABCConfig == nil {
-			cfg.Feedback = spec.ABCFeedback
-		}
-		return abc.NewRouter(cfg), nil
-	case "abc-proxied":
-		cfg := abc.DefaultRouterConfig()
-		cfg.Limit = buf
-		if spec.ABCDelayThreshold > 0 {
-			cfg.DelayThreshold = spec.ABCDelayThreshold
-		}
-		cfg.Feedback = spec.ABCFeedback
-		return abc.NewProxiedRouter(cfg), nil
-	case "xcp":
-		cfg := explicit.DefaultXCPConfig()
-		cfg.Limit = buf
-		return explicit.NewXCPRouter(cfg), nil
-	case "xcpw":
-		cfg := explicit.DefaultXCPConfig()
-		cfg.Limit = buf
-		cfg.PerPacket = true
-		return explicit.NewXCPRouter(cfg), nil
-	case "rcp":
-		cfg := explicit.DefaultRCPConfig()
-		cfg.Limit = buf
-		return explicit.NewRCPRouter(cfg), nil
-	case "vcp":
-		cfg := explicit.DefaultVCPConfig()
-		cfg.Limit = buf
-		return explicit.NewVCPRouter(cfg), nil
-	case "dual-maxmin", "dual-zombie":
-		cfg := sched.DefaultConfig()
-		cfg.ABCLimit, cfg.OtherLimit = buf, buf
-		if spec.ABCDelayThreshold > 0 {
-			cfg.Router.DelayThreshold = spec.ABCDelayThreshold
-		}
-		if spec.Kind == "dual-zombie" {
-			cfg.Policy = sched.ZombieList
-		}
-		return sched.NewDualQueue(cfg), nil
-	}
-	return nil, fmt.Errorf("exp: unknown qdisc kind %q", spec.Kind)
+// WiFiLinkSpec configures a Kind "wifi" link: the modelled 802.11n AP.
+type WiFiLinkSpec struct {
+	// Config parameterizes the AP (zero fields take wifi defaults).
+	Config wifi.LinkConfig
+	// Estimate attaches the §4.1 link-rate estimator as the capacity
+	// provider for capacity-aware qdiscs (the ABC deployment).
+	Estimate bool
+	// EstWindow is the estimator's smoothing window (default 40 ms).
+	EstWindow sim.Time
 }
 
-// LinkSpec describes one bottleneck hop. Exactly one of Trace and Rate
-// must be set.
+// LinkSpec describes one bottleneck hop of a chain.
 type LinkSpec struct {
+	// Kind selects the link model: "trace", "rate", "wifi", or "" to
+	// infer from whichever of Trace/Rate/Wifi is set.
+	Kind string
+	// Trace drives a delivery-opportunity (Mahimahi-style) link.
 	Trace *trace.Trace
-	Rate  netem.RateFunc
+	// Rate drives a store-and-forward link with a time-varying bit rate.
+	Rate netem.RateFunc
+	// Wifi drives an A-MPDU-batching 802.11n link.
+	Wifi  *WiFiLinkSpec
 	Qdisc QdiscSpec
 	// Lookahead enables the PK-ABC future-capacity oracle on trace
 	// links (§6.6).
 	Lookahead sim.Time
+	// Delay is this hop's propagation delay, applied after transmission.
+	// The default 0 keeps hops back-to-back, with the path's residual
+	// propagation in the per-flow access tails (RTT/2 each way), which
+	// preserves the paper's RTT accounting.
+	Delay sim.Time
+	// Impair adds an impairment stage (jitter, random/burst loss,
+	// reordering) in front of the link.
+	Impair topo.Impairments
 }
+
+// kind resolves the link model name.
+func (ls *LinkSpec) kind() (string, error) {
+	if ls.Kind != "" {
+		return ls.Kind, nil
+	}
+	switch {
+	case ls.Trace != nil:
+		return "trace", nil
+	case ls.Rate != nil:
+		return "rate", nil
+	case ls.Wifi != nil:
+		return "wifi", nil
+	}
+	return "", fmt.Errorf("exp: link has neither trace, rate nor wifi")
+}
+
+// Direction selects which chain carries a flow's data.
+type Direction int
+
+const (
+	// Forward flows send data over Spec.Links; their ACKs return over
+	// Spec.ReverseLinks (or a plain wire when there are none).
+	Forward Direction = iota
+	// Reverse flows send data over Spec.ReverseLinks; their ACKs return
+	// over Spec.Links. They model uplink cross traffic that congests the
+	// forward flows' ACK path.
+	Reverse
+)
 
 // FlowSpec describes one flow.
 type FlowSpec struct {
@@ -200,9 +158,19 @@ type FlowSpec struct {
 	Start, Stop sim.Time
 	// Source is the data source; nil means backlogged.
 	Source cc.Source
-	// EnterAt is the index of the first link this flow traverses
-	// (cross-traffic flows can skip upstream links).
+	// Dir selects the chain carrying this flow's data (default Forward).
+	Dir Direction
+	// EnterAt is the index of the first link of the flow's chain it
+	// traverses (cross-traffic flows can skip upstream links).
+	// Out-of-range values are an error.
 	EnterAt int
+	// ExitAt is the 1-based index of the last link traversed, letting
+	// cross traffic leave the path early; 0 means the end of the chain.
+	ExitAt int
+	// RTT overrides Spec.RTT for this flow (heterogeneous-RTT
+	// scenarios): RTT/2 of access latency on each of the flow's data and
+	// ACK tails.
+	RTT sim.Time
 	// Mutate, if set, adjusts the constructed algorithm before the run
 	// (ablation switches such as abc.Sender.DisableAI).
 	Mutate func(alg cc.Algorithm)
@@ -217,7 +185,11 @@ type Spec struct {
 	// RTT is the round-trip propagation delay (paper default 100 ms).
 	RTT   sim.Time
 	Links []LinkSpec
-	Flows []FlowSpec
+	// ReverseLinks is the ACK-path chain: forward flows' ACKs traverse
+	// it in order, and Reverse-direction flows send their data over it.
+	// Empty means an uncongested wire, the paper's emulation default.
+	ReverseLinks []LinkSpec
+	Flows        []FlowSpec
 	// Sample enables time-series collection at this period (0 = off).
 	Sample sim.Time
 	// Probe, when set with Sample > 0, is called once per sample period
@@ -252,6 +224,19 @@ type Result struct {
 	WeightTS *metrics.Timeseries
 	// Qdiscs exposes the built bottleneck disciplines, first hop first.
 	Qdiscs []qdisc.Qdisc
+	// ReverseQdiscs exposes the reverse-chain disciplines, first reverse
+	// hop first.
+	ReverseQdiscs []qdisc.Qdisc
+	// Drops counts packets that reached a junction with no route for
+	// their flow. Anything non-zero indicates a wiring bug in the
+	// scenario (a flow id without a routed path).
+	Drops int64
+	// ImpairDrops counts packets deliberately discarded by impairment
+	// stages (lossy-link scenarios).
+	ImpairDrops int64
+	// Graph is the compiled topology, available to Probe callbacks and
+	// post-run inspection (edge stats, custom traffic injection).
+	Graph *topo.Graph
 }
 
 // AggTputMbps sums flow throughputs.
@@ -289,6 +274,149 @@ func (r *Result) Summary(scheme string, pooled *metrics.DelayRecorder) metrics.S
 	}
 }
 
+// span is a flow's resolved [EnterAt, exit) range over its chain.
+type span struct{ enter, exit int }
+
+// flowSpan validates a flow's EnterAt/ExitAt against its chain.
+func flowSpan(i int, fs *FlowSpec, chainLen int) (span, error) {
+	name := "links"
+	if fs.Dir == Reverse {
+		name = "reverse links"
+	}
+	if chainLen == 0 {
+		return span{}, fmt.Errorf("exp: flow %d: no %s for its direction", i, name)
+	}
+	if fs.EnterAt < 0 || fs.EnterAt >= chainLen {
+		return span{}, fmt.Errorf("exp: flow %d: EnterAt %d out of range [0, %d)", i, fs.EnterAt, chainLen)
+	}
+	exit := fs.ExitAt
+	if exit == 0 {
+		exit = chainLen
+	}
+	if exit < 0 || exit > chainLen {
+		return span{}, fmt.Errorf("exp: flow %d: ExitAt %d out of range [1, %d]", i, fs.ExitAt, chainLen)
+	}
+	if exit <= fs.EnterAt {
+		return span{}, fmt.Errorf("exp: flow %d: ExitAt %d does not reach past EnterAt %d", i, fs.ExitAt, fs.EnterAt)
+	}
+	return span{enter: fs.EnterAt, exit: exit}, nil
+}
+
+// autoScheme picks the deriving scheme for link i of a chain: the first
+// flow of the matching direction whose data path traverses the link.
+func autoScheme(spec *Spec, dir Direction, i int, spans []span) string {
+	for f := range spec.Flows {
+		if spec.Flows[f].Dir != dir {
+			continue
+		}
+		if spans[f].enter <= i && i < spans[f].exit {
+			return spec.Flows[f].Scheme
+		}
+	}
+	return ""
+}
+
+// buildChain adds one chain of links to the graph as nodes n[0..len] and
+// returns the edge ids and built qdiscs, first hop first.
+func buildChain(g *topo.Graph, s *sim.Simulator, spec *Spec, links []LinkSpec, dir Direction, spans []span) (edges []int, qdiscs []qdisc.Qdisc, err error) {
+	if len(links) == 0 {
+		return nil, nil, nil
+	}
+	prefix := "fwd"
+	if dir == Reverse {
+		prefix = "rev"
+	}
+	nodes := make([]int, len(links)+1)
+	for i := range nodes {
+		nodes[i] = g.AddNode(fmt.Sprintf("%s%d", prefix, i))
+	}
+	for i := range links {
+		ls := &links[i]
+		kind, err := ls.kind()
+		if err != nil {
+			return nil, nil, fmt.Errorf("%v (link %d)", err, i)
+		}
+		qd, err := ls.Qdisc.build(autoScheme(spec, dir, i, spans), s)
+		if err != nil {
+			return nil, nil, err
+		}
+		qdiscs = append(qdiscs, qd)
+		mk, err := linkFactory(s, ls, kind, qd)
+		if err != nil {
+			return nil, nil, err
+		}
+		id, err := g.AddEdge(nodes[i], nodes[i+1], ls.Delay, ls.Impair, mk)
+		if err != nil {
+			return nil, nil, err
+		}
+		edges = append(edges, id)
+	}
+	return edges, qdiscs, nil
+}
+
+// linkFactory returns the topo.LinkFactory for one link spec.
+func linkFactory(s *sim.Simulator, ls *LinkSpec, kind string, qd qdisc.Qdisc) (topo.LinkFactory, error) {
+	switch kind {
+	case "trace":
+		if ls.Trace == nil {
+			return nil, fmt.Errorf("exp: link kind %q without a trace", kind)
+		}
+		return func(dst packet.Node) (topo.Link, error) {
+			l := netem.NewTraceLink(s, ls.Trace, qd, dst)
+			l.Lookahead = ls.Lookahead
+			return l, nil
+		}, nil
+	case "rate":
+		if ls.Rate == nil {
+			return nil, fmt.Errorf("exp: link kind %q without a rate function", kind)
+		}
+		return func(dst packet.Node) (topo.Link, error) {
+			return netem.NewRateLink(s, ls.Rate, qd, dst), nil
+		}, nil
+	case "wifi":
+		ws := ls.Wifi
+		if ws == nil {
+			return nil, fmt.Errorf("exp: link kind %q without a wifi spec", kind)
+		}
+		return func(dst packet.Node) (topo.Link, error) {
+			cfg := ws.Config
+			var est *wifi.Estimator
+			if ws.Estimate {
+				win := ws.EstWindow
+				if win <= 0 {
+					win = 40 * sim.Millisecond
+				}
+				mb, fs := cfg.MaxBatch, cfg.FrameSize
+				if mb <= 0 {
+					mb = wifi.DefaultLinkConfig().MaxBatch
+				}
+				if fs <= 0 {
+					fs = packet.MTU
+				}
+				est = wifi.NewEstimator(mb, fs, win)
+			}
+			return wifi.NewLink(s, cfg, qd, dst, est), nil
+		}, nil
+	}
+	return nil, fmt.Errorf("exp: unknown link kind %q", kind)
+}
+
+// capacityFn returns a capacity sampler (bits/sec) for a link spec, used
+// by the queue-delay time series.
+func capacityFn(ls *LinkSpec) func(now sim.Time) float64 {
+	switch {
+	case ls.Trace != nil:
+		tr := ls.Trace
+		return func(now sim.Time) float64 { return tr.CapacityBps(now, 100*sim.Millisecond) }
+	case ls.Rate != nil:
+		return ls.Rate
+	case ls.Wifi != nil:
+		cfg := ls.Wifi.Config
+		return func(now sim.Time) float64 { return wifi.TrueCapacityBps(cfg, now) }
+	}
+	return func(sim.Time) float64 { return 0 }
+}
+
 // Run executes the scenario and returns its result along with the pooled
 // per-packet delay recorder used for the paper's delay metrics.
 func Run(spec Spec) (*Result, *metrics.DelayRecorder, error) {
@@ -307,48 +435,46 @@ func Run(spec Spec) (*Result, *metrics.DelayRecorder, error) {
 	if len(spec.Flows) == 0 {
 		return nil, nil, fmt.Errorf("exp: no flows in spec")
 	}
+	// Resolve every flow's span first: spans drive both validation and
+	// per-link "auto" qdisc derivation.
+	spans := make([]span, len(spec.Flows))
+	for i := range spec.Flows {
+		fs := &spec.Flows[i]
+		chainLen := len(spec.Links)
+		if fs.Dir == Reverse {
+			chainLen = len(spec.ReverseLinks)
+		}
+		sp, err := flowSpan(i, fs, chainLen)
+		if err != nil {
+			return nil, nil, err
+		}
+		spans[i] = sp
+	}
+
 	s := sim.New(spec.Seed)
 	res := &Result{Spec: spec}
 	pooled := &metrics.DelayRecorder{}
 
-	// Receivers live behind a demux at the end of the path; ACKs return
-	// over a dedicated wire (the paper's emulation carries ACKs on the
-	// reverse direction, which is not the bottleneck in these setups).
-	dataDemux := netem.NewDemux()
-	ackDemux := netem.NewDemux()
-	ackWire := netem.NewWire(s, spec.RTT/2, ackDemux)
-
-	// Build links back to front.
-	var entry []packet.Node // entry node for each link index
-	next := packet.Node(netem.NewWire(s, spec.RTT/2, dataDemux))
-	for i := len(spec.Links) - 1; i >= 0; i-- {
-		ls := spec.Links[i]
-		q := ls.Qdisc
-		if q.Kind == "auto" || q.Kind == "" {
-			q.Kind = qdiscKindFor(spec.Flows[0].Scheme)
-		}
-		qd, err := buildQdisc(q, s.Rand())
-		if err != nil {
-			return nil, nil, err
-		}
-		res.Qdiscs = append([]qdisc.Qdisc{qd}, res.Qdiscs...)
-		switch {
-		case ls.Trace != nil:
-			l := netem.NewTraceLink(s, ls.Trace, qd, next)
-			l.Lookahead = ls.Lookahead
-			next = l
-		case ls.Rate != nil:
-			next = netem.NewRateLink(s, ls.Rate, qd, next)
-		default:
-			return nil, nil, fmt.Errorf("exp: link %d has neither trace nor rate", i)
-		}
-		entry = append([]packet.Node{next}, entry...)
+	// The topology: both chains as graph edges, every flow an explicit
+	// forward and reverse route over them.
+	g := topo.New(s)
+	res.Graph = g
+	fwdEdges, fwdQdiscs, err := buildChain(g, s, &spec, spec.Links, Forward, spans)
+	if err != nil {
+		return nil, nil, err
 	}
+	revEdges, revQdiscs, err := buildChain(g, s, &spec, spec.ReverseLinks, Reverse, spans)
+	if err != nil {
+		return nil, nil, err
+	}
+	res.Qdiscs = fwdQdiscs
+	res.ReverseQdiscs = revQdiscs
 
 	// Flows.
 	res.Flows = make([]FlowResult, len(spec.Flows))
-	for i, fs := range spec.Flows {
-		alg, err := NewAlgorithm(fs.Scheme)
+	for i := range spec.Flows {
+		fs := &spec.Flows[i]
+		alg, err := cc.New(fs.Scheme)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -358,20 +484,26 @@ func Run(spec Spec) (*Result, *metrics.DelayRecorder, error) {
 		fr := &res.Flows[i]
 		fr.Scheme = fs.Scheme
 		fr.Algorithm = alg
-		enter := fs.EnterAt
-		if enter < 0 || enter >= len(entry) {
-			enter = 0
+
+		flowRTT := fs.RTT
+		if flowRTT <= 0 {
+			flowRTT = spec.RTT
 		}
-		ep := cc.NewEndpoint(s, i, entry[enter], alg)
+		dataEdges := fwdEdges[spans[i].enter:spans[i].exit]
+		ackEdges := revEdges
+		if fs.Dir == Reverse {
+			dataEdges = revEdges[spans[i].enter:spans[i].exit]
+			ackEdges = fwdEdges
+		}
+
+		ep := cc.NewEndpoint(s, i, nil, alg)
 		ep.Src = fs.Source
 		fr.Endpoint = ep
-		ackDemux.Route(i, ep)
-
-		stop := fs.Stop
-		if stop == 0 || stop > spec.Duration {
-			stop = spec.Duration
+		ackEntry, err := g.RouteFlow(i, ackEdges, flowRTT/2, ep)
+		if err != nil {
+			return nil, nil, err
 		}
-		recv := netem.NewReceiver(s, i, ackWire)
+		recv := netem.NewReceiver(s, i, ackEntry)
 		start, warm := fs.Start, spec.Warmup
 		recv.OnData = func(now sim.Time, p *packet.Packet) {
 			if now < warm || now < start {
@@ -383,7 +515,11 @@ func Run(spec Spec) (*Result, *metrics.DelayRecorder, error) {
 			fr.QDelay.Add(p.QueueDelay)
 			pooled.Add(d)
 		}
-		dataDemux.Route(i, recv)
+		dataEntry, err := g.RouteFlow(i, dataEdges, flowRTT/2, recv)
+		if err != nil {
+			return nil, nil, err
+		}
+		ep.Out = dataEntry
 
 		s.At(fs.Start, ep.Start)
 		if fs.Stop > 0 {
@@ -407,12 +543,7 @@ func Run(spec Spec) (*Result, *metrics.DelayRecorder, error) {
 	// Queue-delay time series on the first link.
 	if spec.Sample > 0 {
 		firstQ := res.Qdiscs[0]
-		capAt := func(now sim.Time) float64 {
-			if spec.Links[0].Trace != nil {
-				return spec.Links[0].Trace.CapacityBps(now, 100*sim.Millisecond)
-			}
-			return spec.Links[0].Rate(now)
-		}
+		capAt := capacityFn(&spec.Links[0])
 		res.QueueDelayTS = metrics.NewTimeseries(s, spec.Sample, spec.Duration, func(now sim.Time) float64 {
 			mu := capAt(now)
 			if mu <= 0 {
@@ -457,22 +588,34 @@ func Run(spec Spec) (*Result, *metrics.DelayRecorder, error) {
 		fr.Lost = fr.Endpoint.LostPackets
 		fr.Retx = fr.Endpoint.RetxPackets
 	}
+	res.Drops = g.UnroutedDrops()
+	res.ImpairDrops = g.ImpairDrops()
 
-	// Utilization against the tightest trace link over the measurement
-	// window (the paper reports utilization of the emulated cell link).
+	// Utilization against the tightest trace link of the data chain over
+	// the measurement window (the paper reports utilization of the
+	// emulated cell link). Only flows whose route actually traverses
+	// that link count towards its utilization.
 	var minCapBytes int64 = -1
-	for _, ls := range spec.Links {
+	minIdx := -1
+	for li, ls := range spec.Links {
 		if ls.Trace == nil {
 			continue
 		}
 		capBytes := ls.Trace.CountIn(spec.Warmup, spec.Duration) * packet.MTU
 		if minCapBytes < 0 || capBytes < minCapBytes {
 			minCapBytes = capBytes
+			minIdx = li
 		}
 	}
 	if minCapBytes > 0 {
 		var delivered int64
 		for i := range res.Flows {
+			if spec.Flows[i].Dir != Forward {
+				continue
+			}
+			if spans[i].enter > minIdx || minIdx >= spans[i].exit {
+				continue
+			}
 			delivered += res.Flows[i].Bytes
 		}
 		res.Utilization = metrics.Utilization(delivered, minCapBytes)

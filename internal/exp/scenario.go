@@ -1,0 +1,282 @@
+// Declarative scenario files: a JSON description of links, reverse
+// links and flows that compiles to a Spec, so new topologies are a data
+// file rather than a new driver. Schemes and qdisc kinds are resolved
+// through the registries, which means a scenario file can name anything
+// a package has registered without this package knowing about it.
+//
+// The format (all durations in the units their field names say):
+//
+//	{
+//	  "name": "congested-uplink",
+//	  "seed": 1,
+//	  "duration_s": 30,
+//	  "warmup_s": 4,
+//	  "rtt_ms": 100,
+//	  "sample_ms": 0,
+//	  "links": [
+//	    {"kind": "trace", "trace": "Verizon1",
+//	     "qdisc": {"kind": "auto", "buffer": 250}}
+//	  ],
+//	  "reverse_links": [
+//	    {"kind": "rate", "rate_mbps": 2, "delay_ms": 5,
+//	     "loss": 0.01, "qdisc": {"kind": "droptail", "buffer": 100}}
+//	  ],
+//	  "flows": [
+//	    {"scheme": "ABC"},
+//	    {"scheme": "Cubic", "dir": "reverse", "start_s": 5}
+//	  ]
+//	}
+//
+// Link kinds: "trace" (named cellular corpus trace, or "steps" with
+// steps_mbps/step_ms, or "square" with low/high/half-period), "rate"
+// (constant rate_mbps) and "wifi" (fixed "mcs", optional "estimate" for
+// the §4.1 estimator). Every link takes optional delay_ms, jitter_ms,
+// loss, burst_loss/burst_p_bad/burst_p_good, reorder_prob/
+// reorder_delay_ms and a qdisc clause naming any registered kind.
+// Flows take scheme, start_s/stop_s, dir ("forward"/"reverse"),
+// enter_at/exit_at, rtt_ms and rate_mbps (an application-limited
+// source).
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"abc/internal/cc"
+	"abc/internal/metrics"
+	"abc/internal/netem"
+	"abc/internal/sim"
+	"abc/internal/topo"
+	"abc/internal/trace"
+	"abc/internal/wifi"
+)
+
+// ScenarioQdisc is the JSON qdisc clause.
+type ScenarioQdisc struct {
+	Kind   string  `json:"kind"`
+	Buffer int     `json:"buffer"`
+	DTms   float64 `json:"dt_ms"`
+}
+
+// ScenarioLink is the JSON link clause.
+type ScenarioLink struct {
+	Kind string `json:"kind"`
+	// Trace selects a named cellular trace; Steps/Square build synthetic
+	// ones.
+	Trace        string    `json:"trace"`
+	StepsMbps    []float64 `json:"steps_mbps"`
+	StepMs       float64   `json:"step_ms"`
+	SquareLoMbps float64   `json:"square_low_mbps"`
+	SquareHiMbps float64   `json:"square_high_mbps"`
+	SquareHalfMs float64   `json:"square_half_ms"`
+	RateMbps float64 `json:"rate_mbps"`
+	// MCS fixes a wifi link's MCS index; nil keeps the wifi default
+	// (a pointer so an explicit "mcs": 0 is distinguishable from the
+	// key being absent).
+	MCS      *int `json:"mcs"`
+	Estimate bool `json:"estimate"`
+	LookaheadMs  float64   `json:"lookahead_ms"`
+
+	DelayMs        float64 `json:"delay_ms"`
+	JitterMs       float64 `json:"jitter_ms"`
+	Loss           float64 `json:"loss"`
+	BurstLoss      float64 `json:"burst_loss"`
+	BurstPBad      float64 `json:"burst_p_bad"`
+	BurstPGood     float64 `json:"burst_p_good"`
+	ReorderProb    float64 `json:"reorder_prob"`
+	ReorderDelayMs float64 `json:"reorder_delay_ms"`
+
+	Qdisc ScenarioQdisc `json:"qdisc"`
+}
+
+// ScenarioFlow is the JSON flow clause.
+type ScenarioFlow struct {
+	Scheme   string  `json:"scheme"`
+	StartS   float64 `json:"start_s"`
+	StopS    float64 `json:"stop_s"`
+	Dir      string  `json:"dir"`
+	EnterAt  int     `json:"enter_at"`
+	ExitAt   int     `json:"exit_at"`
+	RTTms    float64 `json:"rtt_ms"`
+	RateMbps float64 `json:"rate_mbps"`
+}
+
+// Scenario is a complete declarative scenario file.
+type Scenario struct {
+	Name         string         `json:"name"`
+	Seed         int64          `json:"seed"`
+	DurationS    float64        `json:"duration_s"`
+	WarmupS      float64        `json:"warmup_s"`
+	RTTms        float64        `json:"rtt_ms"`
+	SampleMs     float64        `json:"sample_ms"`
+	Links        []ScenarioLink `json:"links"`
+	ReverseLinks []ScenarioLink `json:"reverse_links"`
+	Flows        []ScenarioFlow `json:"flows"`
+}
+
+// LoadScenario reads and parses a scenario file.
+func LoadScenario(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseScenario(data)
+}
+
+// ParseScenario parses a scenario from JSON bytes. Unknown keys are an
+// error: a typo'd field name must fail loudly, not silently leave a
+// default in place.
+func ParseScenario(data []byte) (*Scenario, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var sc Scenario
+	if err := dec.Decode(&sc); err != nil {
+		return nil, fmt.Errorf("scenario: %v", err)
+	}
+	return &sc, nil
+}
+
+// ms converts a float millisecond count to sim.Time.
+func ms(v float64) sim.Time { return sim.FromSeconds(v / 1000) }
+
+// compileLink turns one link clause into a LinkSpec.
+func compileLink(sl *ScenarioLink, idx int, chain string) (LinkSpec, error) {
+	ls := LinkSpec{
+		Kind:      sl.Kind,
+		Delay:     ms(sl.DelayMs),
+		Lookahead: ms(sl.LookaheadMs),
+		Impair: topo.Impairments{
+			LossRate:      sl.Loss,
+			BurstLossRate: sl.BurstLoss,
+			BurstPBad:     sl.BurstPBad,
+			BurstPGood:    sl.BurstPGood,
+			Jitter:        ms(sl.JitterMs),
+			ReorderProb:   sl.ReorderProb,
+			ReorderDelay:  ms(sl.ReorderDelayMs),
+		},
+		Qdisc: QdiscSpec{
+			Kind:              sl.Qdisc.Kind,
+			Buffer:            sl.Qdisc.Buffer,
+			ABCDelayThreshold: ms(sl.Qdisc.DTms),
+		},
+	}
+	where := fmt.Sprintf("scenario: %s[%d]", chain, idx)
+	switch sl.Kind {
+	case "trace", "":
+		switch {
+		case sl.Trace != "":
+			tr, err := trace.NamedCellular(sl.Trace)
+			if err != nil {
+				return LinkSpec{}, fmt.Errorf("%s: %v", where, err)
+			}
+			ls.Trace = tr
+		case len(sl.StepsMbps) > 0:
+			if sl.StepMs <= 0 {
+				return LinkSpec{}, fmt.Errorf("%s: steps_mbps without step_ms", where)
+			}
+			bps := make([]float64, len(sl.StepsMbps))
+			for i, m := range sl.StepsMbps {
+				bps[i] = m * 1e6
+			}
+			ls.Trace = trace.Steps(fmt.Sprintf("%s-steps-%d", chain, idx), bps, ms(sl.StepMs))
+		case sl.SquareHiMbps > 0:
+			if sl.SquareHalfMs <= 0 {
+				return LinkSpec{}, fmt.Errorf("%s: square wave without square_half_ms", where)
+			}
+			ls.Trace = trace.SquareWave(fmt.Sprintf("%s-square-%d", chain, idx),
+				sl.SquareLoMbps*1e6, sl.SquareHiMbps*1e6, ms(sl.SquareHalfMs))
+		case sl.RateMbps > 0 && sl.Kind == "":
+			ls.Kind = "rate"
+			ls.Rate = netem.ConstRate(sl.RateMbps * 1e6)
+		default:
+			return LinkSpec{}, fmt.Errorf("%s: trace link needs trace, steps_mbps or square_*", where)
+		}
+		if ls.Kind == "" {
+			ls.Kind = "trace"
+		}
+	case "rate":
+		if sl.RateMbps <= 0 {
+			return LinkSpec{}, fmt.Errorf("%s: rate link needs rate_mbps > 0", where)
+		}
+		ls.Rate = netem.ConstRate(sl.RateMbps * 1e6)
+	case "wifi":
+		cfg := wifi.DefaultLinkConfig()
+		if sl.MCS != nil {
+			mcs := *sl.MCS
+			cfg.MCS = func(sim.Time) int { return mcs }
+		}
+		ls.Wifi = &WiFiLinkSpec{Config: cfg, Estimate: sl.Estimate}
+	default:
+		return LinkSpec{}, fmt.Errorf("%s: unknown link kind %q", where, sl.Kind)
+	}
+	return ls, nil
+}
+
+// Compile turns the scenario into a runnable Spec. Scheme names are
+// validated against the registry up front so a typo fails with the list
+// of registered schemes instead of mid-run.
+func (sc *Scenario) Compile() (Spec, error) {
+	spec := Spec{
+		Seed:     sc.Seed,
+		Duration: sim.FromSeconds(sc.DurationS),
+		Warmup:   sim.FromSeconds(sc.WarmupS),
+		RTT:      ms(sc.RTTms),
+		Sample:   ms(sc.SampleMs),
+	}
+	for i := range sc.Links {
+		ls, err := compileLink(&sc.Links[i], i, "links")
+		if err != nil {
+			return Spec{}, err
+		}
+		spec.Links = append(spec.Links, ls)
+	}
+	for i := range sc.ReverseLinks {
+		ls, err := compileLink(&sc.ReverseLinks[i], i, "reverse_links")
+		if err != nil {
+			return Spec{}, err
+		}
+		spec.ReverseLinks = append(spec.ReverseLinks, ls)
+	}
+	for i := range sc.Flows {
+		sf := &sc.Flows[i]
+		if _, err := cc.New(sf.Scheme); err != nil {
+			return Spec{}, fmt.Errorf("scenario: flows[%d]: %v", i, err)
+		}
+		fs := FlowSpec{
+			Scheme:  sf.Scheme,
+			Start:   sim.FromSeconds(sf.StartS),
+			Stop:    sim.FromSeconds(sf.StopS),
+			EnterAt: sf.EnterAt,
+			ExitAt:  sf.ExitAt,
+			RTT:     ms(sf.RTTms),
+		}
+		switch sf.Dir {
+		case "", "forward":
+		case "reverse":
+			fs.Dir = Reverse
+		default:
+			return Spec{}, fmt.Errorf("scenario: flows[%d]: unknown dir %q", i, sf.Dir)
+		}
+		if sf.RateMbps > 0 {
+			fs.Source = cc.NewRateLimited(sf.RateMbps * 1e6)
+		}
+		spec.Flows = append(spec.Flows, fs)
+	}
+	return spec, nil
+}
+
+// RunScenario loads, compiles and runs a scenario file, returning the
+// result and the pooled delay recorder.
+func RunScenario(path string) (*Result, *metrics.DelayRecorder, error) {
+	sc, err := LoadScenario(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	spec, err := sc.Compile()
+	if err != nil {
+		return nil, nil, err
+	}
+	return Run(spec)
+}

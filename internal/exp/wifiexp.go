@@ -8,9 +8,7 @@ import (
 	"math"
 
 	"abc/internal/abc"
-	"abc/internal/cc"
 	"abc/internal/metrics"
-	"abc/internal/netem"
 	"abc/internal/packet"
 	"abc/internal/qdisc"
 	"abc/internal/sim"
@@ -220,9 +218,10 @@ func BrownianMCS(seed int64) func(now sim.Time) int {
 
 // RunWiFi runs nUsers backlogged flows of one scheme over the modelled
 // 802.11n link for the duration and reports total throughput and the
-// mean per-user p95 one-way delay, matching Fig. 10's metrics.
+// mean per-user p95 one-way delay, matching Fig. 10's metrics. The link
+// is an ordinary LinkSpec of Kind "wifi", so the run goes through the
+// same topology harness as every cellular figure.
 func RunWiFi(ws WiFiScheme, nUsers int, mcs func(now sim.Time) int, dur sim.Time, seed int64) (metrics.Summary, error) {
-	s := sim.New(seed)
 	cfg := wifi.DefaultLinkConfig()
 	cfg.MCS = mcs
 
@@ -230,67 +229,42 @@ func RunWiFi(ws WiFiScheme, nUsers int, mcs func(now sim.Time) int, dur sim.Time
 	// queue alone is ~400 packets, so the AP buffer must be deeper than
 	// the cellular 250 (commodity APs buffer ~1000 frames).
 	const buf = 1000
-	var q qdisc.Qdisc
-	var est *wifi.Estimator
-	switch ws.Scheme {
-	case "ABC":
+	wl := &WiFiLinkSpec{Config: cfg}
+	q := QdiscSpec{Kind: "auto", Buffer: buf}
+	if ws.Scheme == "ABC" {
 		rc := abc.DefaultRouterConfig()
 		rc.Limit = buf
 		rc.Window = 40 * sim.Millisecond
 		if ws.ABCdt > 0 {
 			rc.DelayThreshold = ws.ABCdt
 		}
-		q = abc.NewRouter(rc)
-		est = wifi.NewEstimator(cfg.MaxBatch, cfg.FrameSize, 40*sim.Millisecond)
-	case "Cubic+Codel":
-		q = qdisc.NewCoDel(buf, false)
-	case "Cubic+PIE":
-		q = qdisc.NewPIE(buf, false, s.Rand())
-	default:
-		q = qdisc.NewDropTail(buf)
+		q = QdiscSpec{Kind: "abc", ABCConfig: &rc}
+		wl.Estimate = true
 	}
 
-	dataDemux := netem.NewDemux()
-	ackDemux := netem.NewDemux()
-	const rtt = 60 * sim.Millisecond
-	ackWire := netem.NewWire(s, rtt/2, ackDemux)
-	link := wifi.NewLink(s, cfg, q, netem.NewWire(s, rtt/2, dataDemux), est)
-
-	warm := 3 * sim.Second
-	type userStats struct {
-		bytes int64
-		delay metrics.DelayRecorder
+	flows := make([]FlowSpec, nUsers)
+	for u := range flows {
+		flows[u] = FlowSpec{Scheme: ws.Scheme}
 	}
-	stats := make([]*userStats, nUsers)
-	for u := 0; u < nUsers; u++ {
-		alg, err := NewAlgorithm(ws.Scheme)
-		if err != nil {
-			return metrics.Summary{}, err
-		}
-		ep := cc.NewEndpoint(s, u, link, alg)
-		ackDemux.Route(u, ep)
-		recv := netem.NewReceiver(s, u, ackWire)
-		st := &userStats{}
-		stats[u] = st
-		recv.OnData = func(now sim.Time, p *packet.Packet) {
-			if now < warm {
-				return
-			}
-			st.bytes += int64(p.Size)
-			st.delay.Add(now - p.SentAt)
-		}
-		dataDemux.Route(u, recv)
-		ep.Start()
+	res, _, err := Run(Spec{
+		Seed:     seed,
+		Duration: dur,
+		Warmup:   3 * sim.Second,
+		RTT:      60 * sim.Millisecond,
+		Links:    []LinkSpec{{Wifi: wl, Qdisc: q}},
+		Flows:    flows,
+	})
+	if err != nil {
+		return metrics.Summary{}, err
 	}
-	s.RunUntil(dur)
 
-	span := (dur - warm).Seconds()
 	sum := metrics.Summary{Scheme: ws.Label}
 	var p95Sum, meanSum float64
-	for _, st := range stats {
-		sum.TputMbps += float64(st.bytes) * 8 / span / 1e6
-		p95Sum += st.delay.P95()
-		meanSum += st.delay.Mean()
+	for i := range res.Flows {
+		f := &res.Flows[i]
+		sum.TputMbps += f.TputMbps
+		p95Sum += f.Delay.P95()
+		meanSum += f.Delay.Mean()
 	}
 	sum.P95Ms = p95Sum / float64(nUsers)
 	sum.MeanMs = meanSum / float64(nUsers)

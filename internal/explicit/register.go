@@ -1,0 +1,38 @@
+// Registry hookup for the explicit-feedback baselines: senders join the
+// scheme registry paired with their router kinds, and the routers join the
+// qdisc registry.
+package explicit
+
+import (
+	"abc/internal/cc"
+	"abc/internal/qdisc"
+)
+
+func init() {
+	cc.Register(cc.Scheme{Name: "XCP", New: func() cc.Algorithm { return NewXCPSender(false) }, Qdisc: "xcp"})
+	cc.Register(cc.Scheme{Name: "XCPw", New: func() cc.Algorithm { return NewXCPSender(true) }, Qdisc: "xcpw"})
+	cc.Register(cc.Scheme{Name: "RCP", New: func() cc.Algorithm { return NewRCPSender() }, Qdisc: "rcp"})
+	cc.Register(cc.Scheme{Name: "VCP", New: func() cc.Algorithm { return NewVCPSender() }, Qdisc: "vcp"})
+
+	qdisc.Register("xcp", func(s qdisc.BuildSpec) (qdisc.Qdisc, error) {
+		cfg := DefaultXCPConfig()
+		cfg.Limit = s.Buffer
+		return NewXCPRouter(cfg), nil
+	})
+	qdisc.Register("xcpw", func(s qdisc.BuildSpec) (qdisc.Qdisc, error) {
+		cfg := DefaultXCPConfig()
+		cfg.Limit = s.Buffer
+		cfg.PerPacket = true
+		return NewXCPRouter(cfg), nil
+	})
+	qdisc.Register("rcp", func(s qdisc.BuildSpec) (qdisc.Qdisc, error) {
+		cfg := DefaultRCPConfig()
+		cfg.Limit = s.Buffer
+		return NewRCPRouter(cfg), nil
+	})
+	qdisc.Register("vcp", func(s qdisc.BuildSpec) (qdisc.Qdisc, error) {
+		cfg := DefaultVCPConfig()
+		cfg.Limit = s.Buffer
+		return NewVCPRouter(cfg), nil
+	})
+}

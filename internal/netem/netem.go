@@ -42,6 +42,11 @@ type Demux struct {
 	routes map[int]packet.Node
 	// Default receives packets with no per-flow route.
 	Default packet.Node
+	// Drops counts packets that had neither a per-flow route nor a
+	// default and were released. A non-zero count is almost always a
+	// topology wiring bug, so experiment harnesses surface it instead of
+	// letting misrouted traffic vanish silently.
+	Drops int64
 }
 
 // NewDemux returns an empty demultiplexer.
@@ -49,6 +54,12 @@ func NewDemux() *Demux { return &Demux{routes: make(map[int]packet.Node)} }
 
 // Route installs the destination for a flow.
 func (d *Demux) Route(flow int, dst packet.Node) { d.routes[flow] = dst }
+
+// Routed reports whether the flow has a per-flow route installed.
+func (d *Demux) Routed(flow int) bool {
+	_, ok := d.routes[flow]
+	return ok
+}
 
 // Recv implements packet.Node.
 func (d *Demux) Recv(p *packet.Packet) {
@@ -60,7 +71,9 @@ func (d *Demux) Recv(p *packet.Packet) {
 		d.Default.Recv(p)
 		return
 	}
-	// No route and no default: the demux is the last holder.
+	// No route and no default: the demux is the last holder. Count the
+	// drop so wiring bugs in new topologies are visible.
+	d.Drops++
 	p.Release()
 }
 

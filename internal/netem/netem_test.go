@@ -220,3 +220,30 @@ func TestTraceLinkHighRateMultiOpportunity(t *testing.T) {
 		t.Errorf("delivered %d packets, want ≈ %.0f", sink.Count, want)
 	}
 }
+
+// TestDemuxCountsUnroutedDrops: packets with no route and no default are
+// released and counted, not silently vanished.
+func TestDemuxCountsUnroutedDrops(t *testing.T) {
+	d := NewDemux()
+	sink := &packet.Sink{}
+	d.Route(1, sink)
+	for i := 0; i < 3; i++ {
+		d.Recv(packet.NewData(2, int64(i), packet.MTU, 0))
+	}
+	d.Recv(packet.NewData(1, 0, packet.MTU, 0))
+	if d.Drops != 3 {
+		t.Fatalf("Drops = %d, want 3", d.Drops)
+	}
+	if sink.Count != 1 {
+		t.Fatalf("routed deliveries = %d, want 1", sink.Count)
+	}
+	if !d.Routed(1) || d.Routed(2) {
+		t.Fatal("Routed() wrong")
+	}
+	// A default destination absorbs instead of dropping.
+	d.Default = &packet.Sink{}
+	d.Recv(packet.NewData(2, 9, packet.MTU, 0))
+	if d.Drops != 3 {
+		t.Fatalf("Drops moved to %d with a default installed", d.Drops)
+	}
+}

@@ -1,0 +1,105 @@
+// Qdisc registry: queueing disciplines self-register under a kind name
+// and experiments build them from a provider-agnostic BuildSpec. This
+// inverts the old dependency direction, where the experiment harness
+// hard-coded a constructor switch over every discipline package: now each
+// package (qdisc, abc, explicit, sched) registers its own kinds from an
+// init function and the harness only knows the registry.
+package qdisc
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"abc/internal/sim"
+)
+
+// DefaultBuffer is the queue limit applied when a BuildSpec leaves Buffer
+// unset: the paper's 250-packet cellular emulation buffer.
+const DefaultBuffer = 250
+
+// BuildSpec describes one discipline instance generically. Fields beyond
+// Kind and Buffer are interpreted by the registered builder; providers
+// that need richer configuration read their own config type from Config.
+type BuildSpec struct {
+	// Kind names the registered discipline ("" builds a droptail FIFO).
+	Kind string
+	// Buffer is the queue limit in packets (<= 0 means DefaultBuffer).
+	Buffer int
+	// DelayThreshold carries a delay-target override for disciplines that
+	// have one (ABC's dt, swept by Fig. 10).
+	DelayThreshold sim.Time
+	// Feedback is a provider-defined mode selector (ABC uses it to pick
+	// dequeue- vs enqueue-rate feedback, Fig. 2).
+	Feedback uint8
+	// Config, when non-nil, is a provider-specific full configuration
+	// (e.g. *abc.RouterConfig for ablation sweeps). Builders that
+	// interpret Config must reject values of a type they do not
+	// recognize; callers must not pass a Config to a kind that takes
+	// none (the exp harness enforces this for QdiscSpec).
+	Config any
+	// Rand supplies randomness to probabilistic disciplines (RED, PIE).
+	// Builders must tolerate nil.
+	Rand *rand.Rand
+}
+
+// Builder constructs a discipline from its spec. The spec's Buffer is
+// already defaulted by Build.
+type Builder func(spec BuildSpec) (Qdisc, error)
+
+var builders = map[string]Builder{}
+
+// Register installs a builder for a kind. It panics on duplicates, which
+// turns conflicting registrations into an immediate startup failure
+// instead of a silent override.
+func Register(kind string, b Builder) {
+	if kind == "" || b == nil {
+		panic("qdisc: Register with empty kind or nil builder")
+	}
+	if _, dup := builders[kind]; dup {
+		panic(fmt.Sprintf("qdisc: duplicate Register(%q)", kind))
+	}
+	builders[kind] = b
+}
+
+// Build constructs the discipline named by spec.Kind via the registry.
+func Build(spec BuildSpec) (Qdisc, error) {
+	kind := spec.Kind
+	if kind == "" {
+		kind = "droptail"
+	}
+	if spec.Buffer <= 0 {
+		spec.Buffer = DefaultBuffer
+	}
+	b, ok := builders[kind]
+	if !ok {
+		return nil, fmt.Errorf("qdisc: unknown kind %q (registered: %v)", kind, Kinds())
+	}
+	return b(spec)
+}
+
+// Kinds returns the registered kind names, sorted.
+func Kinds() []string {
+	out := make([]string, 0, len(builders))
+	for k := range builders {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// init registers the disciplines this package itself provides.
+func init() {
+	Register("droptail", func(s BuildSpec) (Qdisc, error) {
+		return NewDropTail(s.Buffer), nil
+	})
+	Register("codel", func(s BuildSpec) (Qdisc, error) {
+		return NewCoDel(s.Buffer, false), nil
+	})
+	Register("pie", func(s BuildSpec) (Qdisc, error) {
+		return NewPIE(s.Buffer, false, s.Rand), nil
+	})
+	Register("red", func(s BuildSpec) (Qdisc, error) {
+		return NewRED(s.Buffer, false, s.Rand), nil
+	})
+}

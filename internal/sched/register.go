@@ -1,0 +1,27 @@
+// Registry hookup: the dual-queue coexistence router joins the qdisc
+// registry under both of its weight policies.
+package sched
+
+import (
+	"abc/internal/qdisc"
+)
+
+// buildDual constructs a dual queue with the harness conventions: the
+// buffer bounds both queues and the delay threshold override reaches the
+// inner ABC router.
+func buildDual(policy WeightPolicy) qdisc.Builder {
+	return func(s qdisc.BuildSpec) (qdisc.Qdisc, error) {
+		cfg := DefaultConfig()
+		cfg.Policy = policy
+		cfg.ABCLimit, cfg.OtherLimit = s.Buffer, s.Buffer
+		if s.DelayThreshold > 0 {
+			cfg.Router.DelayThreshold = s.DelayThreshold
+		}
+		return NewDualQueue(cfg), nil
+	}
+}
+
+func init() {
+	qdisc.Register("dual-maxmin", buildDual(MaxMin))
+	qdisc.Register("dual-zombie", buildDual(ZombieList))
+}

@@ -1,0 +1,163 @@
+// Impairment elements: per-edge jitter, random and bursty loss, and
+// probabilistic reordering. They sit in front of an edge's link, so
+// impaired traffic is dropped or delayed before it ever occupies the
+// bottleneck queue, mirroring where radio-layer loss and scheduling
+// jitter occur on real paths.
+package topo
+
+import (
+	"math/rand"
+
+	"abc/internal/packet"
+	"abc/internal/sim"
+)
+
+// Impairments configures an edge's impairment stage. The zero value means
+// an unimpaired edge and adds no elements at all.
+type Impairments struct {
+	// LossRate drops each packet independently with this probability.
+	LossRate float64
+	// Burst loss follows a two-state Gilbert-Elliott model: in the bad
+	// state packets drop with BurstLossRate; the chain moves good→bad
+	// with probability BurstPBad per packet and bad→good with BurstPGood.
+	BurstLossRate float64
+	BurstPBad     float64
+	BurstPGood    float64
+	// Jitter adds a uniform random extra delay in [0, Jitter] per packet.
+	// Delivery order is preserved (FIFO jitter): a packet never overtakes
+	// one that entered before it.
+	Jitter sim.Time
+	// ReorderProb defers a packet by ReorderDelay with this probability,
+	// letting later packets overtake it (true reordering).
+	ReorderProb  float64
+	ReorderDelay sim.Time
+}
+
+// zero reports whether the stage would be a no-op.
+func (im Impairments) zero() bool {
+	return im.LossRate <= 0 && im.BurstLossRate <= 0 &&
+		im.Jitter <= 0 && im.ReorderProb <= 0
+}
+
+// impairStats aggregates drops across the stage's elements.
+type impairStats struct{ drops int64 }
+
+// build assembles the stage in a fixed order — loss, burst loss,
+// reordering, jitter — and returns its head. The fixed order keeps runs
+// deterministic and reproducible from the spec alone.
+func (im Impairments) build(s *sim.Simulator, dst packet.Node) (packet.Node, *impairStats) {
+	st := &impairStats{}
+	head := dst
+	if im.Jitter > 0 {
+		head = &jitterPipe{s: s, rng: s.Rand(), dst: head, max: im.Jitter}
+	}
+	if im.ReorderProb > 0 && im.ReorderDelay > 0 {
+		head = &reorderPipe{s: s, rng: s.Rand(), dst: head, prob: im.ReorderProb, delay: im.ReorderDelay}
+	}
+	if im.BurstLossRate > 0 {
+		pBad, pGood := im.BurstPBad, im.BurstPGood
+		if pBad <= 0 {
+			pBad = 0.01
+		}
+		if pGood <= 0 {
+			pGood = 0.2
+		}
+		head = &burstGate{rng: s.Rand(), dst: head, lossBad: im.BurstLossRate, pBad: pBad, pGood: pGood, st: st}
+	}
+	if im.LossRate > 0 {
+		head = &lossGate{rng: s.Rand(), dst: head, p: im.LossRate, st: st}
+	}
+	return head, st
+}
+
+// lossGate drops packets independently with probability p.
+type lossGate struct {
+	rng *rand.Rand
+	dst packet.Node
+	p   float64
+	st  *impairStats
+}
+
+// Recv implements packet.Node.
+func (l *lossGate) Recv(p *packet.Packet) {
+	if l.rng.Float64() < l.p {
+		l.st.drops++
+		p.Release()
+		return
+	}
+	l.dst.Recv(p)
+}
+
+// burstGate is the two-state Gilbert-Elliott loss model.
+type burstGate struct {
+	rng     *rand.Rand
+	dst     packet.Node
+	lossBad float64
+	pBad    float64 // good → bad transition probability per packet
+	pGood   float64 // bad → good transition probability per packet
+	bad     bool
+	st      *impairStats
+}
+
+// Recv implements packet.Node.
+func (b *burstGate) Recv(p *packet.Packet) {
+	if b.bad {
+		if b.rng.Float64() < b.pGood {
+			b.bad = false
+		}
+	} else if b.rng.Float64() < b.pBad {
+		b.bad = true
+	}
+	if b.bad && b.rng.Float64() < b.lossBad {
+		b.st.drops++
+		p.Release()
+		return
+	}
+	b.dst.Recv(p)
+}
+
+// jitterDeliver is the static delivery callback (no per-packet closure).
+func jitterDeliver(a, b any) { a.(*jitterPipe).dst.Recv(b.(*packet.Packet)) }
+
+// jitterPipe adds uniform random delay while preserving FIFO order: each
+// packet's deadline is clamped to be no earlier than the previous one's.
+type jitterPipe struct {
+	s    *sim.Simulator
+	rng  *rand.Rand
+	dst  packet.Node
+	max  sim.Time
+	last sim.Time // latest deadline handed out
+}
+
+// Recv implements packet.Node.
+func (j *jitterPipe) Recv(p *packet.Packet) {
+	now := j.s.Now()
+	at := now + sim.Time(j.rng.Int63n(int64(j.max)+1))
+	if at < j.last {
+		at = j.last
+	}
+	j.last = at
+	j.s.AfterArgs(at-now, jitterDeliver, j, p)
+}
+
+// reorderDeliver is the static delivery callback (no per-packet closure).
+func reorderDeliver(a, b any) { a.(*reorderPipe).dst.Recv(b.(*packet.Packet)) }
+
+// reorderPipe defers randomly chosen packets by a fixed extra delay so
+// subsequent packets overtake them.
+type reorderPipe struct {
+	s     *sim.Simulator
+	rng   *rand.Rand
+	dst   packet.Node
+	prob  float64
+	delay sim.Time
+}
+
+// Recv implements packet.Node.
+func (r *reorderPipe) Recv(p *packet.Packet) {
+	if r.rng.Float64() < r.prob {
+		r.s.AfterArgs(r.delay, reorderDeliver, r, p)
+		return
+	}
+	r.dst.Recv(p)
+}

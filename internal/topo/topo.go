@@ -1,0 +1,194 @@
+// Package topo models an experiment's network as a directed graph of
+// nodes and links with explicit per-flow routes. A node is a junction
+// that routes packets by flow id; an edge is one hop — an optional
+// bottleneck link (trace-driven, rate-driven or Wi-Fi modelled), an
+// optional impairment stage (jitter, random or bursty loss, reordering)
+// and a propagation delay. A flow's data path and its ACK path are both
+// routes over such edges, so reverse-path bottlenecks, asymmetric delays
+// and cross traffic entering or leaving mid-path are all expressible
+// without bespoke wiring.
+//
+// The graph adds no events of its own: junction routing is synchronous,
+// so a chain of edges behaves (and schedules) exactly like the manually
+// wired element chains it replaces. Misrouted packets — a flow arriving
+// at a node with no route installed for it — are counted, not silently
+// released; UnroutedDrops is the first thing to check when a new topology
+// misbehaves.
+package topo
+
+import (
+	"fmt"
+
+	"abc/internal/netem"
+	"abc/internal/packet"
+	"abc/internal/sim"
+)
+
+// Link is a bottleneck element on an edge. netem.TraceLink, netem.RateLink
+// and wifi.Link all satisfy it.
+type Link interface {
+	packet.Node
+	// DeliveredBytes reports total payload bytes the link has delivered.
+	DeliveredBytes() int64
+}
+
+// LinkFactory builds an edge's link with its downstream destination
+// already wired (links in this codebase take their destination at
+// construction). A nil factory makes the edge a pure propagation hop.
+type LinkFactory func(dst packet.Node) (Link, error)
+
+// Node is a junction: packets arriving here are routed by flow id to the
+// next hop of that flow's route.
+type Node struct {
+	ID   int
+	Name string
+	// demux does the per-flow routing; unrouted arrivals are counted.
+	demux *netem.Demux
+}
+
+// Recv implements packet.Node.
+func (n *Node) Recv(p *packet.Packet) { n.demux.Recv(p) }
+
+// Edge is one directed hop between two nodes.
+type Edge struct {
+	ID       int
+	From, To *Node
+	// Delay is the hop's propagation delay, applied after the link.
+	Delay sim.Time
+	// Link is the edge's bottleneck element (nil for pure delay hops).
+	Link Link
+	// head is the first element of the edge's chain:
+	// impairments → link → delay wire → To.
+	head packet.Node
+	// impair exposes the impairment stage's drop counters.
+	impair *impairStats
+}
+
+// ImpairDrops reports packets dropped by this edge's impairment stage.
+func (e *Edge) ImpairDrops() int64 {
+	if e.impair == nil {
+		return 0
+	}
+	return e.impair.drops
+}
+
+// Graph is the topology under construction and, once flows are routed,
+// the running network.
+type Graph struct {
+	S     *sim.Simulator
+	nodes []*Node
+	edges []*Edge
+}
+
+// New returns an empty graph on the simulator.
+func New(s *sim.Simulator) *Graph { return &Graph{S: s} }
+
+// AddNode adds a junction and returns its id.
+func (g *Graph) AddNode(name string) int {
+	n := &Node{ID: len(g.nodes), Name: name, demux: netem.NewDemux()}
+	g.nodes = append(g.nodes, n)
+	return n.ID
+}
+
+// Node returns the node with the given id.
+func (g *Graph) Node(id int) *Node { return g.nodes[id] }
+
+// AddEdge adds a directed hop from one node to another and returns its
+// edge id. The link factory (which may be nil) is invoked immediately
+// with the edge's tail — the delay wire when Delay is positive, otherwise
+// the destination node — as its destination. Impairments, when non-zero,
+// are applied before the link (arriving traffic is impaired, then queued).
+func (g *Graph) AddEdge(from, to int, delay sim.Time, imp Impairments, mk LinkFactory) (int, error) {
+	if from < 0 || from >= len(g.nodes) || to < 0 || to >= len(g.nodes) {
+		return 0, fmt.Errorf("topo: AddEdge(%d → %d) references unknown node", from, to)
+	}
+	e := &Edge{ID: len(g.edges), From: g.nodes[from], To: g.nodes[to], Delay: delay}
+	var tail packet.Node = e.To
+	if delay > 0 {
+		tail = netem.NewWire(g.S, delay, tail)
+	}
+	if mk != nil {
+		l, err := mk(tail)
+		if err != nil {
+			return 0, err
+		}
+		e.Link = l
+		tail = l
+	}
+	if !imp.zero() {
+		head, stats := imp.build(g.S, tail)
+		tail = head
+		e.impair = stats
+	}
+	e.head = tail
+	g.edges = append(g.edges, e)
+	return e.ID, nil
+}
+
+// Edge returns the edge with the given id.
+func (g *Graph) Edge(id int) *Edge { return g.edges[id] }
+
+// Entry returns the first element of an edge's chain, the hop a sender
+// attached at the edge's tail node transmits into.
+func (g *Graph) Entry(edge int) packet.Node { return g.edges[edge].head }
+
+// RouteFlow installs a flow's route along the given edge sequence and
+// terminates it at terminal (the flow's receiver for data routes, its
+// sender endpoint for ACK routes). tailDelay, when positive, inserts a
+// final per-flow propagation hop — the flow's access latency — between
+// the last node and the terminal. It returns the route's entry element.
+//
+// The edges must be contiguous (each edge starts at the node the previous
+// one ends at), and the flow must not already be routed at any node along
+// the way: a node routes each flow to exactly one next hop, so a flow's
+// forward and reverse routes must not share nodes.
+func (g *Graph) RouteFlow(flow int, edges []int, tailDelay sim.Time, terminal packet.Node) (packet.Node, error) {
+	var tail packet.Node = terminal
+	if tailDelay > 0 {
+		tail = netem.NewWire(g.S, tailDelay, terminal)
+	}
+	if len(edges) == 0 {
+		return tail, nil
+	}
+	for i, id := range edges {
+		if id < 0 || id >= len(g.edges) {
+			return nil, fmt.Errorf("topo: flow %d route references unknown edge %d", flow, id)
+		}
+		if i > 0 && g.edges[id].From != g.edges[edges[i-1]].To {
+			return nil, fmt.Errorf("topo: flow %d route not contiguous: edge %d starts at %q, previous ends at %q",
+				flow, id, g.edges[id].From.Name, g.edges[edges[i-1]].To.Name)
+		}
+	}
+	for i, id := range edges {
+		at := g.edges[id].To
+		if at.demux.Routed(flow) {
+			return nil, fmt.Errorf("topo: flow %d already routed at node %q", flow, at.Name)
+		}
+		if i == len(edges)-1 {
+			at.demux.Route(flow, tail)
+		} else {
+			at.demux.Route(flow, g.edges[edges[i+1]].head)
+		}
+	}
+	return g.edges[edges[0]].head, nil
+}
+
+// UnroutedDrops sums packets dropped at junctions because no route was
+// installed for their flow — the graph-wide wiring-bug counter.
+func (g *Graph) UnroutedDrops() int64 {
+	var n int64
+	for _, nd := range g.nodes {
+		n += nd.demux.Drops
+	}
+	return n
+}
+
+// ImpairDrops sums packets dropped by impairment stages across all edges
+// (deliberate loss, as opposed to UnroutedDrops' wiring bugs).
+func (g *Graph) ImpairDrops() int64 {
+	var n int64
+	for _, e := range g.edges {
+		n += e.ImpairDrops()
+	}
+	return n
+}

@@ -1,0 +1,39 @@
+#!/bin/sh
+# check_allocs.sh BENCH_OUTPUT THRESHOLD_FILE
+#
+# Fails (exit 1) if any benchmark listed in the threshold file reports
+# more allocs/op in the `go test -bench -benchmem` output than its
+# committed maximum, or is missing from the output entirely. Keeps the
+# zero-alloc event core and packet free-lists from silently rotting.
+set -eu
+
+out="$1"
+thresholds="$2"
+
+fail=0
+while read -r name max; do
+    case "$name" in ''|\#*) continue ;; esac
+    # Benchmark lines look like:
+    #   BenchmarkSimCore    3    8706 ns/op    0 B/op    0 allocs/op
+    # (the name may carry a -N GOMAXPROCS suffix).
+    line=$(grep -E "^${name}(-[0-9]+)?[[:space:]]" "$out" | head -1 || true)
+    if [ -z "$line" ]; then
+        echo "check_allocs: $name missing from benchmark output" >&2
+        fail=1
+        continue
+    fi
+    got=$(echo "$line" | awk '{for (i = 2; i <= NF; i++) if ($i == "allocs/op") print $(i-1)}')
+    if [ -z "$got" ]; then
+        echo "check_allocs: $name has no allocs/op column (run with -benchmem)" >&2
+        fail=1
+        continue
+    fi
+    if [ "$got" -gt "$max" ]; then
+        echo "check_allocs: $name allocs/op regressed: $got > $max (committed max)" >&2
+        fail=1
+    else
+        echo "check_allocs: $name ok: $got <= $max allocs/op"
+    fi
+done < "$thresholds"
+
+exit $fail
