@@ -83,6 +83,8 @@ func experiments() []experiment {
 		{"pkabc", "§6.6 perfect-knowledge ABC", runPKABC},
 		{"stability", "Theorem 3.1 stability boundary sweep", runStability},
 		{"uplink", "asymmetric cellular: congested uplink carrying the ACKs", runUplink},
+		{"mesh", "shared-junction mesh: disjoint multi-hop paths through one hub", runMesh},
+		{"markeduplink", "downlink ACKs re-marked by an ABC router on the uplink edge", runMarkedUplink},
 		{"heterortt", "heterogeneous-RTT fairness sweep", runHeteroRTT},
 		{"lossy", "lossy-link robustness sweep (random + bursty loss)", runLossy},
 		{"schemes", "registered schemes and qdisc kinds", runSchemes},
@@ -459,6 +461,43 @@ func runUplink() error {
 	return nil
 }
 
+func runMesh() error {
+	out, err := exp.MeshSharedJunction(schemeList(), dur(), *seed)
+	if err != nil {
+		return err
+	}
+	var names []string
+	for sch := range out {
+		names = append(names, sch)
+	}
+	sort.Strings(names)
+	for _, sch := range names {
+		fmt.Print(exp.FormatMeshResult(sch, out[sch]))
+	}
+	return nil
+}
+
+func runMarkedUplink() error {
+	out, err := exp.MarkedUplink(schemeList(), 2, dur(), *seed)
+	if err != nil {
+		return err
+	}
+	var names []string
+	for sch := range out {
+		names = append(names, sch)
+	}
+	sort.Strings(names)
+	fmt.Printf("%-14s %8s %10s %12s %10s %10s %10s\n",
+		"Scheme", "DownUtil", "Down Mbps", "p95 q (ms)", "RevBrakes", "Demoted", "Up Mbps")
+	for _, sch := range names {
+		r := out[sch]
+		fmt.Printf("%-14s %7.1f%% %10.2f %12.0f %10d %10d %10.2f\n",
+			sch, r.Down.Utilization*100, r.Down.TputMbps, r.QDelayP95,
+			r.ReverseBrakes, r.EchoDemoted, r.UpTputMbps)
+	}
+	return nil
+}
+
 func runHeteroRTT() error {
 	list := schemeList()
 	if len(list) == 0 {
@@ -518,16 +557,19 @@ func runScenarioFile(path string) error {
 	if sc.Name != "" {
 		fmt.Printf("## %s\n", sc.Name)
 	}
-	fmt.Printf("%-4s %-14s %-8s %10s %12s %12s %8s\n",
-		"Flow", "Scheme", "Dir", "Tput Mbps", "delay p95", "queue p95", "lost")
+	fmt.Printf("%-4s %-14s %-12s %10s %12s %12s %8s\n",
+		"Flow", "Scheme", "Route", "Tput Mbps", "delay p95", "queue p95", "lost")
 	for i := range res.Flows {
 		f := &res.Flows[i]
-		dir := "forward"
+		route := "forward"
 		if spec.Flows[i].Dir == exp.Reverse {
-			dir = "reverse"
+			route = "reverse"
 		}
-		fmt.Printf("%-4d %-14s %-8s %10.2f %9.0f ms %9.0f ms %8d\n",
-			i, f.Scheme, dir, f.TputMbps, f.Delay.P95(), f.QDelay.P95(), f.Lost)
+		if len(spec.Flows[i].Path) > 0 {
+			route = strings.Join(spec.Flows[i].Path, ">")
+		}
+		fmt.Printf("%-4d %-14s %-12s %10.2f %9.0f ms %9.0f ms %8d\n",
+			i, f.Scheme, route, f.TputMbps, f.Delay.P95(), f.QDelay.P95(), f.Lost)
 	}
 	if res.Utilization > 0 {
 		fmt.Printf("utilization: %.1f%%\n", res.Utilization*100)

@@ -436,7 +436,13 @@ func TestRateMeterCompaction(t *testing.T) {
 // --- helpers ---
 
 func mkAck(accel bool) *packet.Packet {
-	return &packet.Packet{IsAck: true, EchoValid: true, EchoAccel: accel}
+	// Mirror packet.NewAck: the echo rides both the NS bit and the ACK's
+	// own ECN codepoint (which reverse-path routers may demote).
+	ecn := packet.Brake
+	if accel {
+		ecn = packet.Accel
+	}
+	return &packet.Packet{IsAck: true, EchoValid: true, EchoAccel: accel, ECN: ecn}
 }
 
 func ackInfo(a *packet.Packet) cc.AckInfo {

@@ -116,10 +116,17 @@ type Router struct {
 	deqMeter *rateMeter
 	enqMeter *rateMeter
 
-	// AccelMarked / BrakeMarked count feedback decisions for tests and
-	// the marking-fraction invariants.
+	// AccelMarked / BrakeMarked count feedback decisions on data packets
+	// for tests and the marking-fraction invariants.
 	AccelMarked int64
 	BrakeMarked int64
+	// EchoAccelKept / EchoDemoted count Algorithm 1 decisions applied to
+	// ACK-borne echoes: a router on the reverse path sees the echoed
+	// accelerate in the ACK's ECN codepoint and may demote it, so a
+	// congested uplink brakes the forward sender (min-of-marks over the
+	// whole round trip).
+	EchoAccelKept int64
+	EchoDemoted   int64
 }
 
 // NewRouter returns an ABC router with the given configuration.
@@ -231,7 +238,9 @@ func (r *Router) AccelFraction(now sim.Time) float64 {
 // packet: the token bucket admits at most a fraction f(t) of accelerates,
 // and marks may only be demoted (accel→brake), never promoted, so the
 // fraction of accelerates equals the minimum f(t) along a multi-bottleneck
-// path (§3.1.2).
+// path (§3.1.2). ACKs carrying an echoed accelerate in their ECN codepoint
+// go through the same bucket, which extends the minimum over reverse-path
+// bottlenecks hosting an ABC router.
 func (r *Router) Dequeue(now sim.Time) *packet.Packet {
 	if r.head >= len(r.q) {
 		return nil
@@ -254,10 +263,18 @@ func (r *Router) Dequeue(now sim.Time) *packet.Packet {
 	if p.ECN == packet.Accel {
 		if r.token > 1 {
 			r.token--
-			r.AccelMarked++
+			if p.IsAck {
+				r.EchoAccelKept++
+			} else {
+				r.AccelMarked++
+			}
 		} else {
 			p.ECN = packet.Brake
-			r.BrakeMarked++
+			if p.IsAck {
+				r.EchoDemoted++
+			} else {
+				r.BrakeMarked++
+			}
 		}
 	}
 	return p

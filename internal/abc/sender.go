@@ -11,7 +11,9 @@ import (
 
 // Sender implements cc.Algorithm and cc.DataStamper. Every outgoing data
 // packet is marked accelerate (ECT(1)); receivers echo the (possibly
-// demoted) mark back, and the window moves per Eq. 3:
+// demoted) mark back — both in the NS-bit echo and in the ACK's own ECN
+// codepoint, so reverse-path routers can demote it again in flight — and
+// the window moves per Eq. 3:
 //
 //	accel: w ← w + 1 + 1/w
 //	brake: w ← w − 1 + 1/w
@@ -35,6 +37,10 @@ type Sender struct {
 	// Accels and Brakes count feedback received, for tests and reports.
 	Accels int64
 	Brakes int64
+	// ReverseBrakes counts accelerates the receiver echoed but a
+	// reverse-path router or marking qdisc demoted in flight (the ACK's
+	// ECN codepoint no longer says Accel). They are a subset of Brakes.
+	ReverseBrakes int64
 }
 
 // NewSender returns an ABC sender with the paper's initial window.
@@ -66,7 +72,18 @@ func (s *Sender) OnAck(now sim.Time, e *cc.Endpoint, info cc.AckInfo) {
 		if s.DisableAI {
 			ai = 0
 		}
-		if ack.EchoAccel {
+		// The effective signal is the minimum of the receiver's echo and
+		// whatever survived the reverse path: an echoed accelerate whose
+		// ACK was demoted to Brake (reverse ABC router) or CE (legacy
+		// marking AQM) on a congested uplink counts as a brake, per the
+		// multi-bottleneck minimum-of-marks rule applied to the full
+		// round trip.
+		accel := ack.EchoAccel
+		if accel && ack.ECN != packet.Accel {
+			accel = false
+			s.ReverseBrakes++
+		}
+		if accel {
 			s.wabc += 1 + ai
 			s.Accels++
 		} else {

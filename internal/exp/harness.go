@@ -97,10 +97,12 @@ type WiFiLinkSpec struct {
 	EstWindow sim.Time
 }
 
-// LinkSpec describes one bottleneck hop of a chain.
+// LinkSpec describes one bottleneck hop of a chain or mesh edge.
 type LinkSpec struct {
 	// Kind selects the link model: "trace", "rate", "wifi", or "" to
-	// infer from whichever of Trace/Rate/Wifi is set.
+	// infer from whichever of Trace/Rate/Wifi is set. Mesh edges
+	// (Spec.Edges) additionally accept "wire": a pure propagation hop —
+	// Delay and Impair only, no bottleneck and no qdisc.
 	Kind string
 	// Trace drives a delivery-opportunity (Mahimahi-style) link.
 	Trace *trace.Trace
@@ -121,6 +123,9 @@ type LinkSpec struct {
 	// reordering) in front of the link.
 	Impair topo.Impairments
 }
+
+// wire reports whether the spec is a pure propagation hop (mesh only).
+func (ls *LinkSpec) wire() bool { return ls.Kind == "wire" }
 
 // kind resolves the link model name.
 func (ls *LinkSpec) kind() (string, error) {
@@ -171,12 +176,36 @@ type FlowSpec struct {
 	// scenarios): RTT/2 of access latency on each of the flow's data and
 	// ACK tails.
 	RTT sim.Time
+	// Path routes the flow's data over named mesh edges (Spec.Edges), in
+	// order. Mesh specs require it; chain specs must leave it empty (they
+	// route via Dir/EnterAt/ExitAt instead).
+	Path []string
+	// AckPath routes the flow's ACKs over named mesh edges. Empty means
+	// an uncongested direct wire back to the sender (the chain harness's
+	// no-ReverseLinks default).
+	AckPath []string
 	// Mutate, if set, adjusts the constructed algorithm before the run
 	// (ablation switches such as abc.Sender.DisableAI).
 	Mutate func(alg cc.Algorithm)
 }
 
-// Spec is a complete scenario.
+// EdgeSpec is one directed edge of a mesh topology (Spec.Edges): a named
+// hop between two named nodes, carrying a LinkSpec exactly like a chain
+// hop does (Kind "wire" makes it a pure propagation edge).
+type EdgeSpec struct {
+	// Name identifies the edge in FlowSpec.Path / AckPath.
+	Name string
+	// From and To name the edge's endpoints (Spec.Nodes).
+	From, To string
+	// Link configures the hop: bottleneck model, qdisc, delay,
+	// impairments.
+	Link LinkSpec
+}
+
+// Spec is a complete scenario: either a chain (Links / ReverseLinks,
+// flows routed by Dir/EnterAt/ExitAt) or a mesh (Nodes / Edges, flows
+// routed by explicit Path/AckPath edge lists). The two forms are
+// mutually exclusive.
 type Spec struct {
 	Seed     int64
 	Duration sim.Time
@@ -189,7 +218,13 @@ type Spec struct {
 	// it in order, and Reverse-direction flows send their data over it.
 	// Empty means an uncongested wire, the paper's emulation default.
 	ReverseLinks []LinkSpec
-	Flows        []FlowSpec
+	// Nodes and Edges declare a mesh topology: named junctions and
+	// directed edges between them. Any directed multigraph is allowed —
+	// parallel edges, asymmetric reverse paths, disjoint subpaths through
+	// shared junctions. Flows route over it via FlowSpec.Path / AckPath.
+	Nodes []string
+	Edges []EdgeSpec
+	Flows []FlowSpec
 	// Sample enables time-series collection at this period (0 = off).
 	Sample sim.Time
 	// Probe, when set with Sample > 0, is called once per sample period
@@ -227,6 +262,9 @@ type Result struct {
 	// ReverseQdiscs exposes the reverse-chain disciplines, first reverse
 	// hop first.
 	ReverseQdiscs []qdisc.Qdisc
+	// EdgeQdiscs maps mesh edge names to their built disciplines (nil for
+	// chain scenarios; wire edges have no entry).
+	EdgeQdiscs map[string]qdisc.Qdisc
 	// Drops counts packets that reached a junction with no route for
 	// their flow. Anything non-zero indicates a wiring bug in the
 	// scenario (a flow id without a routed path).
@@ -429,6 +467,9 @@ func Run(spec Spec) (*Result, *metrics.DelayRecorder, error) {
 	if spec.Warmup <= 0 {
 		spec.Warmup = 4 * sim.Second
 	}
+	if len(spec.Nodes) > 0 || len(spec.Edges) > 0 {
+		return runMesh(spec)
+	}
 	if len(spec.Links) == 0 {
 		return nil, nil, fmt.Errorf("exp: no links in spec")
 	}
@@ -470,13 +511,86 @@ func Run(spec Spec) (*Result, *metrics.DelayRecorder, error) {
 	res.Qdiscs = fwdQdiscs
 	res.ReverseQdiscs = revQdiscs
 
-	// Flows.
+	// Flows: resolve every flow's chain span into explicit edge routes.
+	routes := make([]flowRoute, len(spec.Flows))
+	for i := range spec.Flows {
+		fs := &spec.Flows[i]
+		if len(fs.Path) > 0 || len(fs.AckPath) > 0 {
+			return nil, nil, fmt.Errorf("exp: flow %d: Path/AckPath route over mesh edges; chain flows use Dir/EnterAt/ExitAt", i)
+		}
+		if fs.Dir == Reverse {
+			routes[i] = flowRoute{data: revEdges[spans[i].enter:spans[i].exit], ack: fwdEdges}
+		} else {
+			routes[i] = flowRoute{data: fwdEdges[spans[i].enter:spans[i].exit], ack: revEdges}
+		}
+	}
+	if err := wireFlows(s, g, &spec, res, pooled, routes); err != nil {
+		return nil, nil, err
+	}
+
+	runAndMeasure(s, g, &spec, res, res.Qdiscs[0], capacityFn(&spec.Links[0]))
+
+	// Utilization against the tightest trace link of the data chain over
+	// the measurement window (the paper reports utilization of the
+	// emulated cell link). Only flows whose route actually traverses
+	// that link count towards its utilization.
+	tightestTraceUtilization(&spec, res, len(spec.Links),
+		func(li int) *trace.Trace { return spec.Links[li].Trace },
+		func(f, li int) bool {
+			return spec.Flows[f].Dir == Forward &&
+				spans[f].enter <= li && li < spans[f].exit
+		})
+	return res, pooled, nil
+}
+
+// tightestTraceUtilization sets res.Utilization against the tightest
+// trace bottleneck over the measurement window: of the n links for which
+// traceAt returns a trace, the one delivering the fewest bytes between
+// Warmup and Duration is the reference, and only flows whose data route
+// traverses it (per the traverses predicate) count as delivered bytes.
+// Both the chain and the mesh compiler measure through here, so the
+// utilization rule cannot diverge between the two Spec forms.
+func tightestTraceUtilization(spec *Spec, res *Result, n int, traceAt func(link int) *trace.Trace, traverses func(flow, link int) bool) {
+	var minCapBytes int64 = -1
+	minIdx := -1
+	for li := 0; li < n; li++ {
+		tr := traceAt(li)
+		if tr == nil {
+			continue
+		}
+		capBytes := tr.CountIn(spec.Warmup, spec.Duration) * packet.MTU
+		if minCapBytes < 0 || capBytes < minCapBytes {
+			minCapBytes = capBytes
+			minIdx = li
+		}
+	}
+	if minCapBytes <= 0 {
+		return
+	}
+	var delivered int64
+	for f := range res.Flows {
+		if traverses(f, minIdx) {
+			delivered += res.Flows[f].Bytes
+		}
+	}
+	res.Utilization = metrics.Utilization(delivered, minCapBytes)
+}
+
+// flowRoute is one flow's resolved data and ACK edge sequences over the
+// topology graph.
+type flowRoute struct{ data, ack []int }
+
+// wireFlows constructs every flow's algorithm, endpoint and receiver and
+// installs its routes, attaching the per-flow metrics hooks. It is the
+// part of scenario execution the chain and mesh compilers share: by the
+// time it runs, a flow is just a pair of edge sequences.
+func wireFlows(s *sim.Simulator, g *topo.Graph, spec *Spec, res *Result, pooled *metrics.DelayRecorder, routes []flowRoute) error {
 	res.Flows = make([]FlowResult, len(spec.Flows))
 	for i := range spec.Flows {
 		fs := &spec.Flows[i]
 		alg, err := cc.New(fs.Scheme)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
 		if fs.Mutate != nil {
 			fs.Mutate(alg)
@@ -489,19 +603,13 @@ func Run(spec Spec) (*Result, *metrics.DelayRecorder, error) {
 		if flowRTT <= 0 {
 			flowRTT = spec.RTT
 		}
-		dataEdges := fwdEdges[spans[i].enter:spans[i].exit]
-		ackEdges := revEdges
-		if fs.Dir == Reverse {
-			dataEdges = revEdges[spans[i].enter:spans[i].exit]
-			ackEdges = fwdEdges
-		}
 
 		ep := cc.NewEndpoint(s, i, nil, alg)
 		ep.Src = fs.Source
 		fr.Endpoint = ep
-		ackEntry, err := g.RouteFlow(i, ackEdges, flowRTT/2, ep)
+		ackEntry, err := g.RouteFlow(i, routes[i].ack, flowRTT/2, ep)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
 		recv := netem.NewReceiver(s, i, ackEntry)
 		start, warm := fs.Start, spec.Warmup
@@ -515,9 +623,9 @@ func Run(spec Spec) (*Result, *metrics.DelayRecorder, error) {
 			fr.QDelay.Add(p.QueueDelay)
 			pooled.Add(d)
 		}
-		dataEntry, err := g.RouteFlow(i, dataEdges, flowRTT/2, recv)
+		dataEntry, err := g.RouteFlow(i, routes[i].data, flowRTT/2, recv)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
 		ep.Out = dataEntry
 
@@ -539,19 +647,24 @@ func Run(spec Spec) (*Result, *metrics.DelayRecorder, error) {
 			})
 		}
 	}
+	return nil
+}
 
-	// Queue-delay time series on the first link.
-	if spec.Sample > 0 {
-		firstQ := res.Qdiscs[0]
-		capAt := capacityFn(&spec.Links[0])
+// runAndMeasure attaches the scenario-wide time series, runs the
+// simulation to spec.Duration and finalizes the per-flow counters.
+// firstQ/firstCap describe the scenario's leading bottleneck for the
+// standing-queue-delay series; they may be nil when the topology has no
+// bottleneck at all (an all-wire mesh).
+func runAndMeasure(s *sim.Simulator, g *topo.Graph, spec *Spec, res *Result, firstQ qdisc.Qdisc, firstCap func(now sim.Time) float64) {
+	if spec.Sample > 0 && firstQ != nil {
 		res.QueueDelayTS = metrics.NewTimeseries(s, spec.Sample, spec.Duration, func(now sim.Time) float64 {
-			mu := capAt(now)
+			mu := firstCap(now)
 			if mu <= 0 {
 				return 0
 			}
 			return float64(firstQ.Bytes()) * 8 / mu * 1000 // ms
 		})
-		if dq, ok := res.Qdiscs[0].(*sched.DualQueue); ok {
+		if dq, ok := firstQ.(*sched.DualQueue); ok {
 			res.WeightTS = metrics.NewTimeseries(s, spec.Sample, spec.Duration, func(now sim.Time) float64 {
 				return dq.WeightABC()
 			})
@@ -590,35 +703,4 @@ func Run(spec Spec) (*Result, *metrics.DelayRecorder, error) {
 	}
 	res.Drops = g.UnroutedDrops()
 	res.ImpairDrops = g.ImpairDrops()
-
-	// Utilization against the tightest trace link of the data chain over
-	// the measurement window (the paper reports utilization of the
-	// emulated cell link). Only flows whose route actually traverses
-	// that link count towards its utilization.
-	var minCapBytes int64 = -1
-	minIdx := -1
-	for li, ls := range spec.Links {
-		if ls.Trace == nil {
-			continue
-		}
-		capBytes := ls.Trace.CountIn(spec.Warmup, spec.Duration) * packet.MTU
-		if minCapBytes < 0 || capBytes < minCapBytes {
-			minCapBytes = capBytes
-			minIdx = li
-		}
-	}
-	if minCapBytes > 0 {
-		var delivered int64
-		for i := range res.Flows {
-			if spec.Flows[i].Dir != Forward {
-				continue
-			}
-			if spans[i].enter > minIdx || minIdx >= spans[i].exit {
-				continue
-			}
-			delivered += res.Flows[i].Bytes
-		}
-		res.Utilization = metrics.Utilization(delivered, minCapBytes)
-	}
-	return res, pooled, nil
 }

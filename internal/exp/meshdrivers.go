@@ -1,0 +1,214 @@
+// Mesh scenario drivers: experiments whose topology is a general graph
+// rather than a chain, exercising the Nodes/Edges Spec form end to end.
+// MeshSharedJunction routes flows over partly-disjoint multi-hop paths
+// through one junction; MarkedUplink puts an ABC router on the uplink
+// edge that carries a downlink flow's ACKs, so the receiver's echoed
+// accelerates are demoted in flight and the sender paces to the minimum
+// of marks over the full round trip (§3.1.2's multi-bottleneck rule
+// extended to the reverse path). Both have declarative twins in
+// examples/scenarios/ (mesh.json, marked-uplink.json).
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"abc/internal/abc"
+	"abc/internal/cc"
+	"abc/internal/metrics"
+	"abc/internal/netem"
+	"abc/internal/sim"
+	"abc/internal/trace"
+)
+
+// MeshFlowSummary is one flow's outcome on a mesh scenario.
+type MeshFlowSummary struct {
+	// Path is the flow's data route, "edge>edge>..." for reports.
+	Path     string
+	TputMbps float64
+	MeanMs   float64
+	P95Ms    float64
+}
+
+// MeshResult is the outcome of one scheme's shared-junction run.
+type MeshResult struct {
+	// Flows reports each flow in spec order: the A-path flow, the B-path
+	// flow, then the crossing flow.
+	Flows []MeshFlowSummary
+	// Drops counts unrouted arrivals (must be zero: the mesh compiler
+	// validates routes up front).
+	Drops int64
+}
+
+// meshJunctionSpec builds the shared-junction topology for one scheme:
+// two access bottlenecks (16 and 8 Mbit/s) feed a junction from which
+// plain wires fan out, and three flows route through it — two on fully
+// disjoint two-hop paths plus one crossing flow that shares an edge with
+// each. The junction itself is just a graph node: routing is per flow,
+// so disjoint paths never queue behind each other.
+func meshJunctionSpec(scheme string, dur sim.Time, seed int64) Spec {
+	return Spec{
+		Seed:     seed,
+		Duration: dur,
+		RTT:      60 * sim.Millisecond,
+		Nodes:    []string{"srcA", "srcB", "hub", "dstA", "dstB"},
+		Edges: []EdgeSpec{
+			{Name: "inA", From: "srcA", To: "hub",
+				Link: LinkSpec{Rate: netem.ConstRate(16e6), Qdisc: QdiscSpec{Kind: "auto"}}},
+			{Name: "inB", From: "srcB", To: "hub",
+				Link: LinkSpec{Rate: netem.ConstRate(8e6), Qdisc: QdiscSpec{Kind: "auto"}}},
+			{Name: "outA", From: "hub", To: "dstA",
+				Link: LinkSpec{Kind: "wire", Delay: 5 * sim.Millisecond}},
+			{Name: "outB", From: "hub", To: "dstB",
+				Link: LinkSpec{Kind: "wire", Delay: 5 * sim.Millisecond}},
+		},
+		Flows: []FlowSpec{
+			{Scheme: scheme, Path: []string{"inA", "outA"}},
+			{Scheme: scheme, Path: []string{"inB", "outB"}},
+			{Scheme: scheme, Path: []string{"inA", "outB"}},
+		},
+	}
+}
+
+// MeshSharedJunction runs the shared-junction mesh for each scheme. The
+// two inA flows split 16 Mbit/s while the inB flow keeps its 8 Mbit/s
+// bottleneck to itself, so a fair scheme lands all three near 8 Mbit/s —
+// cross-path interference at the junction would show up as deviation.
+func MeshSharedJunction(schemes []string, dur sim.Time, seed int64) (map[string]MeshResult, error) {
+	if len(schemes) == 0 {
+		schemes = []string{"ABC", "Cubic"}
+	}
+	if dur <= 0 {
+		dur = 30 * sim.Second
+	}
+	results := make([]MeshResult, len(schemes))
+	err := forEach(len(schemes), func(i int) error {
+		spec := meshJunctionSpec(schemes[i], dur, seed)
+		res, _, err := Run(spec)
+		if err != nil {
+			return err
+		}
+		r := MeshResult{Drops: res.Drops}
+		for f := range res.Flows {
+			fr := &res.Flows[f]
+			r.Flows = append(r.Flows, MeshFlowSummary{
+				Path:     strings.Join(spec.Flows[f].Path, ">"),
+				TputMbps: fr.TputMbps,
+				MeanMs:   fr.Delay.Mean(),
+				P95Ms:    fr.Delay.P95(),
+			})
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]MeshResult, len(schemes))
+	for i, sch := range schemes {
+		out[sch] = results[i]
+	}
+	return out, nil
+}
+
+// MarkedUplinkResult is one scheme's outcome on the marked-uplink
+// scenario.
+type MarkedUplinkResult struct {
+	// Down summarizes the downlink flow under test.
+	Down metrics.Summary
+	// QDelayP95 is the downlink flow's p95 accumulated queuing delay (ms).
+	QDelayP95 float64
+	// UpTputMbps is the uplink cross flow's throughput.
+	UpTputMbps float64
+	// ReverseBrakes counts downlink accelerates the receiver echoed but
+	// the uplink ABC router demoted in flight (ABC schemes only).
+	ReverseBrakes int64
+	// EchoDemoted / EchoKept are the uplink router's Algorithm 1
+	// decisions on ACK-borne echoes.
+	EchoDemoted int64
+	EchoKept    int64
+}
+
+// MarkedUplink runs each scheme's backlogged downlink over a cellular
+// trace while its ACKs return over a slow uplink edge hosting an ABC
+// router, shared with a rate-limited ABC cross flow. Unlike the
+// congested-uplink chain scenario (droptail reverse path: feedback is
+// only delayed or lost), the uplink router *re-marks* the echoes, so an
+// ABC downlink learns about reverse-path congestion explicitly — the
+// sender's effective signal is the minimum of marks over the whole round
+// trip.
+func MarkedUplink(schemes []string, uplinkMbps float64, dur sim.Time, seed int64) (map[string]MarkedUplinkResult, error) {
+	if len(schemes) == 0 {
+		schemes = []string{"ABC", "Cubic"}
+	}
+	if uplinkMbps <= 0 {
+		uplinkMbps = 2
+	}
+	if dur <= 0 {
+		dur = 30 * sim.Second
+	}
+	down := trace.MustNamedCellular("Verizon1")
+	results := make([]MarkedUplinkResult, len(schemes))
+	err := forEach(len(schemes), func(i int) error {
+		sch := schemes[i]
+		res, _, err := Run(Spec{
+			Seed:     seed,
+			Duration: dur,
+			RTT:      100 * sim.Millisecond,
+			Nodes:    []string{"bs", "ue"},
+			Edges: []EdgeSpec{
+				{Name: "down", From: "bs", To: "ue",
+					Link: LinkSpec{Trace: down, Qdisc: QdiscSpec{Kind: "auto"}}},
+				{Name: "up", From: "ue", To: "bs",
+					Link: LinkSpec{Rate: netem.ConstRate(uplinkMbps * 1e6), Qdisc: QdiscSpec{Kind: "abc"}}},
+			},
+			Flows: []FlowSpec{
+				{Scheme: sch, Path: []string{"down"}, AckPath: []string{"up"}},
+				{Scheme: "ABC", Path: []string{"up"},
+					Source: cc.NewRateLimited(0.6 * uplinkMbps * 1e6)},
+			},
+		})
+		if err != nil {
+			return err
+		}
+		f0 := &res.Flows[0]
+		r := MarkedUplinkResult{
+			Down: metrics.Summary{
+				Scheme:      sch,
+				Utilization: res.Utilization,
+				TputMbps:    f0.TputMbps,
+				MeanMs:      f0.Delay.Mean(),
+				P95Ms:       f0.Delay.P95(),
+			},
+			QDelayP95:  f0.QDelay.P95(),
+			UpTputMbps: res.Flows[1].TputMbps,
+		}
+		if s, ok := f0.Algorithm.(*abc.Sender); ok {
+			r.ReverseBrakes = s.ReverseBrakes
+		}
+		if router, ok := res.EdgeQdiscs["up"].(*abc.Router); ok {
+			r.EchoDemoted = router.EchoDemoted
+			r.EchoKept = router.EchoAccelKept
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]MarkedUplinkResult, len(schemes))
+	for i, sch := range schemes {
+		out[sch] = results[i]
+	}
+	return out, nil
+}
+
+// FormatMeshResult renders one scheme's shared-junction rows.
+func FormatMeshResult(scheme string, r MeshResult) string {
+	s := fmt.Sprintf("%s:\n", scheme)
+	for _, f := range r.Flows {
+		s += fmt.Sprintf("  %-12s tput=%6.2f Mbit/s  delay mean=%6.1f ms  p95=%6.1f ms\n",
+			f.Path, f.TputMbps, f.MeanMs, f.P95Ms)
+	}
+	return s
+}

@@ -36,6 +36,39 @@
 // Flows take scheme, start_s/stop_s, dir ("forward"/"reverse"),
 // enter_at/exit_at, rtt_ms and rate_mbps (an application-limited
 // source).
+//
+// Instead of the links/reverse_links chains, a scenario may declare a
+// mesh: "nodes" names the junctions and "edges" the directed hops
+// between them, each edge being a link clause plus name/from/to (the
+// extra kind "wire" makes a pure propagation edge: delay_ms and
+// impairments only, no bottleneck, no qdisc). Mesh flows route by edge
+// name — "path" for data, "ack_path" for ACKs (empty means an
+// uncongested direct wire back) — instead of dir/enter_at/exit_at. An
+// ack_path must start at the node where the flow's data path ends (the
+// receiver stamps the echoes), but may end anywhere: it models the
+// congested segment of the return journey, and the rest is the same
+// implicit lossless wire an empty ack_path uses end to end:
+//
+//	{
+//	  "name": "marked-uplink",
+//	  "nodes": ["gw", "ue", "sink"],
+//	  "edges": [
+//	    {"name": "down", "from": "gw", "to": "ue",
+//	     "kind": "rate", "rate_mbps": 24, "qdisc": {"kind": "auto"}},
+//	    {"name": "up", "from": "ue", "to": "gw",
+//	     "kind": "rate", "rate_mbps": 2, "qdisc": {"kind": "abc"}},
+//	    {"name": "drain", "from": "gw", "to": "sink", "kind": "wire"}
+//	  ],
+//	  "flows": [
+//	    {"scheme": "ABC", "path": ["down"], "ack_path": ["up"]},
+//	    {"scheme": "ABC", "path": ["up"], "ack_path": ["drain"], "rate_mbps": 1.2}
+//	  ]
+//	}
+//
+// An ACK path's edges may host an ABC router or marking qdisc; the
+// accel/brake echo the receiver stamps onto ACKs is then subject to
+// demotion on the way back, and the sender paces to the minimum of
+// marks over the full round trip.
 package exp
 
 import (
@@ -71,13 +104,13 @@ type ScenarioLink struct {
 	SquareLoMbps float64   `json:"square_low_mbps"`
 	SquareHiMbps float64   `json:"square_high_mbps"`
 	SquareHalfMs float64   `json:"square_half_ms"`
-	RateMbps float64 `json:"rate_mbps"`
+	RateMbps     float64   `json:"rate_mbps"`
 	// MCS fixes a wifi link's MCS index; nil keeps the wifi default
 	// (a pointer so an explicit "mcs": 0 is distinguishable from the
 	// key being absent).
-	MCS      *int `json:"mcs"`
-	Estimate bool `json:"estimate"`
-	LookaheadMs  float64   `json:"lookahead_ms"`
+	MCS         *int    `json:"mcs"`
+	Estimate    bool    `json:"estimate"`
+	LookaheadMs float64 `json:"lookahead_ms"`
 
 	DelayMs        float64 `json:"delay_ms"`
 	JitterMs       float64 `json:"jitter_ms"`
@@ -101,9 +134,22 @@ type ScenarioFlow struct {
 	ExitAt   int     `json:"exit_at"`
 	RTTms    float64 `json:"rtt_ms"`
 	RateMbps float64 `json:"rate_mbps"`
+	// Path and AckPath route a mesh scenario's flow over named edges.
+	Path    []string `json:"path,omitempty"`
+	AckPath []string `json:"ack_path,omitempty"`
 }
 
-// Scenario is a complete declarative scenario file.
+// ScenarioEdge is one directed edge of a mesh scenario: a link clause
+// plus a name and its two endpoints.
+type ScenarioEdge struct {
+	Name string `json:"name"`
+	From string `json:"from"`
+	To   string `json:"to"`
+	ScenarioLink
+}
+
+// Scenario is a complete declarative scenario file: either a chain
+// (links / reverse_links) or a mesh (nodes / edges).
 type Scenario struct {
 	Name         string         `json:"name"`
 	Seed         int64          `json:"seed"`
@@ -111,8 +157,10 @@ type Scenario struct {
 	WarmupS      float64        `json:"warmup_s"`
 	RTTms        float64        `json:"rtt_ms"`
 	SampleMs     float64        `json:"sample_ms"`
-	Links        []ScenarioLink `json:"links"`
-	ReverseLinks []ScenarioLink `json:"reverse_links"`
+	Links        []ScenarioLink `json:"links,omitempty"`
+	ReverseLinks []ScenarioLink `json:"reverse_links,omitempty"`
+	Nodes        []string       `json:"nodes,omitempty"`
+	Edges        []ScenarioEdge `json:"edges,omitempty"`
 	Flows        []ScenarioFlow `json:"flows"`
 }
 
@@ -164,6 +212,20 @@ func compileLink(sl *ScenarioLink, idx int, chain string) (LinkSpec, error) {
 	}
 	where := fmt.Sprintf("scenario: %s[%d]", chain, idx)
 	switch sl.Kind {
+	case "wire":
+		// Pure propagation hop (mesh edges only): no bottleneck model, no
+		// qdisc. Anything that configures one is a contradiction.
+		if chain != "edges" {
+			return LinkSpec{}, fmt.Errorf("%s: wire is a mesh edge kind; chain links need a bottleneck", where)
+		}
+		if sl.Trace != "" || len(sl.StepsMbps) > 0 || sl.SquareHiMbps > 0 ||
+			sl.RateMbps > 0 || sl.MCS != nil || sl.Estimate || sl.LookaheadMs > 0 {
+			return LinkSpec{}, fmt.Errorf("%s: wire links carry no bottleneck model", where)
+		}
+		if sl.Qdisc != (ScenarioQdisc{}) {
+			return LinkSpec{}, fmt.Errorf("%s: wire links have no qdisc", where)
+		}
+		ls.Qdisc = QdiscSpec{}
 	case "trace", "":
 		switch {
 		case sl.Trace != "":
@@ -239,6 +301,15 @@ func (sc *Scenario) Compile() (Spec, error) {
 		}
 		spec.ReverseLinks = append(spec.ReverseLinks, ls)
 	}
+	spec.Nodes = append(spec.Nodes, sc.Nodes...)
+	for i := range sc.Edges {
+		se := &sc.Edges[i]
+		ls, err := compileLink(&se.ScenarioLink, i, "edges")
+		if err != nil {
+			return Spec{}, err
+		}
+		spec.Edges = append(spec.Edges, EdgeSpec{Name: se.Name, From: se.From, To: se.To, Link: ls})
+	}
 	for i := range sc.Flows {
 		sf := &sc.Flows[i]
 		if _, err := cc.New(sf.Scheme); err != nil {
@@ -251,6 +322,8 @@ func (sc *Scenario) Compile() (Spec, error) {
 			EnterAt: sf.EnterAt,
 			ExitAt:  sf.ExitAt,
 			RTT:     ms(sf.RTTms),
+			Path:    sf.Path,
+			AckPath: sf.AckPath,
 		}
 		switch sf.Dir {
 		case "", "forward":
@@ -258,6 +331,9 @@ func (sc *Scenario) Compile() (Spec, error) {
 			fs.Dir = Reverse
 		default:
 			return Spec{}, fmt.Errorf("scenario: flows[%d]: unknown dir %q", i, sf.Dir)
+		}
+		if len(sf.Path) > 0 && (sf.Dir != "" || sf.EnterAt != 0 || sf.ExitAt != 0) {
+			return Spec{}, fmt.Errorf("scenario: flows[%d]: path routes over mesh edges; dir/enter_at/exit_at are chain fields", i)
 		}
 		if sf.RateMbps > 0 {
 			fs.Source = cc.NewRateLimited(sf.RateMbps * 1e6)

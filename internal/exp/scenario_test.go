@@ -1,0 +1,138 @@
+package exp
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestScenarioRejectsUnknownKeys: a typo'd field name must fail loudly,
+// never silently leave a default in place.
+func TestScenarioRejectsUnknownKeys(t *testing.T) {
+	cases := []string{
+		`{"name":"x","durations_s":10}`,
+		`{"links":[{"kind":"rate","rate_mbp":8}]}`,
+		`{"edges":[{"name":"e","form":"a","to":"b"}]}`,
+		`{"flows":[{"scheme":"ABC","paths":["e"]}]}`,
+	}
+	for _, c := range cases {
+		if _, err := ParseScenario([]byte(c)); err == nil ||
+			!strings.Contains(err.Error(), "unknown field") {
+			t.Errorf("ParseScenario(%s) = %v, want unknown-field error", c, err)
+		}
+	}
+}
+
+// TestScenarioFilesRoundTrip: every example scenario must survive a
+// parse → marshal → parse cycle structurally unchanged and still compile
+// to the same Spec shape — the declarative files are the stable contract
+// the fuzz corpus seeds from.
+func TestScenarioFilesRoundTrip(t *testing.T) {
+	paths, err := filepath.Glob("../../examples/scenarios/*.json")
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no example scenarios found: %v", err)
+	}
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := ParseScenario(data)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		out, err := json.Marshal(sc)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", path, err)
+		}
+		sc2, err := ParseScenario(out)
+		if err != nil {
+			t.Fatalf("%s: re-parse of own marshal: %v", path, err)
+		}
+		if !reflect.DeepEqual(sc, sc2) {
+			t.Errorf("%s: round trip changed the scenario:\n%+v\n%+v", path, sc, sc2)
+		}
+		if _, err := sc2.Compile(); err != nil {
+			t.Errorf("%s: round-tripped scenario no longer compiles: %v", path, err)
+		}
+	}
+}
+
+// TestScenarioMeshFieldValidation covers the mesh-specific compile
+// errors: mixing chain routing fields with mesh paths is rejected at the
+// scenario layer, and wire edges cannot carry bottleneck configuration.
+func TestScenarioMeshFieldValidation(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"path with dir",
+			`{"nodes":["a","b"],"edges":[{"name":"e","from":"a","to":"b","kind":"rate","rate_mbps":8}],
+			  "flows":[{"scheme":"ABC","path":["e"],"dir":"reverse"}]}`,
+			"chain fields"},
+		{"path with enter_at",
+			`{"nodes":["a","b"],"edges":[{"name":"e","from":"a","to":"b","kind":"rate","rate_mbps":8}],
+			  "flows":[{"scheme":"ABC","path":["e"],"enter_at":1}]}`,
+			"chain fields"},
+		{"wire with rate",
+			`{"nodes":["a","b"],"edges":[{"name":"e","from":"a","to":"b","kind":"wire","rate_mbps":8}],
+			  "flows":[{"scheme":"ABC","path":["e"]}]}`,
+			"no bottleneck"},
+		{"wire with qdisc",
+			`{"nodes":["a","b"],"edges":[{"name":"e","from":"a","to":"b","kind":"wire","qdisc":{"kind":"droptail"}}],
+			  "flows":[{"scheme":"ABC","path":["e"]}]}`,
+			"no qdisc"},
+		{"wire on chain link",
+			`{"links":[{"kind":"wire","delay_ms":5}],"flows":[{"scheme":"ABC"}]}`,
+			"mesh edge kind"},
+	}
+	for _, tc := range cases {
+		sc, err := ParseScenario([]byte(tc.in))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", tc.name, err)
+		}
+		if _, err := sc.Compile(); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Compile() err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// FuzzScenarioJSON throws arbitrary bytes at the scenario parser and
+// compiler: neither may panic, and anything the parser accepts must
+// marshal back to JSON the parser accepts again (the round-trip contract
+// the example files rely on). The seed corpus (testdata/fuzz) includes
+// every example scenario plus malformed fragments.
+func FuzzScenarioJSON(f *testing.F) {
+	paths, _ := filepath.Glob("../../examples/scenarios/*.json")
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"name":"x","links":[{"kind":"rate","rate_mbps":-1}]}`))
+	f.Add([]byte(`{"nodes":["a"],"edges":[{"name":"e","from":"a","to":"a","kind":"wire"}]}`))
+	f.Add([]byte(`{"flows":[{"scheme":"nope"}]}`))
+	f.Add([]byte(`{"links":[{"trace":"NoSuchTrace"}]}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := ParseScenario(data)
+		if err != nil {
+			return
+		}
+		if _, err := sc.Compile(); err != nil {
+			return
+		}
+		out, err := json.Marshal(sc)
+		if err != nil {
+			t.Fatalf("accepted scenario does not marshal: %v", err)
+		}
+		if _, err := ParseScenario(out); err != nil {
+			t.Fatalf("marshal of accepted scenario re-parses with error: %v", err)
+		}
+	})
+}

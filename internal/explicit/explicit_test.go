@@ -239,3 +239,94 @@ func TestMeterRate(t *testing.T) {
 		t.Errorf("byte rate %v", got)
 	}
 }
+
+// TestReversePathRouterTightensEchoedFeedback pins the reverse-channel
+// contract the explicit baselines share with ABC's accel/brake echo:
+// packet.NewAck copies the multi-bit headers onto the ACK verbatim, and a
+// router hosted on the ACK route applies the same min/max rule it applies
+// to data, so the sender obeys feedback reflecting the full round trip —
+// a congested reverse edge tightens the signal instead of being an
+// assumed-lossless channel.
+func TestReversePathRouterTightensEchoedFeedback(t *testing.T) {
+	t.Run("RCP min rate", func(t *testing.T) {
+		// Saturate a 2 Mbit/s reverse-path router (2x overload) so its
+		// computed rate falls well below the 8 Mbit/s the forward path
+		// stamped, then route the echoing ACK through it.
+		rev := NewRCPRouter(DefaultRCPConfig())
+		rev.SetCapacityProvider(func(sim.Time) float64 { return 2e6 })
+		now := sim.Time(0)
+		gap := sim.FromSeconds(float64(packet.MTU*8) / 4e6)
+		for i := 0; i < 3000; i++ {
+			now += gap
+			rev.Enqueue(now, packet.NewData(2, int64(i), packet.MTU, now))
+			rev.Dequeue(now)
+		}
+		data := packet.NewData(1, 7, packet.MTU, now)
+		data.RCPRate = 8e6
+		ack := packet.NewAck(data, 8, now)
+		if ack.RCPRate != 8e6 {
+			t.Fatalf("NewAck did not echo the stamped rate: %v", ack.RCPRate)
+		}
+		rev.Enqueue(now, ack)
+		out := rev.Dequeue(now)
+		if out.RCPRate <= 0 || out.RCPRate >= 8e6 {
+			t.Fatalf("reverse router left the echoed rate at %.0f bit/s, want tightened below 8e6", out.RCPRate)
+		}
+		s := NewRCPSender()
+		s.OnAck(now, nil, cc.AckInfo{Ack: out, AckedBytes: packet.MTU})
+		if rate, ok := s.PacingRate(now); !ok || rate != out.RCPRate {
+			t.Errorf("sender paces at %v, want the reverse-tightened %v", rate, out.RCPRate)
+		}
+	})
+	t.Run("XCP min feedback", func(t *testing.T) {
+		rev := NewXCPRouter(DefaultXCPConfig())
+		rev.SetCapacityProvider(func(sim.Time) float64 { return 2e6 })
+		now := sim.Time(0)
+		gap := sim.FromSeconds(float64(packet.MTU*8) / 4e6)
+		for i := 0; i < 3000; i++ {
+			now += gap
+			rev.Enqueue(now, dataWithXCP(int64(i), 30000, 100*sim.Millisecond))
+			rev.Dequeue(now)
+		}
+		// The forward path left a positive (one-MTU) feedback; the
+		// overloaded reverse router must reduce it.
+		data := dataWithXCP(7, 30000, 100*sim.Millisecond)
+		ack := packet.NewAck(data, 8, now)
+		if !ack.XCP.Valid || ack.XCP.Feedback != packet.MTU {
+			t.Fatalf("NewAck did not echo the XCP header: %+v", ack.XCP)
+		}
+		rev.Enqueue(now, ack)
+		out := rev.Dequeue(now)
+		if out.XCP.Feedback >= packet.MTU {
+			t.Fatalf("reverse router left echoed feedback at %.1f, want reduced below %d", out.XCP.Feedback, packet.MTU)
+		}
+		s := NewXCPSender(false)
+		before := s.CwndPkts()
+		s.OnAck(now, nil, cc.AckInfo{Ack: out, AckedBytes: packet.MTU})
+		if got := s.CwndPkts(); got >= before+1 {
+			t.Errorf("cwnd grew to %.2f pkts despite reverse-path congestion (was %.2f)", got, before)
+		}
+	})
+	t.Run("VCP max load", func(t *testing.T) {
+		rev := NewVCPRouter(DefaultVCPConfig())
+		rev.SetCapacityProvider(func(sim.Time) float64 { return 10e6 })
+		now := sim.Time(0)
+		gap := sim.FromSeconds(float64(packet.MTU*8) / 30e6)
+		for i := 0; i < 3000; i++ {
+			now += gap
+			rev.Enqueue(now, packet.NewData(2, int64(i), packet.MTU, now))
+			rev.Dequeue(now)
+		}
+		data := packet.NewData(1, 7, packet.MTU, now)
+		data.VCPLoad = vcpLow // forward path saw low load
+		ack := packet.NewAck(data, 8, now)
+		if ack.VCPLoad != vcpLow {
+			t.Fatalf("NewAck did not echo the load code: %d", ack.VCPLoad)
+		}
+		rev.Enqueue(now, ack)
+		out := rev.Dequeue(now)
+		if out.VCPLoad != vcpOverload {
+			t.Errorf("overloaded reverse router left load code %d, want overload(%d)", out.VCPLoad, vcpOverload)
+		}
+	})
+}

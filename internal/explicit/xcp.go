@@ -5,6 +5,13 @@
 // feedback and a sender Algorithm that obeys it, communicating through
 // the multi-bit header fields in internal/packet — the header space whose
 // deployment cost motivates ABC's single-bit design.
+//
+// The reverse channel is not assumed lossless: receivers echo the
+// multi-bit headers onto ACKs verbatim (packet.NewAck), and every router
+// here applies its min/max rule to each packet it dequeues, ACKs
+// included. Feedback riding an ACK through a congested reverse-path
+// router is therefore tightened in flight — the multi-bit analogue of
+// the accel/brake echo demotion ABC routers perform on ACK codepoints.
 package explicit
 
 import (

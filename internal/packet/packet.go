@@ -86,10 +86,16 @@ type Packet struct {
 	Retx bool
 
 	// ECN is the IP ECN codepoint, carrying accel/brake for ABC flows.
+	// On an ACK of an ABC flow it carries the *echoed* mark (NewAck copies
+	// the data packet's accel/brake here), so reverse-path ABC routers and
+	// marking qdiscs can demote the echo in flight exactly as forward-path
+	// routers demote data marks — the sender then consumes the minimum of
+	// marks over the full round trip, not just the forward chain.
 	ECN ECN
 	// EchoAccel is set on ACKs when the receiver echoes an accelerate
 	// (it echoes brake when false and EchoValid is set). This models the
-	// TCP NS-bit echo described in §5.1.2.
+	// TCP NS-bit echo described in §5.1.2. It records what the receiver
+	// saw; ECN records what survived the reverse path.
 	EchoAccel bool
 	// EchoValid reports whether EchoAccel carries a valid accel/brake echo
 	// (only ABC receivers set it).
@@ -193,9 +199,13 @@ func NewAck(p *Packet, cumAck int64, now sim.Time) *Packet {
 	case Accel:
 		a.EchoValid = true
 		a.EchoAccel = true
+		// The echo also rides the ACK's own codepoint so reverse-path
+		// routers can demote it (Accel → Brake, or CE from a legacy AQM).
+		a.ECN = Accel
 	case Brake:
 		a.EchoValid = true
 		a.EchoAccel = false
+		a.ECN = Brake
 	case CE:
 		a.EchoCE = true
 	}

@@ -132,16 +132,42 @@ func (g *Graph) Edge(id int) *Edge { return g.edges[id] }
 // attached at the edge's tail node transmits into.
 func (g *Graph) Entry(edge int) packet.Node { return g.edges[edge].head }
 
+// CheckPath verifies that an edge sequence is a well-formed route over
+// the graph: every id names an existing edge, consecutive edges are
+// contiguous (each starts at the node the previous one ends at), and no
+// edge ends at a node an earlier edge already ended at — a junction
+// routes each flow to exactly one next hop, so a route looping back over
+// an installation node could never be wired. Spec compilers call it to
+// reject malformed mesh routes before any wiring happens.
+func (g *Graph) CheckPath(edges []int) error {
+	seen := make(map[*Node]bool, len(edges))
+	for i, id := range edges {
+		if id < 0 || id >= len(g.edges) {
+			return fmt.Errorf("references unknown edge %d", id)
+		}
+		e := g.edges[id]
+		if i > 0 && e.From != g.edges[edges[i-1]].To {
+			return fmt.Errorf("not contiguous: edge %d starts at %q, previous ends at %q",
+				id, e.From.Name, g.edges[edges[i-1]].To.Name)
+		}
+		if seen[e.To] {
+			return fmt.Errorf("loops back over node %q", e.To.Name)
+		}
+		seen[e.To] = true
+	}
+	return nil
+}
+
 // RouteFlow installs a flow's route along the given edge sequence and
 // terminates it at terminal (the flow's receiver for data routes, its
 // sender endpoint for ACK routes). tailDelay, when positive, inserts a
 // final per-flow propagation hop — the flow's access latency — between
 // the last node and the terminal. It returns the route's entry element.
 //
-// The edges must be contiguous (each edge starts at the node the previous
-// one ends at), and the flow must not already be routed at any node along
-// the way: a node routes each flow to exactly one next hop, so a flow's
-// forward and reverse routes must not share nodes.
+// The edges must satisfy CheckPath, and the flow must not already be
+// routed at any node along the way: a node routes each flow to exactly
+// one next hop, so a flow's forward and reverse routes must not share
+// nodes.
 func (g *Graph) RouteFlow(flow int, edges []int, tailDelay sim.Time, terminal packet.Node) (packet.Node, error) {
 	var tail packet.Node = terminal
 	if tailDelay > 0 {
@@ -150,14 +176,8 @@ func (g *Graph) RouteFlow(flow int, edges []int, tailDelay sim.Time, terminal pa
 	if len(edges) == 0 {
 		return tail, nil
 	}
-	for i, id := range edges {
-		if id < 0 || id >= len(g.edges) {
-			return nil, fmt.Errorf("topo: flow %d route references unknown edge %d", flow, id)
-		}
-		if i > 0 && g.edges[id].From != g.edges[edges[i-1]].To {
-			return nil, fmt.Errorf("topo: flow %d route not contiguous: edge %d starts at %q, previous ends at %q",
-				flow, id, g.edges[id].From.Name, g.edges[edges[i-1]].To.Name)
-		}
+	if err := g.CheckPath(edges); err != nil {
+		return nil, fmt.Errorf("topo: flow %d route %v", flow, err)
 	}
 	for i, id := range edges {
 		at := g.edges[id].To
