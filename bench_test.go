@@ -12,7 +12,9 @@ package abc_test
 import (
 	"testing"
 
+	"abc/internal/app"
 	"abc/internal/exp"
+	"abc/internal/netem"
 	"abc/internal/packet"
 	"abc/internal/sim"
 	"abc/internal/trace"
@@ -482,4 +484,38 @@ func BenchmarkPacketChurn(b *testing.B) {
 		p.Release()
 		a.Release()
 	}
+}
+
+// BenchmarkWorkloadChurn measures the dynamic-flow machinery: one run of
+// an open-loop workload churning ~160 short flows through a rate link
+// (spawn → route → transfer → complete → tear down). The committed
+// allocs/op ceiling in bench_thresholds.txt keeps flow spawning off the
+// alloc fast path — a regression here means per-flow wiring started
+// allocating per packet instead of per flow.
+func BenchmarkWorkloadChurn(b *testing.B) {
+	spec := exp.Spec{
+		Seed:     1,
+		Duration: 8 * sim.Second,
+		Warmup:   sim.Second,
+		Links: []exp.LinkSpec{{
+			Kind:  "rate",
+			Rate:  netem.ConstRate(20e6),
+			Qdisc: exp.QdiscSpec{Kind: "droptail", Buffer: 250},
+		}},
+		Workloads: []exp.WorkloadSpec{{
+			Scheme:  "Cubic",
+			Arrival: app.Deterministic{Gap: 50 * sim.Millisecond},
+			Sizes:   app.FixedSize{Bytes: 20 * 1024},
+		}},
+	}
+	b.ReportAllocs()
+	var completed int
+	for i := 0; i < b.N; i++ {
+		res, _, err := exp.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		completed = res.Workloads[0].Completed
+	}
+	b.ReportMetric(float64(completed), "flows_completed")
 }

@@ -173,6 +173,33 @@ func run() error {
 	}
 	fmt.Println()
 
+	fmt.Println("## Application workloads — short flows / video / RPC")
+	appSchemes := []string{"ABC", "Cubic", "BBR"}
+	sf, err := exp.ShortFlows(appSchemes, "", dur, *seed)
+	if err != nil {
+		return err
+	}
+	for _, r := range sf {
+		fmt.Printf("shortflows %-6s flows=%3d FCT mean=%5.0f ms p95=%6.0f ms  q p95=%4.0f ms\n",
+			r.Scheme, r.FCT.Count, r.FCT.MeanMs, r.FCT.P95Ms, r.QDelayP95)
+	}
+	vid, err := exp.VideoExp(appSchemes, "", dur, *seed)
+	if err != nil {
+		return err
+	}
+	for _, r := range vid {
+		fmt.Printf("video      %-6s %v\n", r.Scheme, r.QoE)
+	}
+	rpc, err := exp.RPCExp(appSchemes, "", dur, *seed)
+	if err != nil {
+		return err
+	}
+	for _, r := range rpc {
+		fmt.Printf("rpc        %-6s calls=%3d FCT mean=%5.0f ms p95=%6.0f ms  q p95=%4.0f ms\n",
+			r.Scheme, r.Calls, r.FCT.MeanMs, r.FCT.P95Ms, r.QDelayP95)
+	}
+	fmt.Println()
+
 	fmt.Println("## §6.5 / §6.6 / Theorem 3.1")
 	for _, n := range []int{2, 8, 32} {
 		idx, err := exp.JainFairness(n, *seed)

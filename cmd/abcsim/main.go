@@ -18,6 +18,7 @@ import (
 	"sort"
 	"strings"
 
+	"abc/internal/app"
 	"abc/internal/cc"
 	"abc/internal/exp"
 	"abc/internal/qdisc"
@@ -32,6 +33,7 @@ var (
 	users    = flag.Int("users", 1, "number of Wi-Fi users (fig10)")
 	runs     = flag.Int("runs", 3, "runs per point (fig12)")
 	scenario = flag.String("scenario", "", "path to a declarative scenario file (overrides -exp)")
+	traceNm  = flag.String("trace", "", "cellular trace for the app-workload experiments (default Verizon1)")
 )
 
 func main() {
@@ -87,6 +89,9 @@ func experiments() []experiment {
 		{"markeduplink", "downlink ACKs re-marked by an ABC router on the uplink edge", runMarkedUplink},
 		{"heterortt", "heterogeneous-RTT fairness sweep", runHeteroRTT},
 		{"lossy", "lossy-link robustness sweep (random + bursty loss)", runLossy},
+		{"shortflows", "open-loop web-like short flows: FCT and slowdown per scheme", runShortFlows},
+		{"video", "ABR video client: bitrate/rebuffer/switch QoE per scheme", runVideo},
+		{"rpc", "request-response RPC clients vs a bulk flow: per-call FCT", runRPC},
 		{"schemes", "registered schemes and qdisc kinds", runSchemes},
 	}
 }
@@ -535,6 +540,46 @@ func runLossy() error {
 	return nil
 }
 
+func runShortFlows() error {
+	rows, err := exp.ShortFlows(schemeList(), *traceNm, dur(), *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-14s %8s %12s %12s %10s %10s %10s\n",
+		"Scheme", "Flows", "FCT mean", "FCT p95", "Slowdown", "q p95(ms)", "Bulk Mbps")
+	for _, r := range rows {
+		fmt.Printf("%-14s %8d %9.0f ms %9.0f ms %10.2f %10.0f %10.2f\n",
+			r.Scheme, r.FCT.Count, r.FCT.MeanMs, r.FCT.P95Ms, r.FCT.P95Slowdown,
+			r.QDelayP95, r.LongTputMbps)
+	}
+	return nil
+}
+
+func runVideo() error {
+	rows, err := exp.VideoExp(schemeList(), *traceNm, dur(), *seed)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("%-14s %v  queue p95=%4.0f ms\n", r.Scheme, r.QoE, r.QDelayP95)
+	}
+	return nil
+}
+
+func runRPC() error {
+	rows, err := exp.RPCExp(schemeList(), *traceNm, dur(), *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-14s %8s %12s %12s %10s %10s\n",
+		"Scheme", "Calls", "FCT mean", "FCT p95", "q p95(ms)", "Bulk Mbps")
+	for _, r := range rows {
+		fmt.Printf("%-14s %8d %9.0f ms %9.0f ms %10.0f %10.2f\n",
+			r.Scheme, r.Calls, r.FCT.MeanMs, r.FCT.P95Ms, r.QDelayP95, r.LongTputMbps)
+	}
+	return nil
+}
+
 func runSchemes() error {
 	fmt.Println("schemes:", strings.Join(cc.SchemeNames(), " "))
 	fmt.Println("qdiscs: ", strings.Join(qdisc.Kinds(), " "))
@@ -570,6 +615,21 @@ func runScenarioFile(path string) error {
 		}
 		fmt.Printf("%-4d %-14s %-12s %10.2f %9.0f ms %9.0f ms %8d\n",
 			i, f.Scheme, route, f.TputMbps, f.Delay.P95(), f.QDelay.P95(), f.Lost)
+	}
+	for i := range res.Flows {
+		f := &res.Flows[i]
+		switch a := f.App.(type) {
+		case *app.ABR:
+			fmt.Printf("flow %d video QoE: %v\n", i, a.QoE())
+		case *app.RPC:
+			fmt.Printf("flow %d rpc: calls=%d  FCT mean %.0f ms, p95 %.0f ms\n",
+				i, a.Calls, a.FCT().Mean(), a.FCT().P95())
+		}
+	}
+	for i := range res.Workloads {
+		w := &res.Workloads[i]
+		fmt.Printf("workload %d: %v  (spawned=%d completed=%d active=%d rejected=%d)\n",
+			i, w.Stats(), w.Spawned, w.Completed, w.Active, w.Rejected)
 	}
 	if res.Utilization > 0 {
 		fmt.Printf("utilization: %.1f%%\n", res.Utilization*100)

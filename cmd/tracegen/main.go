@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"abc/internal/sim"
@@ -31,26 +32,26 @@ var (
 
 func main() {
 	flag.Parse()
-	if err := run(); err != nil {
+	if err := run(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(w io.Writer) error {
 	switch {
 	case *inspect != "":
-		return doInspect(*inspect)
+		return doInspect(*inspect, w)
 	case *name != "":
 		tr, err := trace.NamedCellular(*name)
 		if err != nil {
 			return err
 		}
-		_, err = tr.WriteTo(os.Stdout)
+		_, err = tr.WriteTo(w)
 		return err
 	case *constBW > 0:
 		tr := trace.Constant("const", *constBW*1e6)
-		_, err := tr.WriteTo(os.Stdout)
+		_, err := tr.WriteTo(w)
 		return err
 	case *mean > 0:
 		tr := trace.Cellular("custom", trace.CellParams{
@@ -60,26 +61,21 @@ func run() error {
 			Sigma:      *sigma,
 			OutageProb: *outage,
 		})
-		_, err := tr.WriteTo(os.Stdout)
+		_, err := tr.WriteTo(w)
 		return err
 	}
 	flag.Usage()
 	return fmt.Errorf("nothing to do")
 }
 
-func doInspect(path string) error {
-	f, err := os.Open(path)
+func doInspect(path string, w io.Writer) error {
+	tr, err := readTrace(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	tr, err := trace.Parse(path, f)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("period:        %.3f s\n", tr.Period().Seconds())
-	fmt.Printf("opportunities: %d per period\n", tr.Opportunities())
-	fmt.Printf("average rate:  %.2f Mbit/s\n", tr.AvgRateBps()/1e6)
+	fmt.Fprintf(w, "period:        %.3f s\n", tr.Period().Seconds())
+	fmt.Fprintf(w, "opportunities: %d per period\n", tr.Opportunities())
+	fmt.Fprintf(w, "average rate:  %.2f Mbit/s\n", tr.AvgRateBps()/1e6)
 	// One-second windowed min/max rates.
 	minR, maxR := -1.0, 0.0
 	for t := sim.Second; t <= tr.Period(); t += sim.Second {
@@ -91,7 +87,17 @@ func doInspect(path string) error {
 			maxR = r
 		}
 	}
-	fmt.Printf("1s-window min: %.2f Mbit/s\n", minR)
-	fmt.Printf("1s-window max: %.2f Mbit/s\n", maxR)
+	fmt.Fprintf(w, "1s-window min: %.2f Mbit/s\n", minR)
+	fmt.Fprintf(w, "1s-window max: %.2f Mbit/s\n", maxR)
 	return nil
+}
+
+// readTrace is the inspector's input path: parse a Mahimahi trace file.
+func readTrace(path string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.Parse(path, f)
 }

@@ -19,6 +19,15 @@
 // and queueing disciplines self-register (cc.Register, qdisc.Register)
 // from their own packages, so the harness constructs nothing by name.
 //
+// On top of the flow layer sits an application-workload subsystem
+// (internal/app): open-loop arrival processes spawn finite flows mid-run
+// with heavy-tailed or empirical size distributions and report
+// flow-completion times and slowdowns, and closed-loop clients — an ABR
+// video player with a playback-buffer model and QoE summary, and a
+// request-response RPC client — drive persistent flows through any
+// registered scheme (exp.Spec.Workloads, FlowSpec.App, scenario
+// "workloads"/"app" clauses; drivers abcsim -exp shortflows|video|rpc).
+//
 // The simulation fast path is engineered to be allocation-free in steady
 // state: the event core recycles inline event structs through a 4-ary
 // heap with a slot free-list (internal/sim), packets cycle through a

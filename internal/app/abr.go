@@ -1,0 +1,209 @@
+// ABR video client: a bitrate ladder, chunk downloads over one
+// persistent flow, a playback-buffer model with rebuffer accounting, and
+// a buffer-based (BBA-style) adaptation policy. Quality decisions react
+// to the transport purely through chunk download times, so the client
+// exercises any congestion-control scheme the harness binds underneath.
+package app
+
+import (
+	"abc/internal/metrics"
+	"abc/internal/sim"
+)
+
+// ABRConfig parameterizes the video client. Zero fields take defaults.
+type ABRConfig struct {
+	// LadderKbps is the ascending bitrate ladder (default a 240p–1080p
+	// style ladder: 300, 750, 1200, 2850, 4300 kbit/s).
+	LadderKbps []float64
+	// ChunkS is the chunk duration in seconds of video (default 2).
+	ChunkS float64
+	// MaxBufS caps the playback buffer; the client pauses requests when
+	// the next chunk would overflow it (default 16).
+	MaxBufS float64
+	// StartupS is the buffered video needed to (re)start playback
+	// (default one chunk).
+	StartupS float64
+	// ReservoirS and CushionS are the BBA policy's corner points: at or
+	// below the reservoir the client requests the lowest rung, at or
+	// above the cushion the highest, and in between it maps the buffer
+	// linearly across the ladder (defaults 4 and 12).
+	ReservoirS, CushionS float64
+}
+
+// withDefaults fills zero fields.
+func (c ABRConfig) withDefaults() ABRConfig {
+	if len(c.LadderKbps) == 0 {
+		c.LadderKbps = []float64{300, 750, 1200, 2850, 4300}
+	}
+	if c.ChunkS <= 0 {
+		c.ChunkS = 2
+	}
+	if c.MaxBufS <= 0 {
+		c.MaxBufS = 16
+	}
+	if c.StartupS <= 0 {
+		c.StartupS = c.ChunkS
+	}
+	if c.ReservoirS <= 0 {
+		c.ReservoirS = 4
+	}
+	if c.CushionS <= c.ReservoirS {
+		c.CushionS = c.ReservoirS + 8
+	}
+	return c
+}
+
+// ABR is one video session. Construct with NewABR.
+type ABR struct {
+	s   *sim.Simulator
+	t   Transport
+	cfg ABRConfig
+
+	startAt     sim.Time
+	lastAt      sim.Time
+	bufS        float64 // seconds of video buffered
+	playing     bool
+	startupDone bool
+	downloading bool
+	curIdx      int // rung of the chunk being (or last) downloaded
+
+	chunks   int
+	switches int
+	sumKbps  float64
+	playedS  float64
+	rebufS   float64
+	startupS float64
+	finished bool
+}
+
+// NewABR builds a video client over the transport.
+func NewABR(s *sim.Simulator, t Transport, cfg ABRConfig) *ABR {
+	return &ABR{s: s, t: t, cfg: cfg.withDefaults()}
+}
+
+// Start implements App: begin the session and request the first chunk.
+func (a *ABR) Start(now sim.Time) {
+	a.startAt = now
+	a.lastAt = now
+	a.request(now)
+}
+
+// chunkBytes is the transfer size of one chunk at ladder rung idx.
+func (a *ABR) chunkBytes(idx int) int {
+	n := int(a.cfg.LadderKbps[idx] * 1000 * a.cfg.ChunkS / 8)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// policy maps the current buffer level to a ladder rung (BBA): lowest
+// rung in the reservoir, highest above the cushion, linear in between.
+func (a *ABR) policy() int {
+	top := len(a.cfg.LadderKbps) - 1
+	switch {
+	case a.bufS <= a.cfg.ReservoirS:
+		return 0
+	case a.bufS >= a.cfg.CushionS:
+		return top
+	}
+	frac := (a.bufS - a.cfg.ReservoirS) / (a.cfg.CushionS - a.cfg.ReservoirS)
+	idx := int(frac * float64(top+1))
+	if idx > top {
+		idx = top
+	}
+	return idx
+}
+
+// advance settles playback accounting up to now: while playing the
+// buffer drains in real time, and any deficit is a stall.
+func (a *ABR) advance(now sim.Time) {
+	dt := (now - a.lastAt).Seconds()
+	a.lastAt = now
+	if dt <= 0 {
+		return
+	}
+	if a.playing {
+		if a.bufS >= dt {
+			a.bufS -= dt
+			a.playedS += dt
+		} else {
+			a.playedS += a.bufS
+			a.rebufS += dt - a.bufS
+			a.bufS = 0
+			a.playing = false
+		}
+	} else if a.startupDone {
+		a.rebufS += dt
+	}
+}
+
+// request picks the next chunk's bitrate and queues its download.
+func (a *ABR) request(now sim.Time) {
+	idx := a.policy()
+	if a.chunks > 0 && idx != a.curIdx {
+		a.switches++
+	}
+	a.curIdx = idx
+	a.downloading = true
+	a.t.Queue(a.chunkBytes(idx))
+}
+
+// OnTransferComplete implements App: one chunk finished downloading.
+func (a *ABR) OnTransferComplete(now sim.Time) {
+	if !a.downloading {
+		return
+	}
+	a.downloading = false
+	a.advance(now)
+	a.chunks++
+	a.sumKbps += a.cfg.LadderKbps[a.curIdx]
+	a.bufS += a.cfg.ChunkS
+	if !a.playing && a.bufS >= a.cfg.StartupS {
+		a.playing = true
+		if !a.startupDone {
+			a.startupDone = true
+			a.startupS = (now - a.startAt).Seconds()
+		}
+	}
+	// Buffer-cap pacing: wait until the next chunk fits before asking
+	// for it; while playing the wait drains exactly the overflow.
+	if over := a.bufS + a.cfg.ChunkS - a.cfg.MaxBufS; over > 0 && a.playing {
+		a.s.After(sim.FromSeconds(over), func() {
+			if a.finished {
+				return
+			}
+			a.advance(a.s.Now())
+			a.request(a.s.Now())
+		})
+		return
+	}
+	a.request(now)
+}
+
+// Finish implements App: flush playback accounting at end of run.
+func (a *ABR) Finish(now sim.Time) {
+	if a.finished {
+		return
+	}
+	a.finished = true
+	a.advance(now)
+}
+
+// QoE summarizes the session.
+func (a *ABR) QoE() metrics.QoE {
+	q := metrics.QoE{
+		Chunks:    a.chunks,
+		Switches:  a.switches,
+		StartupS:  a.startupS,
+		PlayedS:   a.playedS,
+		RebufferS: a.rebufS,
+	}
+	if a.chunks > 0 {
+		q.MeanKbps = a.sumKbps / float64(a.chunks)
+	}
+	if tot := a.playedS + a.rebufS; tot > 0 {
+		q.RebufferRatio = a.rebufS / tot
+	}
+	return q
+}

@@ -1,0 +1,34 @@
+// Package app models application-level traffic on top of the transport
+// framework: open-loop flow arrival processes with empirical size
+// distributions (web-like short flows, fixed-size RPCs), and closed-loop
+// clients — an ABR video player and a request-response RPC client — that
+// drive a persistent flow through whatever congestion-control scheme
+// carries it.
+//
+// The package is transport-agnostic: an application sees only a
+// Transport (queue bytes, learn about completed transfers) and the
+// simulator clock, so the experiment harness can bind any registered
+// scheme underneath. All randomness comes from the simulation RNG,
+// keeping application workloads as deterministic as the packet layer.
+package app
+
+import "abc/internal/sim"
+
+// Transport is the slice of one flow's sending side an application
+// drives. Queue appends bytes to the flow's send buffer and (re)starts
+// transmission; the harness reports delivery by calling the
+// application's OnTransferComplete once everything queued so far has
+// been delivered and acknowledged.
+type Transport interface {
+	Queue(n int)
+}
+
+// App is a closed-loop application bound to one flow. The harness calls
+// Start when the flow starts, OnTransferComplete whenever the bytes
+// queued so far are fully acknowledged, and Finish once when the run
+// ends so time-based accounting (playback buffers) can flush.
+type App interface {
+	Start(now sim.Time)
+	OnTransferComplete(now sim.Time)
+	Finish(now sim.Time)
+}

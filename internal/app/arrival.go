@@ -1,0 +1,119 @@
+// Open-loop workload primitives: arrival processes and flow-size
+// distributions. Both draw exclusively from the RNG they are handed (the
+// simulation's), so a seeded run replays the exact same workload.
+package app
+
+import (
+	"math"
+	"math/rand"
+
+	"abc/internal/sim"
+)
+
+// Arrival generates inter-arrival gaps for an open-loop flow workload.
+type Arrival interface {
+	// Next draws the gap until the next arrival.
+	Next(rng *rand.Rand) sim.Time
+}
+
+// Poisson is a Poisson arrival process: exponential inter-arrival times
+// at PerSec flows per second.
+type Poisson struct{ PerSec float64 }
+
+// Next implements Arrival.
+func (p Poisson) Next(rng *rand.Rand) sim.Time {
+	if p.PerSec <= 0 {
+		return sim.Time(math.MaxInt64)
+	}
+	return sim.FromSeconds(rng.ExpFloat64() / p.PerSec)
+}
+
+// Deterministic spaces arrivals exactly Gap apart (constant-rate
+// benchmarking workloads).
+type Deterministic struct{ Gap sim.Time }
+
+// Next implements Arrival.
+func (d Deterministic) Next(*rand.Rand) sim.Time {
+	if d.Gap <= 0 {
+		return sim.Time(math.MaxInt64)
+	}
+	return d.Gap
+}
+
+// SizeDist draws per-flow transfer sizes in bytes.
+type SizeDist interface {
+	Draw(rng *rand.Rand) int
+}
+
+// FixedSize gives every flow the same size (RPC-style workloads).
+type FixedSize struct{ Bytes int }
+
+// Draw implements SizeDist.
+func (f FixedSize) Draw(*rand.Rand) int { return f.Bytes }
+
+// BoundedPareto is the classic heavy-tailed web-flow size model: a
+// Pareto(Alpha) tail truncated to [Min, Max] bytes by inverse-CDF
+// sampling, so most flows are mice and a few are elephants.
+type BoundedPareto struct {
+	Min, Max int
+	Alpha    float64
+}
+
+// Draw implements SizeDist.
+func (b BoundedPareto) Draw(rng *rand.Rand) int {
+	lo, hi := float64(b.Min), float64(b.Max)
+	if lo < 1 {
+		lo = 1
+	}
+	if hi <= lo {
+		return int(lo)
+	}
+	a := b.Alpha
+	if a <= 0 {
+		a = 1.2
+	}
+	// Inverse CDF of the bounded Pareto on [lo, hi].
+	u := rng.Float64()
+	la, ha := math.Pow(lo, a), math.Pow(hi, a)
+	x := math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/a)
+	if x < lo {
+		x = lo
+	}
+	if x > hi {
+		x = hi
+	}
+	return int(x)
+}
+
+// Choice draws from an explicit empirical distribution: Sizes[i] is
+// picked with probability proportional to Weights[i] (equal weights when
+// Weights is empty). It encodes measured workload CDFs as data.
+type Choice struct {
+	Sizes   []int
+	Weights []float64
+}
+
+// Draw implements SizeDist.
+func (c Choice) Draw(rng *rand.Rand) int {
+	if len(c.Sizes) == 0 {
+		return 0
+	}
+	if len(c.Weights) != len(c.Sizes) {
+		return c.Sizes[rng.Intn(len(c.Sizes))]
+	}
+	var total float64
+	for _, w := range c.Weights {
+		total += w
+	}
+	if total <= 0 {
+		return c.Sizes[rng.Intn(len(c.Sizes))]
+	}
+	u := rng.Float64() * total
+	for i, w := range c.Weights {
+		u -= w
+		if u < 0 {
+			return c.Sizes[i]
+		}
+	}
+	return c.Sizes[len(c.Sizes)-1]
+}

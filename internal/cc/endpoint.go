@@ -236,6 +236,22 @@ func (e *Endpoint) Start() {
 // Stop halts the sender (flow departure in staggered-arrival experiments).
 func (e *Endpoint) Stop() { e.stopped = true }
 
+// BeginTransfer re-arms OnComplete for the next application transfer on
+// a persistent flow and kicks transmission immediately. Callers must add
+// the transfer's bytes to the source before calling, or an already-idle
+// flow completes the empty transfer on the spot.
+func (e *Endpoint) BeginTransfer() {
+	e.completeFired = false
+	if !e.started || e.stopped {
+		return
+	}
+	if e.pacing {
+		e.armPacer()
+	} else {
+		e.trySend()
+	}
+}
+
 // SRTT returns the smoothed RTT estimate (0 before the first sample).
 func (e *Endpoint) SRTT() sim.Time { return e.srtt }
 

@@ -279,3 +279,92 @@ func TestBackloggedSource(t *testing.T) {
 		t.Error("backlogged must always be available")
 	}
 }
+
+func TestEndpointStopBeforeFirstPacket(t *testing.T) {
+	// Flow lifetime edge: Stop fires before Start (a Spec with Stop <
+	// Start). The endpoint must never transmit and must not panic.
+	s := sim.New(1)
+	pipe := newLossyPipe(s, 10*sim.Millisecond)
+	ep := NewEndpoint(s, 0, pipe, &fixedWindow{w: 4})
+	pipe.ep = ep
+	ep.Src = NewFixed(10 * packet.MTU)
+	s.At(sim.Second, ep.Stop)
+	s.At(2*sim.Second, ep.Start)
+	s.RunUntil(5 * sim.Second)
+	if ep.SentPackets != 0 {
+		t.Errorf("sent %d packets from a stopped-before-start flow", ep.SentPackets)
+	}
+	if pipe.Delivered != 0 {
+		t.Errorf("delivered %d packets from a stopped-before-start flow", pipe.Delivered)
+	}
+}
+
+func TestEndpointFixedDrainsExactlyAtStop(t *testing.T) {
+	// Flow lifetime edge: Stop scheduled at the very instant the fixed
+	// source drains. The event core runs same-instant events in insertion
+	// order, and a Spec schedules Stop at setup time — so Stop runs
+	// before the final ACK's delivery event and deterministically wins
+	// the tie: the completion is suppressed, nothing panics, and no
+	// packet is sent twice. One nanosecond later and the completion
+	// fires. Both orderings are pinned here.
+	run := func(stopAt sim.Time) (completions int, done sim.Time, sent int64) {
+		s := sim.New(1)
+		pipe := newLossyPipe(s, 10*sim.Millisecond)
+		ep := NewEndpoint(s, 0, pipe, &fixedWindow{w: 4})
+		pipe.ep = ep
+		ep.Src = NewFixed(10 * packet.MTU)
+		ep.OnComplete = func(now sim.Time) { completions++; done = now }
+		if stopAt > 0 {
+			s.At(stopAt, ep.Stop)
+		}
+		ep.Start()
+		s.RunUntil(5 * sim.Second)
+		return completions, done, ep.SentPackets
+	}
+	n, done, sent := run(0)
+	if n != 1 || done <= 0 || sent != 10 {
+		t.Fatalf("baseline run: %d completions at %v, %d sent", n, done, sent)
+	}
+	n2, _, sent2 := run(done)
+	if n2 != 0 {
+		t.Errorf("stop exactly at drain: %d completions, want 0 (Stop wins the tie)", n2)
+	}
+	if sent2 != 10 {
+		t.Errorf("stop exactly at drain sent %d packets, want 10", sent2)
+	}
+	n3, done3, sent3 := run(done + 1)
+	if n3 != 1 || done3 != done || sent3 != 10 {
+		t.Errorf("stop after drain: %d completions at %v (%d sent), want 1 at %v",
+			n3, done3, sent3, done)
+	}
+}
+
+func TestEndpointBeginTransferReArmsCompletion(t *testing.T) {
+	// Persistent application flows: a second transfer queued after the
+	// first completes must re-fire OnComplete (BeginTransfer re-arms it).
+	s := sim.New(1)
+	pipe := newLossyPipe(s, 10*sim.Millisecond)
+	ep := NewEndpoint(s, 0, pipe, &fixedWindow{w: 4})
+	pipe.ep = ep
+	src := &Fixed{Remaining: 5 * packet.MTU}
+	ep.Src = src
+	var completions []sim.Time
+	ep.OnComplete = func(now sim.Time) {
+		completions = append(completions, now)
+		if len(completions) == 1 {
+			src.Remaining += 5 * packet.MTU
+			ep.BeginTransfer()
+		}
+	}
+	ep.Start()
+	s.RunUntil(5 * sim.Second)
+	if len(completions) != 2 {
+		t.Fatalf("%d completions, want 2 (one per transfer)", len(completions))
+	}
+	if completions[1] <= completions[0] {
+		t.Errorf("second completion %v not after first %v", completions[1], completions[0])
+	}
+	if ep.SentPackets != 10 {
+		t.Errorf("sent %d packets, want 10 across both transfers", ep.SentPackets)
+	}
+}

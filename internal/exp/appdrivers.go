@@ -1,0 +1,222 @@
+// Application-workload drivers: the experiments behind `abcsim -exp
+// shortflows|video|rpc`. Each compares registered schemes on a cellular
+// trace under realistic application traffic — open-loop web-like short
+// flows with FCT/slowdown metrics, an ABR video session with a QoE
+// summary, and request-response RPC clients competing with a bulk
+// transfer — exercising the paper's headline claim (low delay for
+// interactive traffic without sacrificing throughput) at the application
+// layer instead of the link layer.
+package exp
+
+import (
+	"abc/internal/app"
+	"abc/internal/metrics"
+	"abc/internal/sim"
+	"abc/internal/trace"
+)
+
+// AppSchemes is the default comparison set for the application-workload
+// drivers.
+var AppSchemes = []string{"ABC", "Cubic", "BBR", "XCP"}
+
+// appTrace resolves the drivers' cellular trace ("" = Verizon1).
+func appTrace(name string) (*trace.Trace, error) {
+	if name == "" {
+		name = "Verizon1"
+	}
+	return trace.NamedCellular(name)
+}
+
+// ShortFlowsResult is one scheme's row of the short-flows experiment.
+type ShortFlowsResult struct {
+	Scheme string
+	// FCT summarizes the web workload's completion times; slowdown is
+	// normalized to the trace's long-run average rate plus one RTT.
+	FCT metrics.FCTStats
+	// Spawned/Completed/Rejected/Active count the workload's flows.
+	Spawned, Completed, Rejected, Active int
+	// QDelayP95 is the short flows' p95 per-packet accumulated queueing
+	// delay (ms) — the interactive-traffic delay metric.
+	QDelayP95 float64
+	// LongTputMbps is the competing bulk flow's throughput.
+	LongTputMbps float64
+	Utilization  float64
+}
+
+// ShortFlows runs, per scheme, one bulk flow plus an open-loop Poisson
+// workload of heavy-tailed web-like short flows (10 KB–1 MB bounded
+// Pareto) over a cellular trace. traceName "" picks Verizon1.
+func ShortFlows(schemes []string, traceName string, dur sim.Time, seed int64) ([]ShortFlowsResult, error) {
+	if len(schemes) == 0 {
+		schemes = AppSchemes
+	}
+	tr, err := appTrace(traceName)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ShortFlowsResult, len(schemes))
+	err = forEach(len(schemes), func(i int) error {
+		scheme := schemes[i]
+		spec := Spec{
+			Seed:     seed,
+			Duration: dur,
+			Links:    []LinkSpec{{Trace: tr, Qdisc: QdiscSpec{Kind: "auto", Buffer: 250}}},
+			Flows:    []FlowSpec{{Scheme: scheme}},
+			Workloads: []WorkloadSpec{{
+				Scheme:  scheme,
+				Class:   "web",
+				Arrival: app.Poisson{PerSec: 4},
+				Sizes:   app.BoundedPareto{Min: 10 * 1024, Max: 1024 * 1024, Alpha: 1.2},
+				RefMbps: tr.AvgRateBps() / 1e6,
+			}},
+		}
+		res, _, rerr := Run(spec)
+		if rerr != nil {
+			return rerr
+		}
+		w := &res.Workloads[0]
+		out[i] = ShortFlowsResult{
+			Scheme:       scheme,
+			FCT:          w.Stats(),
+			Spawned:      w.Spawned,
+			Completed:    w.Completed,
+			Rejected:     w.Rejected,
+			Active:       w.Active,
+			QDelayP95:    w.QDelay.P95(),
+			LongTputMbps: res.Flows[0].TputMbps,
+			Utilization:  res.Utilization,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// VideoResult is one scheme's row of the ABR video experiment.
+type VideoResult struct {
+	Scheme string
+	QoE    metrics.QoE
+	// QDelayP95 is the video flow's p95 accumulated queueing delay (ms).
+	QDelayP95 float64
+	TputMbps  float64
+}
+
+// VideoExp runs, per scheme, one ABR video session over a cellular
+// trace: the buffer-based client climbs the bitrate ladder as far as the
+// scheme's delivery rate and self-inflicted queueing allow. traceName ""
+// picks Verizon1.
+func VideoExp(schemes []string, traceName string, dur sim.Time, seed int64) ([]VideoResult, error) {
+	if len(schemes) == 0 {
+		schemes = AppSchemes
+	}
+	tr, err := appTrace(traceName)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]VideoResult, len(schemes))
+	err = forEach(len(schemes), func(i int) error {
+		scheme := schemes[i]
+		spec := Spec{
+			Seed:     seed,
+			Duration: dur,
+			Links:    []LinkSpec{{Trace: tr, Qdisc: QdiscSpec{Kind: "auto", Buffer: 250}}},
+			Flows: []FlowSpec{{
+				Scheme: scheme,
+				App:    &AppSpec{Kind: "abr"},
+			}},
+		}
+		res, _, rerr := Run(spec)
+		if rerr != nil {
+			return rerr
+		}
+		f := &res.Flows[0]
+		out[i] = VideoResult{
+			Scheme:    scheme,
+			QoE:       f.App.(*app.ABR).QoE(),
+			QDelayP95: f.QDelay.P95(),
+			TputMbps:  f.TputMbps,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RPCResult is one scheme's row of the RPC experiment.
+type RPCResult struct {
+	Scheme string
+	// FCT pools every client's per-call completion times.
+	FCT metrics.FCTStats
+	// Calls counts completed request-response exchanges across clients.
+	Calls int
+	// QDelayP95 is the RPC clients' p95 accumulated queueing delay (ms).
+	QDelayP95 float64
+	// LongTputMbps is the competing bulk flow's throughput.
+	LongTputMbps float64
+}
+
+// rpcClients is the number of concurrent RPC clients per scheme.
+const rpcClients = 3
+
+// RPCExp runs, per scheme, rpcClients request-response clients (100 KB
+// responses, 200 ms mean think time) competing with one bulk flow over a
+// cellular trace; per-call completion times pool across clients.
+// traceName "" picks Verizon1.
+func RPCExp(schemes []string, traceName string, dur sim.Time, seed int64) ([]RPCResult, error) {
+	if len(schemes) == 0 {
+		schemes = AppSchemes
+	}
+	tr, err := appTrace(traceName)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]RPCResult, len(schemes))
+	err = forEach(len(schemes), func(i int) error {
+		scheme := schemes[i]
+		pool := &metrics.DelayRecorder{}
+		flows := []FlowSpec{{Scheme: scheme}}
+		for c := 0; c < rpcClients; c++ {
+			flows = append(flows, FlowSpec{
+				Scheme: scheme,
+				App:    &AppSpec{Kind: "rpc", RPC: app.RPCConfig{FCT: pool}},
+			})
+		}
+		spec := Spec{
+			Seed:     seed,
+			Duration: dur,
+			Links:    []LinkSpec{{Trace: tr, Qdisc: QdiscSpec{Kind: "auto", Buffer: 250}}},
+			Flows:    flows,
+		}
+		res, _, rerr := Run(spec)
+		if rerr != nil {
+			return rerr
+		}
+		row := RPCResult{
+			Scheme:       scheme,
+			LongTputMbps: res.Flows[0].TputMbps,
+		}
+		var bytes int64
+		for c := 1; c <= rpcClients; c++ {
+			f := &res.Flows[c]
+			row.Calls += f.App.(*app.RPC).Calls
+			bytes += f.Bytes
+			// Streaming recorders cannot merge, so report the worst
+			// client's p95 queueing delay — conservative and
+			// deterministic.
+			if p := f.QDelay.P95(); p > row.QDelayP95 {
+				row.QDelayP95 = p
+			}
+		}
+		row.FCT = metrics.NewFCTStats("rpc", pool, nil, bytes)
+		out[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

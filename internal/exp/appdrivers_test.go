@@ -1,0 +1,353 @@
+package exp
+
+import (
+	"testing"
+
+	"abc/internal/app"
+	"abc/internal/netem"
+	"abc/internal/qdisc"
+	"abc/internal/sim"
+	"abc/internal/trace"
+)
+
+// TestShortFlowsABCBeatsCubicQueueing is the subsystem's acceptance
+// check: in the shipped cellular short-flow scenario ABC must deliver
+// the interactive traffic with a lower p95 queueing delay than Cubic.
+func TestShortFlowsABCBeatsCubicQueueing(t *testing.T) {
+	rows, err := ShortFlows([]string{"ABC", "Cubic"}, "", 16*sim.Second, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byScheme := map[string]ShortFlowsResult{}
+	for _, r := range rows {
+		byScheme[r.Scheme] = r
+		if r.Completed == 0 {
+			t.Errorf("%s: no short flows completed", r.Scheme)
+		}
+		if r.FCT.Count == 0 || r.FCT.P95Ms <= 0 {
+			t.Errorf("%s: empty FCT distribution: %+v", r.Scheme, r.FCT)
+		}
+		if r.FCT.MeanSlowdown < 1 {
+			t.Errorf("%s: mean slowdown %.2f below the physical floor of 1", r.Scheme, r.FCT.MeanSlowdown)
+		}
+		if r.Spawned != r.Completed+r.Active+r.Rejected {
+			t.Errorf("%s: flow accounting leak: spawned %d != completed %d + active %d + rejected %d",
+				r.Scheme, r.Spawned, r.Completed, r.Active, r.Rejected)
+		}
+	}
+	abc, cubic := byScheme["ABC"], byScheme["Cubic"]
+	if abc.QDelayP95 >= cubic.QDelayP95 {
+		t.Errorf("ABC p95 queueing %.0f ms not below Cubic's %.0f ms", abc.QDelayP95, cubic.QDelayP95)
+	}
+}
+
+// TestVideoExpQoE checks the ABR session produces coherent QoE: chunks
+// download, the mean bitrate stays inside the ladder, and accounting
+// (played + stalled vs wall clock) closes.
+func TestVideoExpQoE(t *testing.T) {
+	rows, err := VideoExp([]string{"ABC", "Cubic"}, "", 16*sim.Second, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		q := r.QoE
+		if q.Chunks == 0 {
+			t.Fatalf("%s: no chunks downloaded", r.Scheme)
+		}
+		if q.MeanKbps < 300 || q.MeanKbps > 4300 {
+			t.Errorf("%s: mean bitrate %.0f kbps outside the ladder", r.Scheme, q.MeanKbps)
+		}
+		// After startup the session is either playing or stalled, so the
+		// two cannot exceed the wall clock.
+		if q.PlayedS+q.RebufferS > 16+0.01 {
+			t.Errorf("%s: played %.1f s + stalled %.1f s exceeds the 16 s run", r.Scheme, q.PlayedS, q.RebufferS)
+		}
+		if q.RebufferRatio < 0 || q.RebufferRatio > 1 {
+			t.Errorf("%s: rebuffer ratio %.3f outside [0,1]", r.Scheme, q.RebufferRatio)
+		}
+	}
+}
+
+// TestRPCExpCalls checks the RPC clients cycle and pool their FCTs.
+func TestRPCExpCalls(t *testing.T) {
+	rows, err := RPCExp([]string{"ABC"}, "", 16*sim.Second, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.Calls < rpcClients {
+		t.Fatalf("only %d calls across %d clients", r.Calls, rpcClients)
+	}
+	if r.FCT.Count == 0 || r.FCT.MeanMs <= 0 {
+		t.Errorf("empty pooled FCT: %+v", r.FCT)
+	}
+	if r.FCT.Count > r.Calls {
+		t.Errorf("pooled FCT count %d exceeds calls %d", r.FCT.Count, r.Calls)
+	}
+	if r.LongTputMbps <= 0 {
+		t.Error("bulk flow moved no data")
+	}
+}
+
+// TestWorkloadArrivalAfterLinkDies covers the late-arrival edge: a flow
+// spawned when the trace link has gone dark (a steps trace ending in a
+// zero-rate segment) must wire up and sit there as a clean no-op — no
+// panic, no unrouted drops, flow counted active at the end.
+func TestWorkloadArrivalAfterLinkDies(t *testing.T) {
+	// 12 Mbit/s for 4 s, then dead air for the rest of the period.
+	tr := trace.Steps("dying", []float64{12e6, 12e6, 0, 0, 0, 0, 0, 0}, 2*sim.Second)
+	spec := Spec{
+		Seed:     1,
+		Duration: 14 * sim.Second,
+		Warmup:   sim.Second,
+		Links:    []LinkSpec{{Trace: tr, Qdisc: QdiscSpec{Kind: "droptail", Buffer: 250}}},
+		Workloads: []WorkloadSpec{{
+			Scheme:  "Cubic",
+			Class:   "late",
+			Arrival: app.Deterministic{Gap: 6 * sim.Second}, // arrivals at 6 s and 12 s: both after the link died
+			Sizes:   app.FixedSize{Bytes: 50 * 1024},
+		}},
+	}
+	res, _, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &res.Workloads[0]
+	if w.Spawned != 2 {
+		t.Fatalf("spawned %d flows, want 2", w.Spawned)
+	}
+	if w.Completed != 0 {
+		t.Errorf("%d flows completed over a dead link", w.Completed)
+	}
+	if w.Active != 2 {
+		t.Errorf("active %d, want 2 stranded flows", w.Active)
+	}
+	if res.Drops != 0 {
+		t.Errorf("%d unrouted drops: late flows were not wired onto the graph", res.Drops)
+	}
+}
+
+// TestWorkloadArrivalWindowRespected: the arrival process must not spawn
+// past Stop (or Duration), and a Start inside the run delays the first
+// arrival.
+func TestWorkloadArrivalWindowRespected(t *testing.T) {
+	spec := Spec{
+		Seed:     3,
+		Duration: 10 * sim.Second,
+		Warmup:   sim.Second,
+		Links:    []LinkSpec{{Rate: netem.ConstRate(20e6), Kind: "rate", Qdisc: QdiscSpec{Kind: "droptail", Buffer: 250}}},
+		Workloads: []WorkloadSpec{{
+			Scheme:  "Cubic",
+			Arrival: app.Deterministic{Gap: sim.Second},
+			Sizes:   app.FixedSize{Bytes: 20 * 1024},
+			Start:   4 * sim.Second,
+			Stop:    8 * sim.Second,
+		}},
+	}
+	res, _, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arrivals at 5, 6, 7 s: the 8 s tick lands exactly on Stop and must
+	// not fire.
+	if got := res.Workloads[0].Spawned; got != 3 {
+		t.Errorf("spawned %d flows, want 3 inside the [4 s, 8 s) window", got)
+	}
+}
+
+// TestWorkloadMaxActiveCap: an overloaded open-loop process hits the
+// active-flow cap and rejections are counted, not silently dropped.
+func TestWorkloadMaxActiveCap(t *testing.T) {
+	spec := Spec{
+		Seed:     5,
+		Duration: 6 * sim.Second,
+		Warmup:   sim.Second,
+		// 100 kbit/s cannot drain 100 KB flows arriving twice a second.
+		Links: []LinkSpec{{Rate: netem.ConstRate(100e3), Kind: "rate", Qdisc: QdiscSpec{Kind: "droptail", Buffer: 50}}},
+		Workloads: []WorkloadSpec{{
+			Scheme:    "Cubic",
+			Arrival:   app.Deterministic{Gap: 500 * sim.Millisecond},
+			Sizes:     app.FixedSize{Bytes: 100 * 1024},
+			MaxActive: 3,
+		}},
+	}
+	res, _, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &res.Workloads[0]
+	if w.Active > 3 {
+		t.Errorf("active %d exceeds the cap of 3", w.Active)
+	}
+	if w.Rejected == 0 {
+		t.Error("overload produced no rejections; cap is not enforced")
+	}
+}
+
+// TestWorkloadValidation: malformed workloads fail as Spec errors before
+// any wiring happens.
+func TestWorkloadValidation(t *testing.T) {
+	base := func() Spec {
+		return Spec{
+			Duration: 5 * sim.Second,
+			Links:    []LinkSpec{{Rate: netem.ConstRate(10e6), Kind: "rate"}},
+		}
+	}
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+	}{
+		{"missing arrival", func(s *Spec) {
+			s.Workloads = []WorkloadSpec{{Scheme: "Cubic", Sizes: app.FixedSize{Bytes: 1000}}}
+		}},
+		{"missing sizes", func(s *Spec) {
+			s.Workloads = []WorkloadSpec{{Scheme: "Cubic", Arrival: app.Poisson{PerSec: 1}}}
+		}},
+		{"unknown scheme", func(s *Spec) {
+			s.Workloads = []WorkloadSpec{{Scheme: "nope", Arrival: app.Poisson{PerSec: 1}, Sizes: app.FixedSize{Bytes: 1000}}}
+		}},
+		{"mesh fields on chain", func(s *Spec) {
+			s.Workloads = []WorkloadSpec{{Scheme: "Cubic", Arrival: app.Poisson{PerSec: 1},
+				Sizes: app.FixedSize{Bytes: 1000}, Path: []string{"x"}}}
+		}},
+		{"bad span", func(s *Spec) {
+			s.Workloads = []WorkloadSpec{{Scheme: "Cubic", Arrival: app.Poisson{PerSec: 1},
+				Sizes: app.FixedSize{Bytes: 1000}, EnterAt: 7}}
+		}},
+	}
+	for _, tc := range cases {
+		spec := base()
+		tc.mut(&spec)
+		if _, _, err := Run(spec); err == nil {
+			t.Errorf("%s: Run accepted a malformed workload", tc.name)
+		}
+	}
+}
+
+// TestWorkloadOnlySpecRuns: a spec with workloads and no static flows is
+// legal (the auto qdisc derives from the workload's scheme).
+func TestWorkloadOnlySpecRuns(t *testing.T) {
+	spec := Spec{
+		Seed:     2,
+		Duration: 10 * sim.Second,
+		Warmup:   sim.Second,
+		Links:    []LinkSpec{{Rate: netem.ConstRate(10e6), Kind: "rate", Qdisc: QdiscSpec{Kind: "auto", Buffer: 250}}},
+		Workloads: []WorkloadSpec{{
+			Scheme:  "ABC",
+			Arrival: app.Deterministic{Gap: sim.Second},
+			Sizes:   app.FixedSize{Bytes: 50 * 1024},
+		}},
+	}
+	res, _, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workloads[0].Completed == 0 {
+		t.Error("no workload flows completed on an idle 10 Mbit/s link")
+	}
+	if res.Drops != 0 {
+		t.Errorf("%d unrouted drops", res.Drops)
+	}
+}
+
+// TestWorkloadOnMesh: workloads route over mesh edges via Path/AckPath.
+func TestWorkloadOnMesh(t *testing.T) {
+	spec := Spec{
+		Seed:     4,
+		Duration: 10 * sim.Second,
+		Warmup:   sim.Second,
+		Nodes:    []string{"a", "b", "c"},
+		Edges: []EdgeSpec{
+			{Name: "ab", From: "a", To: "b", Link: LinkSpec{Kind: "rate", Rate: netem.ConstRate(10e6), Qdisc: QdiscSpec{Kind: "auto", Buffer: 250}}},
+			{Name: "bc", From: "b", To: "c", Link: LinkSpec{Kind: "wire"}},
+		},
+		Workloads: []WorkloadSpec{{
+			Scheme:  "Cubic",
+			Arrival: app.Deterministic{Gap: sim.Second},
+			Sizes:   app.FixedSize{Bytes: 50 * 1024},
+			Path:    []string{"ab", "bc"},
+		}},
+	}
+	res, _, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workloads[0].Completed == 0 {
+		t.Error("no mesh workload flows completed")
+	}
+	if res.Drops != 0 {
+		t.Errorf("%d unrouted drops on the mesh", res.Drops)
+	}
+}
+
+// TestWorkloadAckPathDerivesAutoQdisc: an "auto" qdisc on a mesh edge
+// traversed only by a workload's ACK route must derive from that
+// workload's scheme (ABC → its router), not fall back to droptail — the
+// reverse-path echo demotion machinery depends on it.
+func TestWorkloadAckPathDerivesAutoQdisc(t *testing.T) {
+	spec := Spec{
+		Seed:     1,
+		Duration: 6 * sim.Second,
+		Warmup:   sim.Second,
+		Nodes:    []string{"a", "b"},
+		Edges: []EdgeSpec{
+			{Name: "down", From: "a", To: "b", Link: LinkSpec{Kind: "rate", Rate: netem.ConstRate(10e6), Qdisc: QdiscSpec{Kind: "auto", Buffer: 250}}},
+			{Name: "up", From: "b", To: "a", Link: LinkSpec{Kind: "rate", Rate: netem.ConstRate(2e6), Qdisc: QdiscSpec{Kind: "auto", Buffer: 250}}},
+		},
+		Workloads: []WorkloadSpec{{
+			Scheme:  "ABC",
+			Arrival: app.Deterministic{Gap: sim.Second},
+			Sizes:   app.FixedSize{Bytes: 50 * 1024},
+			Path:    []string{"down"},
+			AckPath: []string{"up"},
+		}},
+	}
+	res, _, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, isDroptail := res.EdgeQdiscs["up"].(*qdisc.DropTail); isDroptail {
+		t.Error(`auto qdisc on the workload's ACK edge fell back to droptail; want the ABC router derived from the workload scheme`)
+	}
+}
+
+// TestAppDriversDeterministic: every app driver's output is a pure
+// function of (schemes, duration, seed), byte-identical between
+// sequential and worker-pool execution.
+func TestAppDriversDeterministic(t *testing.T) {
+	defer func(p int) { Parallelism = p }(Parallelism)
+	type runFn func() (any, error)
+	cases := []struct {
+		name string
+		run  runFn
+	}{
+		{"shortflows", func() (any, error) { return ShortFlows([]string{"ABC", "Cubic"}, "", 10*sim.Second, 1) }},
+		{"video", func() (any, error) { return VideoExp([]string{"ABC", "Cubic"}, "", 10*sim.Second, 1) }},
+		{"rpc", func() (any, error) { return RPCExp([]string{"ABC", "Cubic"}, "", 10*sim.Second, 1) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			Parallelism = 1
+			v1, err := c.run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq, _, err := goldenDigest(v1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			Parallelism = 4
+			v2, err := c.run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, _, err := goldenDigest(v2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seq != par {
+				t.Errorf("sequential digest %s != parallel digest %s", seq, par)
+			}
+		})
+	}
+}

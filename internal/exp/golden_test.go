@@ -69,6 +69,9 @@ func goldenCases() []goldenCase {
 			return MeshSharedJunction([]string{"ABC", "Cubic"}, short, 1)
 		}},
 		{"marked-uplink", func() (any, error) { return MarkedUplink([]string{"ABC", "Cubic"}, 2, short, 1) }},
+		{"app-shortflows", func() (any, error) { return ShortFlows([]string{"ABC", "Cubic"}, "", short, 1) }},
+		{"app-video", func() (any, error) { return VideoExp([]string{"ABC", "Cubic"}, "", short, 1) }},
+		{"app-rpc", func() (any, error) { return RPCExp([]string{"ABC", "Cubic"}, "", short, 1) }},
 	}
 }
 
@@ -158,7 +161,10 @@ func TestGoldenFigures(t *testing.T) {
 // byte-identical serializations. Combined with the CI -race run of this
 // package, this is the acceptance bar for every future harness change.
 func TestGoldenParallelModes(t *testing.T) {
-	pick := map[string]bool{"fig9-bars": true, "mesh-shared-junction": true, "marked-uplink": true}
+	pick := map[string]bool{
+		"fig9-bars": true, "mesh-shared-junction": true, "marked-uplink": true,
+		"app-shortflows": true, "app-video": true, "app-rpc": true,
+	}
 	defer func(p int) { Parallelism = p }(Parallelism)
 	for _, c := range goldenCases() {
 		if !pick[c.name] {

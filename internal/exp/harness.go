@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"abc/internal/abc"
+	"abc/internal/app"
 	"abc/internal/cc"
 	_ "abc/internal/explicit" // registers the XCP/XCPw/RCP/VCP schemes and routers
 	"abc/internal/metrics"
@@ -187,6 +188,9 @@ type FlowSpec struct {
 	// Mutate, if set, adjusts the constructed algorithm before the run
 	// (ablation switches such as abc.Sender.DisableAI).
 	Mutate func(alg cc.Algorithm)
+	// App attaches a closed-loop application (ABR video, RPC) that
+	// drives this flow's source; mutually exclusive with Source.
+	App *AppSpec
 }
 
 // EdgeSpec is one directed edge of a mesh topology (Spec.Edges): a named
@@ -225,6 +229,9 @@ type Spec struct {
 	Nodes []string
 	Edges []EdgeSpec
 	Flows []FlowSpec
+	// Workloads spawn finite flows mid-run from open-loop arrival
+	// processes, reported per-workload in Result.Workloads.
+	Workloads []WorkloadSpec
 	// Sample enables time-series collection at this period (0 = off).
 	Sample sim.Time
 	// Probe, when set with Sample > 0, is called once per sample period
@@ -245,12 +252,17 @@ type FlowResult struct {
 	Tput      *metrics.Timeseries // when sampling
 	Endpoint  *cc.Endpoint
 	Algorithm cc.Algorithm
+	// App is the closed-loop application bound to the flow, when any
+	// (AppSpec kind "abr" → *app.ABR, "rpc" → *app.RPC).
+	App app.App
 }
 
 // Result is a completed scenario.
 type Result struct {
-	Spec        Spec
-	Flows       []FlowResult
+	Spec  Spec
+	Flows []FlowResult
+	// Workloads reports each open-loop workload in Spec.Workloads order.
+	Workloads   []WorkloadResult
 	Utilization float64
 	// QueueDelayTS samples the first link's standing queue delay when
 	// sampling is enabled.
@@ -315,34 +327,43 @@ func (r *Result) Summary(scheme string, pooled *metrics.DelayRecorder) metrics.S
 // span is a flow's resolved [EnterAt, exit) range over its chain.
 type span struct{ enter, exit int }
 
-// flowSpan validates a flow's EnterAt/ExitAt against its chain.
-func flowSpan(i int, fs *FlowSpec, chainLen int) (span, error) {
+// resolveSpan validates an EnterAt/ExitAt pair against a chain; what
+// names the owner ("flow 0", "workload 1") and dir its direction, for
+// error messages.
+func resolveSpan(what string, dir Direction, enterAt, exitAt, chainLen int) (span, error) {
 	name := "links"
-	if fs.Dir == Reverse {
+	if dir == Reverse {
 		name = "reverse links"
 	}
 	if chainLen == 0 {
-		return span{}, fmt.Errorf("exp: flow %d: no %s for its direction", i, name)
+		return span{}, fmt.Errorf("exp: %s: no %s for its direction", what, name)
 	}
-	if fs.EnterAt < 0 || fs.EnterAt >= chainLen {
-		return span{}, fmt.Errorf("exp: flow %d: EnterAt %d out of range [0, %d)", i, fs.EnterAt, chainLen)
+	if enterAt < 0 || enterAt >= chainLen {
+		return span{}, fmt.Errorf("exp: %s: EnterAt %d out of range [0, %d)", what, enterAt, chainLen)
 	}
-	exit := fs.ExitAt
+	exit := exitAt
 	if exit == 0 {
 		exit = chainLen
 	}
 	if exit < 0 || exit > chainLen {
-		return span{}, fmt.Errorf("exp: flow %d: ExitAt %d out of range [1, %d]", i, fs.ExitAt, chainLen)
+		return span{}, fmt.Errorf("exp: %s: ExitAt %d out of range [1, %d]", what, exitAt, chainLen)
 	}
-	if exit <= fs.EnterAt {
-		return span{}, fmt.Errorf("exp: flow %d: ExitAt %d does not reach past EnterAt %d", i, fs.ExitAt, fs.EnterAt)
+	if exit <= enterAt {
+		return span{}, fmt.Errorf("exp: %s: ExitAt %d does not reach past EnterAt %d", what, exitAt, enterAt)
 	}
-	return span{enter: fs.EnterAt, exit: exit}, nil
+	return span{enter: enterAt, exit: exit}, nil
+}
+
+// flowSpan validates a flow's EnterAt/ExitAt against its chain.
+func flowSpan(i int, fs *FlowSpec, chainLen int) (span, error) {
+	return resolveSpan(fmt.Sprintf("flow %d", i), fs.Dir, fs.EnterAt, fs.ExitAt, chainLen)
 }
 
 // autoScheme picks the deriving scheme for link i of a chain: the first
-// flow of the matching direction whose data path traverses the link.
-func autoScheme(spec *Spec, dir Direction, i int, spans []span) string {
+// flow of the matching direction whose data path traverses the link,
+// falling back to the first such workload (a link carrying only
+// app-spawned flows still derives its discipline from them).
+func autoScheme(spec *Spec, dir Direction, i int, spans, wspans []span) string {
 	for f := range spec.Flows {
 		if spec.Flows[f].Dir != dir {
 			continue
@@ -351,12 +372,20 @@ func autoScheme(spec *Spec, dir Direction, i int, spans []span) string {
 			return spec.Flows[f].Scheme
 		}
 	}
+	for w := range spec.Workloads {
+		if spec.Workloads[w].Dir != dir {
+			continue
+		}
+		if wspans[w].enter <= i && i < wspans[w].exit {
+			return spec.Workloads[w].Scheme
+		}
+	}
 	return ""
 }
 
 // buildChain adds one chain of links to the graph as nodes n[0..len] and
 // returns the edge ids and built qdiscs, first hop first.
-func buildChain(g *topo.Graph, s *sim.Simulator, spec *Spec, links []LinkSpec, dir Direction, spans []span) (edges []int, qdiscs []qdisc.Qdisc, err error) {
+func buildChain(g *topo.Graph, s *sim.Simulator, spec *Spec, links []LinkSpec, dir Direction, spans, wspans []span) (edges []int, qdiscs []qdisc.Qdisc, err error) {
 	if len(links) == 0 {
 		return nil, nil, nil
 	}
@@ -374,7 +403,7 @@ func buildChain(g *topo.Graph, s *sim.Simulator, spec *Spec, links []LinkSpec, d
 		if err != nil {
 			return nil, nil, fmt.Errorf("%v (link %d)", err, i)
 		}
-		qd, err := ls.Qdisc.build(autoScheme(spec, dir, i, spans), s)
+		qd, err := ls.Qdisc.build(autoScheme(spec, dir, i, spans, wspans), s)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -473,11 +502,11 @@ func Run(spec Spec) (*Result, *metrics.DelayRecorder, error) {
 	if len(spec.Links) == 0 {
 		return nil, nil, fmt.Errorf("exp: no links in spec")
 	}
-	if len(spec.Flows) == 0 {
+	if len(spec.Flows) == 0 && len(spec.Workloads) == 0 {
 		return nil, nil, fmt.Errorf("exp: no flows in spec")
 	}
-	// Resolve every flow's span first: spans drive both validation and
-	// per-link "auto" qdisc derivation.
+	// Resolve every flow's and workload's span first: spans drive both
+	// validation and per-link "auto" qdisc derivation.
 	spans := make([]span, len(spec.Flows))
 	for i := range spec.Flows {
 		fs := &spec.Flows[i]
@@ -491,6 +520,22 @@ func Run(spec Spec) (*Result, *metrics.DelayRecorder, error) {
 		}
 		spans[i] = sp
 	}
+	wspans := make([]span, len(spec.Workloads))
+	for i := range spec.Workloads {
+		ws := &spec.Workloads[i]
+		if len(ws.Path) > 0 || len(ws.AckPath) > 0 {
+			return nil, nil, fmt.Errorf("exp: workload %d: Path/AckPath route over mesh edges; chain workloads use Dir/EnterAt/ExitAt", i)
+		}
+		chainLen := len(spec.Links)
+		if ws.Dir == Reverse {
+			chainLen = len(spec.ReverseLinks)
+		}
+		sp, err := resolveSpan(fmt.Sprintf("workload %d", i), ws.Dir, ws.EnterAt, ws.ExitAt, chainLen)
+		if err != nil {
+			return nil, nil, err
+		}
+		wspans[i] = sp
+	}
 
 	s := sim.New(spec.Seed)
 	res := &Result{Spec: spec}
@@ -500,11 +545,11 @@ func Run(spec Spec) (*Result, *metrics.DelayRecorder, error) {
 	// forward and reverse route over them.
 	g := topo.New(s)
 	res.Graph = g
-	fwdEdges, fwdQdiscs, err := buildChain(g, s, &spec, spec.Links, Forward, spans)
+	fwdEdges, fwdQdiscs, err := buildChain(g, s, &spec, spec.Links, Forward, spans, wspans)
 	if err != nil {
 		return nil, nil, err
 	}
-	revEdges, revQdiscs, err := buildChain(g, s, &spec, spec.ReverseLinks, Reverse, spans)
+	revEdges, revQdiscs, err := buildChain(g, s, &spec, spec.ReverseLinks, Reverse, spans, wspans)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -512,33 +557,50 @@ func Run(spec Spec) (*Result, *metrics.DelayRecorder, error) {
 	res.ReverseQdiscs = revQdiscs
 
 	// Flows: resolve every flow's chain span into explicit edge routes.
+	chainRoute := func(dir Direction, sp span) flowRoute {
+		if dir == Reverse {
+			return flowRoute{data: revEdges[sp.enter:sp.exit], ack: fwdEdges}
+		}
+		return flowRoute{data: fwdEdges[sp.enter:sp.exit], ack: revEdges}
+	}
 	routes := make([]flowRoute, len(spec.Flows))
 	for i := range spec.Flows {
 		fs := &spec.Flows[i]
 		if len(fs.Path) > 0 || len(fs.AckPath) > 0 {
 			return nil, nil, fmt.Errorf("exp: flow %d: Path/AckPath route over mesh edges; chain flows use Dir/EnterAt/ExitAt", i)
 		}
-		if fs.Dir == Reverse {
-			routes[i] = flowRoute{data: revEdges[spans[i].enter:spans[i].exit], ack: fwdEdges}
-		} else {
-			routes[i] = flowRoute{data: fwdEdges[spans[i].enter:spans[i].exit], ack: revEdges}
-		}
+		routes[i] = chainRoute(fs.Dir, spans[i])
 	}
 	if err := wireFlows(s, g, &spec, res, pooled, routes); err != nil {
 		return nil, nil, err
 	}
+	wroutes := make([]flowRoute, len(spec.Workloads))
+	for i := range spec.Workloads {
+		wroutes[i] = chainRoute(spec.Workloads[i].Dir, wspans[i])
+	}
+	runners, err := startWorkloads(s, g, &spec, res, pooled, wroutes)
+	if err != nil {
+		return nil, nil, err
+	}
 
 	runAndMeasure(s, g, &spec, res, res.Qdiscs[0], capacityFn(&spec.Links[0]))
+	if err := finishWorkloads(runners); err != nil {
+		return nil, nil, err
+	}
 
 	// Utilization against the tightest trace link of the data chain over
 	// the measurement window (the paper reports utilization of the
-	// emulated cell link). Only flows whose route actually traverses
-	// that link count towards its utilization.
+	// emulated cell link). Only flows and workloads whose route actually
+	// traverses that link count towards its utilization.
 	tightestTraceUtilization(&spec, res, len(spec.Links),
 		func(li int) *trace.Trace { return spec.Links[li].Trace },
 		func(f, li int) bool {
 			return spec.Flows[f].Dir == Forward &&
 				spans[f].enter <= li && li < spans[f].exit
+		},
+		func(w, li int) bool {
+			return spec.Workloads[w].Dir == Forward &&
+				wspans[w].enter <= li && li < wspans[w].exit
 		})
 	return res, pooled, nil
 }
@@ -546,11 +608,12 @@ func Run(spec Spec) (*Result, *metrics.DelayRecorder, error) {
 // tightestTraceUtilization sets res.Utilization against the tightest
 // trace bottleneck over the measurement window: of the n links for which
 // traceAt returns a trace, the one delivering the fewest bytes between
-// Warmup and Duration is the reference, and only flows whose data route
-// traverses it (per the traverses predicate) count as delivered bytes.
-// Both the chain and the mesh compiler measure through here, so the
-// utilization rule cannot diverge between the two Spec forms.
-func tightestTraceUtilization(spec *Spec, res *Result, n int, traceAt func(link int) *trace.Trace, traverses func(flow, link int) bool) {
+// Warmup and Duration is the reference, and only flows and workloads
+// whose data route traverses it (per the traverses/wtraverses
+// predicates) count as delivered bytes. Both the chain and the mesh
+// compiler measure through here, so the utilization rule cannot diverge
+// between the two Spec forms.
+func tightestTraceUtilization(spec *Spec, res *Result, n int, traceAt func(link int) *trace.Trace, traverses func(flow, link int) bool, wtraverses func(workload, link int) bool) {
 	var minCapBytes int64 = -1
 	minIdx := -1
 	for li := 0; li < n; li++ {
@@ -571,6 +634,11 @@ func tightestTraceUtilization(spec *Spec, res *Result, n int, traceAt func(link 
 	for f := range res.Flows {
 		if traverses(f, minIdx) {
 			delivered += res.Flows[f].Bytes
+		}
+	}
+	for w := range res.Workloads {
+		if wtraverses(w, minIdx) {
+			delivered += res.Workloads[w].Bytes
 		}
 	}
 	res.Utilization = metrics.Utilization(delivered, minCapBytes)
@@ -606,6 +674,17 @@ func wireFlows(s *sim.Simulator, g *topo.Graph, spec *Spec, res *Result, pooled 
 
 		ep := cc.NewEndpoint(s, i, nil, alg)
 		ep.Src = fs.Source
+		if fs.App != nil {
+			if fs.Source != nil {
+				return fmt.Errorf("exp: flow %d: App and Source are mutually exclusive (the app owns the source)", i)
+			}
+			a, err := buildApp(s, ep, fs.App, spec.Warmup)
+			if err != nil {
+				return fmt.Errorf("exp: flow %d: %v", i, err)
+			}
+			fr.App = a
+			s.At(fs.Start, func() { a.Start(s.Now()) })
+		}
 		fr.Endpoint = ep
 		ackEntry, err := g.RouteFlow(i, routes[i].ack, flowRTT/2, ep)
 		if err != nil {
@@ -686,6 +765,11 @@ func runAndMeasure(s *sim.Simulator, g *topo.Graph, spec *Spec, res *Result, fir
 	// Per-flow throughput over each flow's measured window.
 	for i := range res.Flows {
 		fr := &res.Flows[i]
+		if fr.App != nil {
+			// Flush time-based application accounting (playback buffers)
+			// before the metrics are read.
+			fr.App.Finish(spec.Duration)
+		}
 		fs := spec.Flows[i]
 		from := fs.Start
 		if from < spec.Warmup {

@@ -37,7 +37,7 @@ func runMesh(spec Spec) (*Result, *metrics.DelayRecorder, error) {
 	if len(spec.Edges) == 0 {
 		return nil, nil, fmt.Errorf("exp: mesh spec has nodes but no edges")
 	}
-	if len(spec.Flows) == 0 {
+	if len(spec.Flows) == 0 && len(spec.Workloads) == 0 {
 		return nil, nil, fmt.Errorf("exp: no flows in spec")
 	}
 
@@ -120,39 +120,36 @@ func runMesh(spec Spec) (*Result, *metrics.DelayRecorder, error) {
 		if fs.Dir != Forward || fs.EnterAt != 0 || fs.ExitAt != 0 {
 			return nil, nil, fmt.Errorf("exp: flow %d: Dir/EnterAt/ExitAt are chain fields; mesh flows route via Path/AckPath", i)
 		}
-		if len(fs.Path) == 0 {
-			return nil, nil, fmt.Errorf("exp: flow %d: mesh flows need a Path", i)
-		}
-		data, err := resolvePath(g, edgeID, fs.Path, i, "path")
+		r, err := meshRoute(g, edgeID, fs.Path, fs.AckPath, fmt.Sprintf("flow %d", i))
 		if err != nil {
 			return nil, nil, err
 		}
-		ack, err := resolvePath(g, edgeID, fs.AckPath, i, "ack path")
+		routes[i] = r
+	}
+	wroutes := make([]flowRoute, len(spec.Workloads))
+	for i := range spec.Workloads {
+		ws := &spec.Workloads[i]
+		if ws.Dir != Forward || ws.EnterAt != 0 || ws.ExitAt != 0 {
+			return nil, nil, fmt.Errorf("exp: workload %d: Dir/EnterAt/ExitAt are chain fields; mesh workloads route via Path/AckPath", i)
+		}
+		r, err := meshRoute(g, edgeID, ws.Path, ws.AckPath, fmt.Sprintf("workload %d", i))
 		if err != nil {
 			return nil, nil, err
 		}
-		if len(ack) > 0 {
-			// The ACK route must pick up where the data route ends: ACKs
-			// are generated by the receiver at the data path's terminal
-			// node, so a disconnected AckPath would teleport them. The
-			// route may end anywhere, though — it models the congested or
-			// marked segment of the return journey, and whatever remains
-			// after its last edge is the same implicit lossless wire an
-			// empty AckPath uses for the whole reverse path (RouteFlow's
-			// tail delay carries the flow's residual RTT).
-			recv := g.Edge(data[len(data)-1]).To
-			if first := g.Edge(ack[0]).From; first != recv {
-				return nil, nil, fmt.Errorf("exp: flow %d: ack path starts at node %q but data path ends at %q",
-					i, first.Name, recv.Name)
-			}
-		}
-		routes[i] = flowRoute{data: data, ack: ack}
+		wroutes[i] = r
 	}
 	if err := wireFlows(s, g, &spec, res, pooled, routes); err != nil {
 		return nil, nil, err
 	}
+	runners, err := startWorkloads(s, g, &spec, res, pooled, wroutes)
+	if err != nil {
+		return nil, nil, err
+	}
 
 	runAndMeasure(s, g, &spec, res, firstQ, firstCap)
+	if err := finishWorkloads(runners); err != nil {
+		return nil, nil, err
+	}
 
 	// Utilization against the tightest trace edge, counting only flows
 	// whose data path traverses it (the mesh analogue of the chain rule).
@@ -160,14 +157,48 @@ func runMesh(spec Spec) (*Result, *metrics.DelayRecorder, error) {
 		func(ei int) *trace.Trace { return spec.Edges[ei].Link.Trace },
 		func(f, ei int) bool {
 			return slices.Contains(spec.Flows[f].Path, spec.Edges[ei].Name)
+		},
+		func(w, ei int) bool {
+			return slices.Contains(spec.Workloads[w].Path, spec.Edges[ei].Name)
 		})
 	return res, pooled, nil
+}
+
+// meshRoute resolves one data/ACK path pair over named edges and checks
+// their well-formedness, including that a non-empty ACK route picks up
+// where the data route ends: ACKs are generated by the receiver at the
+// data path's terminal node, so a disconnected AckPath would teleport
+// them. The ACK route may end anywhere, though — it models the congested
+// or marked segment of the return journey, and whatever remains after
+// its last edge is the same implicit lossless wire an empty AckPath uses
+// for the whole reverse path (RouteFlow's tail delay carries the
+// residual RTT).
+func meshRoute(g *topo.Graph, edgeID map[string]int, path, ackPath []string, what string) (flowRoute, error) {
+	if len(path) == 0 {
+		return flowRoute{}, fmt.Errorf("exp: %s: mesh flows need a Path", what)
+	}
+	data, err := resolvePath(g, edgeID, path, what, "path")
+	if err != nil {
+		return flowRoute{}, err
+	}
+	ack, err := resolvePath(g, edgeID, ackPath, what, "ack path")
+	if err != nil {
+		return flowRoute{}, err
+	}
+	if len(ack) > 0 {
+		recv := g.Edge(data[len(data)-1]).To
+		if first := g.Edge(ack[0]).From; first != recv {
+			return flowRoute{}, fmt.Errorf("exp: %s: ack path starts at node %q but data path ends at %q",
+				what, first.Name, recv.Name)
+		}
+	}
+	return flowRoute{data: data, ack: ack}, nil
 }
 
 // resolvePath maps a sequence of edge names to edge ids and validates
 // route well-formedness up front, so a malformed mesh route fails as a
 // Spec error before any wiring happens.
-func resolvePath(g *topo.Graph, edgeID map[string]int, names []string, flow int, what string) ([]int, error) {
+func resolvePath(g *topo.Graph, edgeID map[string]int, names []string, owner, what string) ([]int, error) {
 	if len(names) == 0 {
 		return nil, nil
 	}
@@ -175,29 +206,39 @@ func resolvePath(g *topo.Graph, edgeID map[string]int, names []string, flow int,
 	for j, name := range names {
 		id, ok := edgeID[name]
 		if !ok {
-			return nil, fmt.Errorf("exp: flow %d %s: unknown edge %q", flow, what, name)
+			return nil, fmt.Errorf("exp: %s %s: unknown edge %q", owner, what, name)
 		}
 		ids[j] = id
 	}
 	if err := g.CheckPath(ids); err != nil {
-		return nil, fmt.Errorf("exp: flow %d %s %v", flow, what, err)
+		return nil, fmt.Errorf("exp: %s %s %v", owner, what, err)
 	}
 	return ids, nil
 }
 
 // meshAutoScheme picks the deriving scheme for an "auto" qdisc on a mesh
-// edge: the first flow whose data path traverses it, else the first flow
-// whose ACK path does (a reverse-path router serves the flows whose
-// echoes it carries).
+// edge: the first flow whose data path traverses it, else the first
+// workload's, else the first flow (then workload) whose ACK path does (a
+// reverse-path router serves the flows whose echoes it carries).
 func meshAutoScheme(spec *Spec, edge string) string {
 	for f := range spec.Flows {
 		if slices.Contains(spec.Flows[f].Path, edge) {
 			return spec.Flows[f].Scheme
 		}
 	}
+	for w := range spec.Workloads {
+		if slices.Contains(spec.Workloads[w].Path, edge) {
+			return spec.Workloads[w].Scheme
+		}
+	}
 	for f := range spec.Flows {
 		if slices.Contains(spec.Flows[f].AckPath, edge) {
 			return spec.Flows[f].Scheme
+		}
+	}
+	for w := range spec.Workloads {
+		if slices.Contains(spec.Workloads[w].AckPath, edge) {
+			return spec.Workloads[w].Scheme
 		}
 	}
 	return ""

@@ -34,8 +34,28 @@
 // loss, burst_loss/burst_p_bad/burst_p_good, reorder_prob/
 // reorder_delay_ms and a qdisc clause naming any registered kind.
 // Flows take scheme, start_s/stop_s, dir ("forward"/"reverse"),
-// enter_at/exit_at, rtt_ms and rate_mbps (an application-limited
-// source).
+// enter_at/exit_at, rtt_ms and either rate_mbps (shorthand for an
+// application-limited rate source) or an explicit source clause —
+// {"kind": "backlogged"|"rate"|"onoff"|"fixed", ...} — or an app clause
+// binding a closed-loop application to the flow:
+//
+//	{"scheme": "ABC", "app": {"kind": "abr", "ladder_kbps": [300, 1200]}}
+//	{"scheme": "ABC", "app": {"kind": "rpc", "resp_kb": 100, "think_ms": 200}}
+//
+// A scenario may also declare open-loop workloads that spawn finite
+// flows mid-run, each reported with FCT statistics:
+//
+//	"workloads": [
+//	  {"scheme": "Cubic", "class": "web", "arrival": "poisson",
+//	   "per_s": 4, "size": {"kind": "pareto", "min_kb": 10,
+//	   "max_kb": 1024, "alpha": 1.2}, "ref_mbps": 9}
+//	]
+//
+// Workloads route exactly like flows (dir/enter_at/exit_at on chains,
+// path/ack_path on meshes) and accept start_s/stop_s bounds, a
+// max_active cap and a ref_mbps slowdown baseline. Size kinds: "fixed"
+// (kb), "pareto" (min_kb/max_kb/alpha) and "choice" (sizes_kb +
+// optional weights).
 //
 // Instead of the links/reverse_links chains, a scenario may declare a
 // mesh: "nodes" names the junctions and "edges" the directed hops
@@ -77,6 +97,7 @@ import (
 	"fmt"
 	"os"
 
+	"abc/internal/app"
 	"abc/internal/cc"
 	"abc/internal/metrics"
 	"abc/internal/netem"
@@ -134,9 +155,204 @@ type ScenarioFlow struct {
 	ExitAt   int     `json:"exit_at"`
 	RTTms    float64 `json:"rtt_ms"`
 	RateMbps float64 `json:"rate_mbps"`
+	// Source selects a registered data source explicitly; the legacy
+	// rate_mbps shorthand is equivalent to {"kind":"rate","mbps":...}.
+	Source *ScenarioSource `json:"source,omitempty"`
+	// App binds a closed-loop application ("abr" or "rpc") to the flow.
+	App *ScenarioApp `json:"app,omitempty"`
 	// Path and AckPath route a mesh scenario's flow over named edges.
 	Path    []string `json:"path,omitempty"`
 	AckPath []string `json:"ack_path,omitempty"`
+}
+
+// ScenarioSource is the JSON source clause: which data source feeds a
+// flow. Kinds: "backlogged" (the default when the clause is absent),
+// "rate" (token-bucket application-limited, mbps), "onoff" (alternating
+// on_s/off_s from start_s) and "fixed" (a finite transfer of bytes).
+type ScenarioSource struct {
+	Kind   string  `json:"kind"`
+	Mbps   float64 `json:"mbps"`
+	Bytes  int     `json:"bytes"`
+	OnS    float64 `json:"on_s"`
+	OffS   float64 `json:"off_s"`
+	StartS float64 `json:"start_s"`
+}
+
+// sourceKinds names the accepted source kinds for error messages.
+const sourceKinds = "backlogged, rate, onoff, fixed"
+
+// compile builds the cc.Source. where locates the clause in errors.
+func (ss *ScenarioSource) compile(where string) (cc.Source, error) {
+	switch ss.Kind {
+	case "backlogged":
+		if ss.Mbps != 0 || ss.Bytes != 0 || ss.OnS != 0 || ss.OffS != 0 || ss.StartS != 0 {
+			return nil, fmt.Errorf("%s: backlogged source takes no parameters", where)
+		}
+		return nil, nil // nil Source means backlogged
+	case "rate":
+		if ss.Mbps <= 0 {
+			return nil, fmt.Errorf("%s: rate source needs mbps > 0", where)
+		}
+		return cc.NewRateLimited(ss.Mbps * 1e6), nil
+	case "onoff":
+		if ss.OnS <= 0 || ss.OffS < 0 {
+			return nil, fmt.Errorf("%s: onoff source needs on_s > 0 and off_s >= 0", where)
+		}
+		return &cc.OnOff{
+			Start:  sim.FromSeconds(ss.StartS),
+			OnFor:  sim.FromSeconds(ss.OnS),
+			OffFor: sim.FromSeconds(ss.OffS),
+		}, nil
+	case "fixed":
+		if ss.Bytes <= 0 {
+			return nil, fmt.Errorf("%s: fixed source needs bytes > 0", where)
+		}
+		return cc.NewFixed(ss.Bytes), nil
+	}
+	return nil, fmt.Errorf("%s: unknown source kind %q (want %s)", where, ss.Kind, sourceKinds)
+}
+
+// ScenarioApp is the JSON app clause binding a closed-loop application
+// to a flow.
+type ScenarioApp struct {
+	Kind string `json:"kind"` // "abr" | "rpc"
+	// ABR fields.
+	LadderKbps []float64 `json:"ladder_kbps,omitempty"`
+	ChunkS     float64   `json:"chunk_s,omitempty"`
+	MaxBufS    float64   `json:"max_buf_s,omitempty"`
+	// RPC fields.
+	ThinkMs float64 `json:"think_ms,omitempty"`
+	RespKB  float64 `json:"resp_kb,omitempty"`
+}
+
+// compile builds the AppSpec. where locates the clause in errors.
+func (sa *ScenarioApp) compile(where string) (*AppSpec, error) {
+	// Zero means "take the default" for every numeric field; a negative
+	// value is a typo that must not silently become the default.
+	if sa.ChunkS < 0 || sa.MaxBufS < 0 || sa.ThinkMs < 0 || sa.RespKB < 0 {
+		return nil, fmt.Errorf("%s: negative app parameters (omit a field for its default)", where)
+	}
+	switch sa.Kind {
+	case "abr":
+		if sa.ThinkMs != 0 || sa.RespKB != 0 {
+			return nil, fmt.Errorf("%s: think_ms/resp_kb are rpc fields", where)
+		}
+		for i, kbps := range sa.LadderKbps {
+			if kbps <= 0 {
+				return nil, fmt.Errorf("%s: ladder_kbps[%d] must be > 0", where, i)
+			}
+			if i > 0 && kbps <= sa.LadderKbps[i-1] {
+				return nil, fmt.Errorf("%s: ladder_kbps must be strictly ascending", where)
+			}
+		}
+		return &AppSpec{Kind: "abr", ABR: app.ABRConfig{
+			LadderKbps: sa.LadderKbps,
+			ChunkS:     sa.ChunkS,
+			MaxBufS:    sa.MaxBufS,
+		}}, nil
+	case "rpc":
+		if len(sa.LadderKbps) > 0 || sa.ChunkS != 0 || sa.MaxBufS != 0 {
+			return nil, fmt.Errorf("%s: ladder_kbps/chunk_s/max_buf_s are abr fields", where)
+		}
+		return &AppSpec{Kind: "rpc", RPC: app.RPCConfig{
+			ThinkMeanS: sa.ThinkMs / 1000,
+			RespBytes:  int(sa.RespKB * 1024),
+		}}, nil
+	}
+	return nil, fmt.Errorf("%s: unknown app kind %q (want abr or rpc)", where, sa.Kind)
+}
+
+// ScenarioWorkload is the JSON workload clause: an open-loop arrival
+// process spawning finite flows mid-run.
+type ScenarioWorkload struct {
+	Scheme string `json:"scheme"`
+	Class  string `json:"class,omitempty"`
+	// Arrival selects the process: "poisson" (the default) with per_s
+	// arrivals per second, or "deterministic" with the same mean gap.
+	Arrival string       `json:"arrival,omitempty"`
+	PerS    float64      `json:"per_s"`
+	Size    ScenarioSize `json:"size"`
+	StartS  float64      `json:"start_s"`
+	StopS   float64      `json:"stop_s"`
+	// Routing, exactly as on flows.
+	Dir     string   `json:"dir,omitempty"`
+	EnterAt int      `json:"enter_at,omitempty"`
+	ExitAt  int      `json:"exit_at,omitempty"`
+	Path    []string `json:"path,omitempty"`
+	AckPath []string `json:"ack_path,omitempty"`
+	RTTms   float64  `json:"rtt_ms,omitempty"`
+	// MaxActive caps concurrent spawned flows (default 1024).
+	MaxActive int `json:"max_active,omitempty"`
+	// RefMbps enables slowdown reporting against this reference rate.
+	RefMbps float64 `json:"ref_mbps,omitempty"`
+}
+
+// ScenarioSize is the JSON flow-size clause. Kinds: "fixed" (kb),
+// "pareto" (bounded Pareto over [min_kb, max_kb] with tail index alpha)
+// and "choice" (empirical pmf over sizes_kb, optionally weighted).
+type ScenarioSize struct {
+	Kind    string    `json:"kind"`
+	KB      float64   `json:"kb,omitempty"`
+	MinKB   float64   `json:"min_kb,omitempty"`
+	MaxKB   float64   `json:"max_kb,omitempty"`
+	Alpha   float64   `json:"alpha,omitempty"`
+	SizesKB []float64 `json:"sizes_kb,omitempty"`
+	Weights []float64 `json:"weights,omitempty"`
+}
+
+// compile builds the size distribution. where locates the clause.
+func (sz *ScenarioSize) compile(where string) (app.SizeDist, error) {
+	switch sz.Kind {
+	case "fixed":
+		if sz.KB <= 0 {
+			return nil, fmt.Errorf("%s: fixed size needs kb > 0", where)
+		}
+		return app.FixedSize{Bytes: int(sz.KB * 1024)}, nil
+	case "pareto":
+		if sz.MinKB <= 0 || sz.MaxKB < sz.MinKB {
+			return nil, fmt.Errorf("%s: pareto size needs 0 < min_kb <= max_kb", where)
+		}
+		// Absent alpha (0) takes the web-workload default; a negative one
+		// is a typo that must not silently become a different tail index.
+		alpha := sz.Alpha
+		if alpha < 0 {
+			return nil, fmt.Errorf("%s: pareto size needs alpha > 0 (or omit it for the 1.2 default)", where)
+		}
+		if alpha == 0 {
+			alpha = 1.2
+		}
+		return app.BoundedPareto{
+			Min:   int(sz.MinKB * 1024),
+			Max:   int(sz.MaxKB * 1024),
+			Alpha: alpha,
+		}, nil
+	case "choice":
+		if len(sz.SizesKB) == 0 {
+			return nil, fmt.Errorf("%s: choice size needs sizes_kb", where)
+		}
+		if len(sz.Weights) > 0 && len(sz.Weights) != len(sz.SizesKB) {
+			return nil, fmt.Errorf("%s: weights must match sizes_kb (%d != %d)", where, len(sz.Weights), len(sz.SizesKB))
+		}
+		var totalW float64
+		for i, w := range sz.Weights {
+			if w < 0 {
+				return nil, fmt.Errorf("%s: weights[%d] must be >= 0", where, i)
+			}
+			totalW += w
+		}
+		if len(sz.Weights) > 0 && totalW == 0 {
+			return nil, fmt.Errorf("%s: weights sum to zero (omit them for a uniform pick)", where)
+		}
+		sizes := make([]int, len(sz.SizesKB))
+		for i, kb := range sz.SizesKB {
+			if kb <= 0 {
+				return nil, fmt.Errorf("%s: sizes_kb[%d] must be > 0", where, i)
+			}
+			sizes[i] = int(kb * 1024)
+		}
+		return app.Choice{Sizes: sizes, Weights: sz.Weights}, nil
+	}
+	return nil, fmt.Errorf("%s: unknown size kind %q (want fixed, pareto or choice)", where, sz.Kind)
 }
 
 // ScenarioEdge is one directed edge of a mesh scenario: a link clause
@@ -162,6 +378,8 @@ type Scenario struct {
 	Nodes        []string       `json:"nodes,omitempty"`
 	Edges        []ScenarioEdge `json:"edges,omitempty"`
 	Flows        []ScenarioFlow `json:"flows"`
+	// Workloads spawn flows mid-run from open-loop arrival processes.
+	Workloads []ScenarioWorkload `json:"workloads,omitempty"`
 }
 
 // LoadScenario reads and parses a scenario file.
@@ -335,10 +553,78 @@ func (sc *Scenario) Compile() (Spec, error) {
 		if len(sf.Path) > 0 && (sf.Dir != "" || sf.EnterAt != 0 || sf.ExitAt != 0) {
 			return Spec{}, fmt.Errorf("scenario: flows[%d]: path routes over mesh edges; dir/enter_at/exit_at are chain fields", i)
 		}
+		where := fmt.Sprintf("scenario: flows[%d]", i)
 		if sf.RateMbps > 0 {
+			if sf.Source != nil {
+				return Spec{}, fmt.Errorf("%s: rate_mbps is shorthand for a rate source; drop it when a source clause is present", where)
+			}
 			fs.Source = cc.NewRateLimited(sf.RateMbps * 1e6)
 		}
+		if sf.Source != nil {
+			src, err := sf.Source.compile(where + ".source")
+			if err != nil {
+				return Spec{}, err
+			}
+			fs.Source = src
+		}
+		if sf.App != nil {
+			if fs.Source != nil {
+				return Spec{}, fmt.Errorf("%s: app and source are mutually exclusive (the app owns the source)", where)
+			}
+			as, err := sf.App.compile(where + ".app")
+			if err != nil {
+				return Spec{}, err
+			}
+			fs.App = as
+		}
 		spec.Flows = append(spec.Flows, fs)
+	}
+	for i := range sc.Workloads {
+		sw := &sc.Workloads[i]
+		where := fmt.Sprintf("scenario: workloads[%d]", i)
+		if _, err := cc.New(sw.Scheme); err != nil {
+			return Spec{}, fmt.Errorf("%s: %v", where, err)
+		}
+		ws := WorkloadSpec{
+			Scheme:    sw.Scheme,
+			Class:     sw.Class,
+			Start:     sim.FromSeconds(sw.StartS),
+			Stop:      sim.FromSeconds(sw.StopS),
+			EnterAt:   sw.EnterAt,
+			ExitAt:    sw.ExitAt,
+			Path:      sw.Path,
+			AckPath:   sw.AckPath,
+			RTT:       ms(sw.RTTms),
+			MaxActive: sw.MaxActive,
+			RefMbps:   sw.RefMbps,
+		}
+		switch sw.Dir {
+		case "", "forward":
+		case "reverse":
+			ws.Dir = Reverse
+		default:
+			return Spec{}, fmt.Errorf("%s: unknown dir %q", where, sw.Dir)
+		}
+		if len(sw.Path) > 0 && (sw.Dir != "" || sw.EnterAt != 0 || sw.ExitAt != 0) {
+			return Spec{}, fmt.Errorf("%s: path routes over mesh edges; dir/enter_at/exit_at are chain fields", where)
+		}
+		if sw.PerS <= 0 {
+			return Spec{}, fmt.Errorf("%s: needs per_s > 0", where)
+		}
+		switch sw.Arrival {
+		case "", "poisson":
+			ws.Arrival = app.Poisson{PerSec: sw.PerS}
+		case "deterministic":
+			ws.Arrival = app.Deterministic{Gap: sim.FromSeconds(1 / sw.PerS)}
+		default:
+			return Spec{}, fmt.Errorf("%s: unknown arrival %q (want poisson or deterministic)", where, sw.Arrival)
+		}
+		sizes, err := sw.Size.compile(where + ".size")
+		if err != nil {
+			return Spec{}, err
+		}
+		ws.Sizes = sizes
+		spec.Workloads = append(spec.Workloads, ws)
 	}
 	return spec, nil
 }

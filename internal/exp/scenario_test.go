@@ -7,6 +7,10 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"abc/internal/app"
+	"abc/internal/cc"
+	"abc/internal/sim"
 )
 
 // TestScenarioRejectsUnknownKeys: a typo'd field name must fail loudly,
@@ -117,6 +121,13 @@ func FuzzScenarioJSON(f *testing.F) {
 	f.Add([]byte(`{"nodes":["a"],"edges":[{"name":"e","from":"a","to":"a","kind":"wire"}]}`))
 	f.Add([]byte(`{"flows":[{"scheme":"nope"}]}`))
 	f.Add([]byte(`{"links":[{"trace":"NoSuchTrace"}]}`))
+	f.Add([]byte(`{"links":[{"rate_mbps":1}],"flows":[{"scheme":"Cubic","source":{"kind":"onoff","on_s":1,"off_s":1}}]}`))
+	f.Add([]byte(`{"links":[{"rate_mbps":1}],"flows":[{"scheme":"Cubic","source":{"kind":"warp"}}]}`))
+	f.Add([]byte(`{"links":[{"rate_mbps":1}],"flows":[{"scheme":"ABC","app":{"kind":"abr","ladder_kbps":[300]}}]}`))
+	f.Add([]byte(`{"links":[{"rate_mbps":1}],"flows":[{"scheme":"ABC","app":{"kind":"rpc","resp_kb":10,"think_ms":50}}]}`))
+	f.Add([]byte(`{"links":[{"rate_mbps":1}],"workloads":[{"scheme":"Cubic","per_s":1,"size":{"kind":"fixed","kb":10}}]}`))
+	f.Add([]byte(`{"links":[{"rate_mbps":1}],"workloads":[{"scheme":"Cubic","arrival":"deterministic","per_s":-2,"size":{"kind":"pareto","min_kb":1,"max_kb":0}}]}`))
+	f.Add([]byte(`{"workloads":[{"scheme":"Cubic","per_s":1,"size":{"kind":"choice","sizes_kb":[1,2],"weights":[1]}}]}`))
 	f.Add([]byte(`[]`))
 	f.Add([]byte(`{`))
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -135,4 +146,189 @@ func FuzzScenarioJSON(f *testing.F) {
 			t.Fatalf("marshal of accepted scenario re-parses with error: %v", err)
 		}
 	})
+}
+
+// TestScenarioSourceClauses covers the explicit source clause: every
+// kind compiles to the right cc.Source, and malformed clauses fail with
+// a Spec error naming the flow.
+func TestScenarioSourceClauses(t *testing.T) {
+	compile := func(flow string) (Spec, error) {
+		sc, err := ParseScenario([]byte(`{
+			"duration_s": 5,
+			"links": [{"kind": "rate", "rate_mbps": 10}],
+			"flows": [` + flow + `]
+		}`))
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		return sc.Compile()
+	}
+
+	spec, err := compile(`{"scheme": "Cubic", "source": {"kind": "backlogged"}}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Flows[0].Source != nil {
+		t.Error("backlogged source should compile to nil (the backlogged default)")
+	}
+
+	spec, err = compile(`{"scheme": "Cubic", "source": {"kind": "rate", "mbps": 2}}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := spec.Flows[0].Source.(*cc.RateLimited); !ok {
+		t.Errorf("rate source compiled to %T", spec.Flows[0].Source)
+	}
+
+	spec, err = compile(`{"scheme": "Cubic", "source": {"kind": "onoff", "on_s": 1, "off_s": 2, "start_s": 3}}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oo, ok := spec.Flows[0].Source.(*cc.OnOff)
+	if !ok {
+		t.Fatalf("onoff source compiled to %T", spec.Flows[0].Source)
+	}
+	if oo.OnFor != sim.Second || oo.OffFor != 2*sim.Second || oo.Start != 3*sim.Second {
+		t.Errorf("onoff parameters wrong: %+v", oo)
+	}
+
+	spec, err = compile(`{"scheme": "Cubic", "source": {"kind": "fixed", "bytes": 100000}}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx, ok := spec.Flows[0].Source.(*cc.Fixed)
+	if !ok {
+		t.Fatalf("fixed source compiled to %T", spec.Flows[0].Source)
+	}
+	if fx.Remaining != 100000 {
+		t.Errorf("fixed source has %d bytes, want 100000", fx.Remaining)
+	}
+
+	bad := []struct{ name, flow string }{
+		{"unknown kind", `{"scheme": "Cubic", "source": {"kind": "warp"}}`},
+		{"rate without mbps", `{"scheme": "Cubic", "source": {"kind": "rate"}}`},
+		{"onoff without on_s", `{"scheme": "Cubic", "source": {"kind": "onoff", "off_s": 1}}`},
+		{"fixed without bytes", `{"scheme": "Cubic", "source": {"kind": "fixed"}}`},
+		{"backlogged with params", `{"scheme": "Cubic", "source": {"kind": "backlogged", "mbps": 1}}`},
+		{"source plus rate_mbps", `{"scheme": "Cubic", "rate_mbps": 1, "source": {"kind": "fixed", "bytes": 1}}`},
+		{"app plus source", `{"scheme": "Cubic", "source": {"kind": "fixed", "bytes": 1}, "app": {"kind": "rpc"}}`},
+		{"unknown app kind", `{"scheme": "Cubic", "app": {"kind": "quic"}}`},
+		{"abr fields on rpc", `{"scheme": "Cubic", "app": {"kind": "rpc", "chunk_s": 2}}`},
+		{"rpc fields on abr", `{"scheme": "Cubic", "app": {"kind": "abr", "think_ms": 10}}`},
+		{"abr nonpositive ladder rung", `{"scheme": "Cubic", "app": {"kind": "abr", "ladder_kbps": [-300, 100]}}`},
+		{"abr non-ascending ladder", `{"scheme": "Cubic", "app": {"kind": "abr", "ladder_kbps": [300, 300]}}`},
+		{"rpc negative think_ms", `{"scheme": "Cubic", "app": {"kind": "rpc", "think_ms": -200}}`},
+		{"abr negative chunk_s", `{"scheme": "Cubic", "app": {"kind": "abr", "chunk_s": -2}}`},
+	}
+	for _, tc := range bad {
+		if _, err := compile(tc.flow); err == nil {
+			t.Errorf("%s: compiled without error", tc.name)
+		}
+	}
+}
+
+// TestScenarioWorkloadClauses covers the workload block: a well-formed
+// clause compiles to a WorkloadSpec, malformed clauses fail loudly.
+func TestScenarioWorkloadClauses(t *testing.T) {
+	compile := func(workload string) (Spec, error) {
+		sc, err := ParseScenario([]byte(`{
+			"duration_s": 5,
+			"links": [{"kind": "rate", "rate_mbps": 10}],
+			"flows": [{"scheme": "Cubic"}],
+			"workloads": [` + workload + `]
+		}`))
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		return sc.Compile()
+	}
+
+	spec, err := compile(`{"scheme": "ABC", "class": "web", "per_s": 2,
+		"size": {"kind": "pareto", "min_kb": 10, "max_kb": 500, "alpha": 1.3},
+		"stop_s": 4, "max_active": 9, "ref_mbps": 8}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := spec.Workloads[0]
+	if ws.Scheme != "ABC" || ws.Class != "web" || ws.MaxActive != 9 || ws.RefMbps != 8 {
+		t.Errorf("workload fields wrong: %+v", ws)
+	}
+	if _, ok := ws.Arrival.(app.Poisson); !ok {
+		t.Errorf("default arrival compiled to %T, want Poisson", ws.Arrival)
+	}
+	if bp, ok := ws.Sizes.(app.BoundedPareto); !ok || bp.Alpha != 1.3 {
+		t.Errorf("pareto size compiled to %#v", ws.Sizes)
+	}
+
+	// Absent alpha resolves to the documented 1.2 default at compile
+	// time, never silently at draw time.
+	spec2, err := compile(`{"scheme": "Cubic", "per_s": 1,
+		"size": {"kind": "pareto", "min_kb": 1, "max_kb": 10}}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bp := spec2.Workloads[0].Sizes.(app.BoundedPareto); bp.Alpha != 1.2 {
+		t.Errorf("absent alpha compiled to %v, want the 1.2 default", bp.Alpha)
+	}
+
+	spec, err = compile(`{"scheme": "Cubic", "arrival": "deterministic", "per_s": 4,
+		"size": {"kind": "choice", "sizes_kb": [10, 100], "weights": [3, 1]}}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := spec.Workloads[0].Arrival.(app.Deterministic); !ok || d.Gap != 250*sim.Millisecond {
+		t.Errorf("deterministic arrival compiled to %#v", spec.Workloads[0].Arrival)
+	}
+
+	bad := []struct{ name, workload string }{
+		{"unknown scheme", `{"scheme": "nope", "per_s": 1, "size": {"kind": "fixed", "kb": 1}}`},
+		{"missing per_s", `{"scheme": "Cubic", "size": {"kind": "fixed", "kb": 1}}`},
+		{"unknown arrival", `{"scheme": "Cubic", "arrival": "bursty", "per_s": 1, "size": {"kind": "fixed", "kb": 1}}`},
+		{"unknown size kind", `{"scheme": "Cubic", "per_s": 1, "size": {"kind": "zipf"}}`},
+		{"fixed size without kb", `{"scheme": "Cubic", "per_s": 1, "size": {"kind": "fixed"}}`},
+		{"pareto bad range", `{"scheme": "Cubic", "per_s": 1, "size": {"kind": "pareto", "min_kb": 10, "max_kb": 5}}`},
+		{"pareto negative alpha", `{"scheme": "Cubic", "per_s": 1, "size": {"kind": "pareto", "min_kb": 1, "max_kb": 10, "alpha": -1.2}}`},
+		{"choice weight mismatch", `{"scheme": "Cubic", "per_s": 1, "size": {"kind": "choice", "sizes_kb": [1, 2], "weights": [1]}}`},
+		{"choice negative weight", `{"scheme": "Cubic", "per_s": 1, "size": {"kind": "choice", "sizes_kb": [1, 2], "weights": [3, -1]}}`},
+		{"choice zero-sum weights", `{"scheme": "Cubic", "per_s": 1, "size": {"kind": "choice", "sizes_kb": [1, 2], "weights": [0, 0]}}`},
+		{"choice nonpositive size", `{"scheme": "Cubic", "per_s": 1, "size": {"kind": "choice", "sizes_kb": [0]}}`},
+		{"unknown dir", `{"scheme": "Cubic", "per_s": 1, "dir": "sideways", "size": {"kind": "fixed", "kb": 1}}`},
+		{"mesh path on chain", `{"scheme": "Cubic", "per_s": 1, "path": ["x"], "size": {"kind": "fixed", "kb": 1}}`},
+	}
+	for _, tc := range bad {
+		// Some routing errors surface at Run (the chain/mesh compilers own
+		// route validation, as for flows); both layers count as rejection.
+		spec, err := compile(tc.workload)
+		if err == nil {
+			_, _, err = Run(spec)
+		}
+		if err == nil {
+			t.Errorf("%s: compiled and ran without error", tc.name)
+		}
+	}
+}
+
+// TestScenarioWorkloadRuns: a declarative scenario with a workload block
+// runs end to end and reports completions.
+func TestScenarioWorkloadRuns(t *testing.T) {
+	sc, err := ParseScenario([]byte(`{
+		"seed": 1, "duration_s": 10, "warmup_s": 1,
+		"links": [{"kind": "rate", "rate_mbps": 10}],
+		"workloads": [{"scheme": "Cubic", "arrival": "deterministic", "per_s": 1,
+			"size": {"kind": "fixed", "kb": 50}}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := sc.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workloads[0].Completed == 0 {
+		t.Error("declarative workload completed no flows")
+	}
 }

@@ -1,0 +1,291 @@
+// Application workloads over the scenario harness: open-loop flow
+// arrival processes that spawn finite flows mid-run (Spec.Workloads) and
+// closed-loop applications bound to declared flows (FlowSpec.App). Both
+// ride the same topology graph and registries as static flows, so any
+// registered scheme can carry them, and all randomness (arrival gaps,
+// flow sizes, think times) comes from the simulation RNG — a seeded run
+// replays the exact same workload.
+package exp
+
+import (
+	"fmt"
+
+	"abc/internal/app"
+	"abc/internal/cc"
+	"abc/internal/metrics"
+	"abc/internal/netem"
+	"abc/internal/packet"
+	"abc/internal/sim"
+	"abc/internal/topo"
+)
+
+// WorkloadSpec describes one open-loop arrival process: flows of Scheme
+// arrive with Arrival-drawn gaps, carry Sizes-drawn bytes, complete, and
+// report flow-completion times. Routing uses the same fields as a
+// FlowSpec (Dir/EnterAt/ExitAt on chains, Path/AckPath on meshes).
+type WorkloadSpec struct {
+	Scheme string
+	// Class labels the workload in results (default "w<index>").
+	Class string
+	// Arrival draws inter-arrival gaps (required).
+	Arrival app.Arrival
+	// Sizes draws per-flow transfer sizes in bytes (required).
+	Sizes app.SizeDist
+	// Start/Stop bound the arrival process; Stop 0 means Duration.
+	Start, Stop sim.Time
+	// Chain routing, exactly as on FlowSpec.
+	Dir             Direction
+	EnterAt, ExitAt int
+	// Mesh routing, exactly as on FlowSpec.
+	Path, AckPath []string
+	// RTT overrides Spec.RTT for spawned flows.
+	RTT sim.Time
+	// MaxActive caps concurrently active spawned flows; arrivals beyond
+	// the cap are rejected and counted (default 1024). The cap bounds
+	// the *live* simulation load under overload (endpoints sending,
+	// housekeeping timers, queue occupancy) where an open-loop process
+	// outpaces the link indefinitely; per-flow route entries on the
+	// graph persist for the run, so total footprint still grows with
+	// Spawned, just without unbounded concurrent work.
+	MaxActive int
+	// RefMbps, when > 0, additionally reports each FCT as a slowdown
+	// against an ideal same-size transfer at this rate plus one RTT.
+	RefMbps float64
+}
+
+// WorkloadResult reports one workload's completion metrics. Only flows
+// arriving at or after Warmup feed the recorders; Bytes likewise counts
+// post-warmup deliveries.
+type WorkloadResult struct {
+	Class string
+	// Spawned/Completed/Rejected/Active count flows over the whole run:
+	// Active is what was still in flight when the run ended, Rejected
+	// what the MaxActive cap refused.
+	Spawned, Completed, Rejected, Active int
+	Bytes                                int64
+	// FCT holds completion times (ms); Slowdown the RefMbps-normalized
+	// ratios; QDelay per-packet accumulated queueing delay (ms).
+	FCT, Slowdown, QDelay metrics.DelayRecorder
+}
+
+// Stats condenses the result for reports.
+func (w *WorkloadResult) Stats() metrics.FCTStats {
+	return metrics.NewFCTStats(w.Class, &w.FCT, &w.Slowdown, w.Bytes)
+}
+
+// AppSpec attaches a closed-loop application to a FlowSpec: the app
+// drives the flow's source and reacts to transfer completions. Mutually
+// exclusive with FlowSpec.Source.
+type AppSpec struct {
+	// Kind selects the application: "abr" (video client) or "rpc"
+	// (request-response client).
+	Kind string
+	ABR  app.ABRConfig
+	RPC  app.RPCConfig
+}
+
+// appTransport adapts one endpoint + fixed source pair to app.Transport.
+// The single-owner rule for app-driven flows: the application is the
+// only writer of src.Remaining, and the endpoint the only reader, so a
+// transfer's byte count never races its completion callback.
+type appTransport struct {
+	ep  *cc.Endpoint
+	src *cc.Fixed
+}
+
+// Queue implements app.Transport.
+func (t *appTransport) Queue(n int) {
+	t.src.Remaining += n
+	t.ep.BeginTransfer()
+}
+
+// buildApp wires an application onto a flow's endpoint. The returned app
+// still needs Start scheduled at the flow's start time.
+func buildApp(s *sim.Simulator, ep *cc.Endpoint, as *AppSpec, warmup sim.Time) (app.App, error) {
+	src := &cc.Fixed{}
+	ep.Src = src
+	tr := &appTransport{ep: ep, src: src}
+	var a app.App
+	switch as.Kind {
+	case "abr":
+		a = app.NewABR(s, tr, as.ABR)
+	case "rpc":
+		cfg := as.RPC
+		if cfg.MeasureFrom == 0 {
+			cfg.MeasureFrom = warmup
+		}
+		a = app.NewRPC(s, tr, cfg, s.Rand())
+	default:
+		return nil, fmt.Errorf("exp: unknown app kind %q (want abr or rpc)", as.Kind)
+	}
+	ep.OnComplete = a.OnTransferComplete
+	return a, nil
+}
+
+// workloadRunner drives one arrival process over the compiled graph.
+type workloadRunner struct {
+	s      *sim.Simulator
+	g      *topo.Graph
+	spec   *Spec
+	ws     *WorkloadSpec
+	wr     *WorkloadResult
+	pooled *metrics.DelayRecorder
+	route  flowRoute
+	nextID *int
+	stopAt sim.Time
+	active int
+	err    error
+}
+
+// startWorkloads validates every workload and schedules its arrival
+// process. Spawned flows get ids after the static flows'. The returned
+// runners must be finished (finishWorkloads) after the run to surface
+// mid-run wiring errors and final active counts.
+func startWorkloads(s *sim.Simulator, g *topo.Graph, spec *Spec, res *Result, pooled *metrics.DelayRecorder, routes []flowRoute) ([]*workloadRunner, error) {
+	if len(spec.Workloads) == 0 {
+		return nil, nil
+	}
+	res.Workloads = make([]WorkloadResult, len(spec.Workloads))
+	nextID := len(spec.Flows)
+	runners := make([]*workloadRunner, 0, len(spec.Workloads))
+	for i := range spec.Workloads {
+		ws := &spec.Workloads[i]
+		if ws.Arrival == nil {
+			return nil, fmt.Errorf("exp: workload %d: missing Arrival process", i)
+		}
+		if ws.Sizes == nil {
+			return nil, fmt.Errorf("exp: workload %d: missing Sizes distribution", i)
+		}
+		if _, err := cc.New(ws.Scheme); err != nil {
+			return nil, fmt.Errorf("exp: workload %d: %v", i, err)
+		}
+		wr := &res.Workloads[i]
+		wr.Class = ws.Class
+		if wr.Class == "" {
+			wr.Class = fmt.Sprintf("w%d", i)
+		}
+		stop := ws.Stop
+		if stop <= 0 || stop > spec.Duration {
+			stop = spec.Duration
+		}
+		r := &workloadRunner{
+			s: s, g: g, spec: spec, ws: ws, wr: wr, pooled: pooled,
+			route: routes[i], nextID: &nextID, stopAt: stop,
+		}
+		runners = append(runners, r)
+		s.At(ws.Start, r.schedule)
+	}
+	return runners, nil
+}
+
+// finishWorkloads records end-of-run state and surfaces the first
+// mid-run wiring error (dropping offered load silently would corrupt the
+// experiment).
+func finishWorkloads(runners []*workloadRunner) error {
+	for _, r := range runners {
+		r.wr.Active = r.active
+		if r.err != nil {
+			return r.err
+		}
+	}
+	return nil
+}
+
+// schedule draws the next inter-arrival gap and arms the spawn event.
+// The process self-terminates once the next arrival would land at or
+// past the stop time.
+func (r *workloadRunner) schedule() {
+	if r.err != nil {
+		return
+	}
+	gap := r.ws.Arrival.Next(r.s.Rand())
+	now := r.s.Now()
+	if gap <= 0 {
+		gap = 1 // degenerate processes still make progress
+	}
+	if gap >= r.stopAt-now {
+		return
+	}
+	r.s.After(gap, func() {
+		r.spawn(r.s.Now())
+		r.schedule()
+	})
+}
+
+// spawn wires one finite flow onto the graph and starts it.
+func (r *workloadRunner) spawn(now sim.Time) {
+	max := r.ws.MaxActive
+	if max <= 0 {
+		max = 1024
+	}
+	if r.active >= max {
+		r.wr.Rejected++
+		return
+	}
+	size := r.ws.Sizes.Draw(r.s.Rand())
+	if size < 1 {
+		size = 1
+	}
+	alg, err := cc.New(r.ws.Scheme)
+	if err != nil {
+		r.fail(err)
+		return
+	}
+	id := *r.nextID
+	*r.nextID = id + 1
+	rtt := r.ws.RTT
+	if rtt <= 0 {
+		rtt = r.spec.RTT
+	}
+	ep := cc.NewEndpoint(r.s, id, nil, alg)
+	ackEntry, err := r.g.RouteFlow(id, r.route.ack, rtt/2, ep)
+	if err != nil {
+		r.fail(err)
+		return
+	}
+	recv := netem.NewReceiver(r.s, id, ackEntry)
+	warm := r.spec.Warmup
+	wr, pooled := r.wr, r.pooled
+	recv.OnData = func(t sim.Time, p *packet.Packet) {
+		if t < warm {
+			return
+		}
+		wr.Bytes += int64(p.Size)
+		pooled.Add(t - p.SentAt)
+		wr.QDelay.Add(p.QueueDelay)
+	}
+	dataEntry, err := r.g.RouteFlow(id, r.route.data, rtt/2, recv)
+	if err != nil {
+		r.fail(err)
+		return
+	}
+	ep.Out = dataEntry
+	ep.Src = cc.NewFixed(size)
+	r.active++
+	r.wr.Spawned++
+	measured := now >= warm
+	ep.OnComplete = func(done sim.Time) {
+		ep.Stop()
+		r.active--
+		r.wr.Completed++
+		if !measured {
+			return
+		}
+		fct := done - now
+		wr.FCT.Add(fct)
+		if r.ws.RefMbps > 0 {
+			ideal := rtt + sim.FromSeconds(float64(size)*8/(r.ws.RefMbps*1e6))
+			if ideal > 0 {
+				wr.Slowdown.AddSample(fct.Seconds() / ideal.Seconds())
+			}
+		}
+	}
+	ep.Start()
+}
+
+// fail records the first wiring error and stops the arrival process.
+func (r *workloadRunner) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}

@@ -1,0 +1,77 @@
+// Application-level metrics: flow-completion-time statistics for
+// open-loop workloads and the video quality-of-experience summary the
+// paper's motivation (low delay for interactive traffic) is judged by.
+package metrics
+
+import "fmt"
+
+// FCTStats condenses a workload's flow-completion-time distribution.
+// Slowdown fields are only meaningful when the recorder was fed
+// normalized samples (they report zero otherwise).
+type FCTStats struct {
+	Class  string
+	Count  int
+	MeanMs float64
+	P95Ms  float64
+	// MeanSlowdown/P95Slowdown are FCTs normalized by the ideal
+	// completion time of a same-size transfer on the unloaded path
+	// (dimensionless, >= 1 in a well-behaved run).
+	MeanSlowdown float64
+	P95Slowdown  float64
+	// Bytes is the measured delivered volume.
+	Bytes int64
+}
+
+// NewFCTStats summarizes a completion-time recorder and an optional
+// slowdown recorder (nil or empty leaves the slowdown fields zero).
+func NewFCTStats(class string, fct, slowdown *DelayRecorder, bytes int64) FCTStats {
+	st := FCTStats{
+		Class:  class,
+		Count:  fct.Count(),
+		MeanMs: fct.Mean(),
+		P95Ms:  fct.P95(),
+		Bytes:  bytes,
+	}
+	if slowdown != nil && slowdown.Count() > 0 {
+		st.MeanSlowdown = slowdown.Mean()
+		st.P95Slowdown = slowdown.P95()
+	}
+	return st
+}
+
+// String renders one workload row.
+func (s FCTStats) String() string {
+	base := fmt.Sprintf("%-10s flows=%5d  FCT mean=%7.1f ms  p95=%7.1f ms",
+		s.Class, s.Count, s.MeanMs, s.P95Ms)
+	if s.MeanSlowdown > 0 {
+		base += fmt.Sprintf("  slowdown mean=%5.2f p95=%5.2f", s.MeanSlowdown, s.P95Slowdown)
+	}
+	return base
+}
+
+// QoE summarizes an ABR video session: the three components of the
+// standard QoE objective (quality, rebuffering, smoothness) plus the
+// raw session accounting behind them.
+type QoE struct {
+	// MeanKbps is the average bitrate of the downloaded chunks.
+	MeanKbps float64
+	// RebufferRatio is stalled time over (played + stalled) time, after
+	// startup.
+	RebufferRatio float64
+	// RebufferS is the absolute stalled seconds behind the ratio.
+	RebufferS float64
+	// Switches counts bitrate changes between consecutive chunks.
+	Switches int
+	// Chunks is the number of fully downloaded chunks.
+	Chunks int
+	// StartupS is the time from session start to first play.
+	StartupS float64
+	// PlayedS is the video time actually played out.
+	PlayedS float64
+}
+
+// String renders one video session row.
+func (q QoE) String() string {
+	return fmt.Sprintf("bitrate=%6.0f kbps  rebuffer=%5.2f%% (%.1fs)  switches=%3d  chunks=%4d  startup=%.1fs",
+		q.MeanKbps, q.RebufferRatio*100, q.RebufferS, q.Switches, q.Chunks, q.StartupS)
+}

@@ -1,0 +1,59 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"abc/internal/sim"
+)
+
+func TestAddSampleMatchesAdd(t *testing.T) {
+	var a, b DelayRecorder
+	for i := 1; i <= 100; i++ {
+		a.Add(sim.Time(i) * sim.Millisecond)
+		b.AddSample(float64(i))
+	}
+	if a.Mean() != b.Mean() || a.P95() != b.P95() || a.Count() != b.Count() {
+		t.Errorf("Add and AddSample diverge: mean %v/%v p95 %v/%v",
+			a.Mean(), b.Mean(), a.P95(), b.P95())
+	}
+}
+
+func TestNewFCTStats(t *testing.T) {
+	var fct, slow DelayRecorder
+	for i := 1; i <= 20; i++ {
+		fct.Add(sim.Time(i) * 10 * sim.Millisecond)
+		slow.AddSample(float64(i) / 10)
+	}
+	st := NewFCTStats("web", &fct, &slow, 12345)
+	if st.Class != "web" || st.Count != 20 || st.Bytes != 12345 {
+		t.Errorf("stats header wrong: %+v", st)
+	}
+	if st.MeanMs != fct.Mean() || st.P95Ms != fct.P95() {
+		t.Errorf("FCT fields wrong: %+v", st)
+	}
+	if st.MeanSlowdown != slow.Mean() || st.P95Slowdown != slow.P95() {
+		t.Errorf("slowdown fields wrong: %+v", st)
+	}
+	if !strings.Contains(st.String(), "slowdown") {
+		t.Errorf("String omits slowdown: %q", st.String())
+	}
+
+	empty := NewFCTStats("idle", &DelayRecorder{}, nil, 0)
+	if empty.Count != 0 || empty.MeanSlowdown != 0 {
+		t.Errorf("empty stats wrong: %+v", empty)
+	}
+	if strings.Contains(empty.String(), "slowdown") {
+		t.Errorf("String shows slowdown with none recorded: %q", empty.String())
+	}
+}
+
+func TestQoEString(t *testing.T) {
+	q := QoE{MeanKbps: 1200, RebufferRatio: 0.05, RebufferS: 2.5, Switches: 3, Chunks: 40, StartupS: 0.8}
+	s := q.String()
+	for _, want := range []string{"1200", "5.00%", "switches", "chunks"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("QoE string %q missing %q", s, want)
+		}
+	}
+}

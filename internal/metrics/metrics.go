@@ -34,15 +34,19 @@ type DelayRecorder struct {
 // Add records one delay sample. The sketch is fed in both modes (it is
 // cheap and fixed-memory), so flipping Exact mid-stream degrades to the
 // streaming estimate instead of misbehaving.
-func (d *DelayRecorder) Add(t sim.Time) {
-	ms := t.Millis()
+func (d *DelayRecorder) Add(t sim.Time) { d.AddSample(t.Millis()) }
+
+// AddSample records one raw sample in the recorder's unit — milliseconds
+// for delay distributions, dimensionless for the slowdown distributions
+// that reuse the same streaming machinery.
+func (d *DelayRecorder) AddSample(v float64) {
 	d.count++
-	d.sum += ms
+	d.sum += v
 	if d.Exact {
-		d.samples = append(d.samples, ms)
+		d.samples = append(d.samples, v)
 		d.sorted = false
 	}
-	d.sketch.Add(ms)
+	d.sketch.Add(v)
 }
 
 // Count returns the number of samples.
