@@ -17,6 +17,7 @@ import (
 	"abc/internal/netem"
 	"abc/internal/packet"
 	"abc/internal/sim"
+	"abc/internal/topo"
 	"abc/internal/trace"
 )
 
@@ -483,6 +484,37 @@ func BenchmarkPacketChurn(b *testing.B) {
 		a := packet.NewAck(p, int64(i)+1, 1)
 		p.Release()
 		a.Release()
+	}
+}
+
+// BenchmarkForwardHop measures one forwarding decision on the per-packet
+// path: a junction's (flow, direction) table lookup plus the edge's
+// up/down gate. The routing refactor moved every hop onto this path, so
+// it must stay 0 allocs/op (enforced via bench_thresholds.txt).
+func BenchmarkForwardHop(b *testing.B) {
+	s := sim.New(1)
+	g := topo.New(s)
+	a, c := g.AddNode("a"), g.AddNode("b")
+	// Pure edge (no link, no delay): the measured work is exactly
+	// node table lookup → edge gate → terminal delivery.
+	id, err := g.AddEdge(a, c, 0, topo.Impairments{}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sink := &packet.Sink{}
+	entry, err := g.RouteFlow(1, false, []int{id}, 0, sink)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := packet.NewData(1, 0, packet.MTU, 0)
+	defer p.Release()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		entry.Recv(p)
+	}
+	if sink.Count != b.N {
+		b.Fatalf("delivered %d, want %d", sink.Count, b.N)
 	}
 }
 

@@ -200,6 +200,24 @@ func run() error {
 	}
 	fmt.Println()
 
+	fmt.Println("## Dynamic topology — handover / flapping link")
+	dynSchemes := []string{"ABC", "Cubic"}
+	ho, err := exp.Handover(dynSchemes, dur, *seed)
+	if err != nil {
+		return err
+	}
+	for _, sch := range dynSchemes {
+		fmt.Printf("handover %s", exp.FormatHandoverResult(sch, ho[sch]))
+	}
+	fl, err := exp.LinkFlap(dynSchemes, dur, *seed)
+	if err != nil {
+		return err
+	}
+	for _, sch := range dynSchemes {
+		fmt.Printf("flap     %s", exp.FormatFlapResult(sch, fl[sch]))
+	}
+	fmt.Println()
+
 	fmt.Println("## §6.5 / §6.6 / Theorem 3.1")
 	for _, n := range []int{2, 8, 32} {
 		idx, err := exp.JainFairness(n, *seed)

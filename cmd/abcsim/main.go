@@ -89,6 +89,8 @@ func experiments() []experiment {
 		{"markeduplink", "downlink ACKs re-marked by an ABC router on the uplink edge", runMarkedUplink},
 		{"heterortt", "heterogeneous-RTT fairness sweep", runHeteroRTT},
 		{"lossy", "lossy-link robustness sweep (random + bursty loss)", runLossy},
+		{"handover", "mid-run base-station handover via forwarding-table reroute", runHandover},
+		{"flap", "flapping link: timed outages on the bottleneck edge", runFlap},
 		{"shortflows", "open-loop web-like short flows: FCT and slowdown per scheme", runShortFlows},
 		{"video", "ABR video client: bitrate/rebuffer/switch QoE per scheme", runVideo},
 		{"rpc", "request-response RPC clients vs a bulk flow: per-call FCT", runRPC},
@@ -540,6 +542,41 @@ func runLossy() error {
 	return nil
 }
 
+func runHandover() error {
+	out, err := exp.Handover(schemeList(), dur(), *seed)
+	if err != nil {
+		return err
+	}
+	var names []string
+	for sch := range out {
+		names = append(names, sch)
+	}
+	sort.Strings(names)
+	for _, sch := range names {
+		fmt.Print(exp.FormatHandoverResult(sch, out[sch]))
+	}
+	for _, ev := range out[names[0]].Events {
+		fmt.Printf("event @%7.0f ms  %-10s %s\n", ev.AtMs, ev.Kind, ev.Target)
+	}
+	return nil
+}
+
+func runFlap() error {
+	out, err := exp.LinkFlap(schemeList(), dur(), *seed)
+	if err != nil {
+		return err
+	}
+	var names []string
+	for sch := range out {
+		names = append(names, sch)
+	}
+	sort.Strings(names)
+	for _, sch := range names {
+		fmt.Print(exp.FormatFlapResult(sch, out[sch]))
+	}
+	return nil
+}
+
 func runShortFlows() error {
 	rows, err := exp.ShortFlows(schemeList(), *traceNm, dur(), *seed)
 	if err != nil {
@@ -638,8 +675,18 @@ func runScenarioFile(path string) error {
 	if res.ImpairDrops > 0 {
 		fmt.Printf("impairment drops: %d\n", res.ImpairDrops)
 	}
+	for _, ev := range res.Events {
+		fmt.Printf("event @%7.0f ms  %-10s %s\n", ev.AtMs, ev.Kind, ev.Target)
+	}
+	if res.LinkDownDrops > 0 {
+		fmt.Printf("link-down drops: %d\n", res.LinkDownDrops)
+	}
 	if res.Drops > 0 {
-		fmt.Printf("UNROUTED DROPS: %d (wiring bug in the scenario)\n", res.Drops)
+		if len(spec.Events) > 0 {
+			fmt.Printf("unrouted drops: %d (includes packets in flight across reroutes)\n", res.Drops)
+		} else {
+			fmt.Printf("UNROUTED DROPS: %d (wiring bug in the scenario)\n", res.Drops)
+		}
 	}
 	return nil
 }

@@ -11,13 +11,20 @@
 // directed graph of junction nodes and edges, each edge an optional
 // bottleneck link (trace-, rate- or Wi-Fi-modelled behind one topo.Link
 // interface), an impairment stage (jitter, random/burst loss,
-// reordering) and a propagation delay. Every flow's data path and ACK
+// reordering) and a propagation delay. Nodes forward packets by
+// per-(flow, direction) forwarding tables, mutable mid-run through
+// topo.Router — so routes can change while packets are in flight
+// (handover, flapping links, rate/delay steps), with a conservation
+// guarantee: in-flight packets on abandoned edges drain and are counted,
+// never duplicated or silently lost. Every flow's data path and ACK
 // path are explicit routes over the graph, so asymmetric paths,
 // congested reverse (ACK) links, per-flow RTTs and mid-path cross
 // traffic are all plain specs (internal/exp.Spec) — or declarative JSON
-// scenario files (cmd/abcsim -scenario, examples/scenarios/). Schemes
-// and queueing disciplines self-register (cc.Register, qdisc.Register)
-// from their own packages, so the harness constructs nothing by name.
+// scenario files (cmd/abcsim -scenario, examples/scenarios/), including
+// a timed "events" timeline (reroute, set_rate, set_delay,
+// link_down/link_up). Schemes and queueing disciplines self-register
+// (cc.Register, qdisc.Register) from their own packages, so the harness
+// constructs nothing by name.
 //
 // On top of the flow layer sits an application-workload subsystem
 // (internal/app): open-loop arrival processes spawn finite flows mid-run

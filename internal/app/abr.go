@@ -1,8 +1,10 @@
 // ABR video client: a bitrate ladder, chunk downloads over one
 // persistent flow, a playback-buffer model with rebuffer accounting, and
-// a buffer-based (BBA-style) adaptation policy. Quality decisions react
-// to the transport purely through chunk download times, so the client
-// exercises any congestion-control scheme the harness binds underneath.
+// two adaptation policies — buffer-based (BBA-style, the default) and
+// rate-based (harmonic-mean throughput prediction over the last k chunk
+// downloads). Quality decisions react to the transport purely through
+// chunk download times, so the client exercises any congestion-control
+// scheme the harness binds underneath.
 package app
 
 import (
@@ -28,7 +30,28 @@ type ABRConfig struct {
 	// above the cushion the highest, and in between it maps the buffer
 	// linearly across the ladder (defaults 4 and 12).
 	ReservoirS, CushionS float64
+	// Policy selects the adaptation policy: "buffer" (BBA, the default)
+	// or "rate" (throughput prediction). The rate policy predicts the
+	// next chunk's throughput as the harmonic mean of the last
+	// HistoryChunks download rates — the harmonic mean is dominated by
+	// the slow samples, so one bad chunk pulls the prediction down
+	// immediately and the client downshifts before the buffer drains —
+	// and requests the highest rung at or below SafetyFactor times the
+	// prediction.
+	Policy string
+	// HistoryChunks is the rate policy's prediction window in chunks
+	// (default 5).
+	HistoryChunks int
+	// SafetyFactor scales the rate prediction before the ladder lookup
+	// (default 0.9).
+	SafetyFactor float64
 }
+
+// Policy names.
+const (
+	PolicyBuffer = "buffer"
+	PolicyRate   = "rate"
+)
 
 // withDefaults fills zero fields.
 func (c ABRConfig) withDefaults() ABRConfig {
@@ -50,6 +73,15 @@ func (c ABRConfig) withDefaults() ABRConfig {
 	if c.CushionS <= c.ReservoirS {
 		c.CushionS = c.ReservoirS + 8
 	}
+	if c.Policy == "" {
+		c.Policy = PolicyBuffer
+	}
+	if c.HistoryChunks <= 0 {
+		c.HistoryChunks = 5
+	}
+	if c.SafetyFactor <= 0 {
+		c.SafetyFactor = 0.9
+	}
 	return c
 }
 
@@ -65,7 +97,11 @@ type ABR struct {
 	playing     bool
 	startupDone bool
 	downloading bool
-	curIdx      int // rung of the chunk being (or last) downloaded
+	curIdx      int      // rung of the chunk being (or last) downloaded
+	reqAt       sim.Time // when the current download was requested
+	// rates is the rate policy's sliding window of measured download
+	// throughputs (kbit/s), most recent last, at most HistoryChunks long.
+	rates []float64
 
 	chunks   int
 	switches int
@@ -97,9 +133,18 @@ func (a *ABR) chunkBytes(idx int) int {
 	return n
 }
 
-// policy maps the current buffer level to a ladder rung (BBA): lowest
-// rung in the reservoir, highest above the cushion, linear in between.
+// policy picks the next chunk's ladder rung.
 func (a *ABR) policy() int {
+	if a.cfg.Policy == PolicyRate {
+		return a.ratePolicy()
+	}
+	return a.bufferPolicy()
+}
+
+// bufferPolicy maps the current buffer level to a ladder rung (BBA):
+// lowest rung in the reservoir, highest above the cushion, linear in
+// between.
+func (a *ABR) bufferPolicy() int {
 	top := len(a.cfg.LadderKbps) - 1
 	switch {
 	case a.bufS <= a.cfg.ReservoirS:
@@ -113,6 +158,49 @@ func (a *ABR) policy() int {
 		idx = top
 	}
 	return idx
+}
+
+// ratePolicy requests the highest rung whose bitrate fits under the
+// safety-scaled harmonic mean of the recent download throughputs. With
+// no samples yet it starts conservatively at the lowest rung.
+func (a *ABR) ratePolicy() int {
+	pred := a.predictKbps()
+	if pred <= 0 {
+		return 0
+	}
+	budget := a.cfg.SafetyFactor * pred
+	idx := 0
+	for i, kbps := range a.cfg.LadderKbps {
+		if kbps <= budget {
+			idx = i
+		}
+	}
+	return idx
+}
+
+// predictKbps is the harmonic mean of the sliding rate window (0 with
+// no samples).
+func (a *ABR) predictKbps() float64 {
+	if len(a.rates) == 0 {
+		return 0
+	}
+	var inv float64
+	for _, r := range a.rates {
+		inv += 1 / r
+	}
+	return float64(len(a.rates)) / inv
+}
+
+// recordRate measures one finished download and slides the window.
+func (a *ABR) recordRate(bytes int, took sim.Time) {
+	if took <= 0 {
+		return
+	}
+	kbps := float64(bytes) * 8 / 1000 / took.Seconds()
+	a.rates = append(a.rates, kbps)
+	if len(a.rates) > a.cfg.HistoryChunks {
+		a.rates = a.rates[1:]
+	}
 }
 
 // advance settles playback accounting up to now: while playing the
@@ -146,6 +234,7 @@ func (a *ABR) request(now sim.Time) {
 	}
 	a.curIdx = idx
 	a.downloading = true
+	a.reqAt = now
 	a.t.Queue(a.chunkBytes(idx))
 }
 
@@ -155,6 +244,7 @@ func (a *ABR) OnTransferComplete(now sim.Time) {
 		return
 	}
 	a.downloading = false
+	a.recordRate(a.chunkBytes(a.curIdx), now-a.reqAt)
 	a.advance(now)
 	a.chunks++
 	a.sumKbps += a.cfg.LadderKbps[a.curIdx]

@@ -1,0 +1,94 @@
+package app
+
+import (
+	"math"
+	"testing"
+
+	"abc/internal/sim"
+)
+
+// queueRecorder is a stub Transport capturing requested transfer sizes.
+type queueRecorder struct{ sizes []int }
+
+func (q *queueRecorder) Queue(n int) { q.sizes = append(q.sizes, n) }
+
+func (q *queueRecorder) last() int { return q.sizes[len(q.sizes)-1] }
+
+// driveChunk completes the outstanding download as if the link ran at
+// rateBps, returning the new clock.
+func driveChunk(a *ABR, q *queueRecorder, now sim.Time, rateBps float64) sim.Time {
+	took := sim.FromSeconds(float64(q.last()*8) / rateBps)
+	now += took
+	a.OnTransferComplete(now)
+	return now
+}
+
+// TestRatePolicyDownshiftsBeforeBufferDrains pins the rate policy's
+// defining behaviour on a step-down trace: the harmonic-mean predictor
+// collapses after a single slow chunk, so the client drops to a lower
+// rung while it still has buffer — it never rebuffers — instead of
+// riding the stale high rung into a stall.
+func TestRatePolicyDownshiftsBeforeBufferDrains(t *testing.T) {
+	s := sim.New(1)
+	q := &queueRecorder{}
+	a := NewABR(s, q, ABRConfig{
+		LadderKbps:    []float64{300, 3000},
+		ChunkS:        2,
+		MaxBufS:       1000, // no buffer-cap pacing: requests stay immediate
+		Policy:        PolicyRate,
+		HistoryChunks: 2,
+	})
+	now := sim.Time(0)
+	a.Start(now)
+
+	// With no samples the policy starts at the lowest rung.
+	lo, hi := a.chunkBytes(0), a.chunkBytes(1)
+	if q.last() != lo {
+		t.Fatalf("first request %d bytes, want lowest rung %d", q.last(), lo)
+	}
+
+	// Fast phase at 8 Mbit/s: the prediction rises and the client climbs
+	// to the top rung.
+	for i := 0; i < 6; i++ {
+		now = driveChunk(a, q, now, 8e6)
+	}
+	if q.last() != hi {
+		t.Fatalf("after fast phase requesting %d bytes, want top rung %d", q.last(), hi)
+	}
+
+	// Step-down to 2 Mbit/s. The in-flight top-rung chunk is the
+	// unavoidable surprise; it must complete before the buffer drains,
+	// and the very next request must already be the lower rung.
+	now = driveChunk(a, q, now, 2e6)
+	if a.bufS <= 0 {
+		t.Fatalf("buffer drained (%.2f s) before the policy could react", a.bufS)
+	}
+	if q.last() != lo {
+		t.Fatalf("first request after the step-down is %d bytes, want downshift to %d", q.last(), lo)
+	}
+	for i := 0; i < 5; i++ {
+		now = driveChunk(a, q, now, 2e6)
+	}
+	a.Finish(now)
+	if qoe := a.QoE(); qoe.RebufferS != 0 {
+		t.Fatalf("rate policy rebuffered %.2f s on a step it should have absorbed", qoe.RebufferS)
+	}
+}
+
+// TestRatePolicyHarmonicMean pins the predictor itself: the harmonic
+// mean is dominated by slow samples, which is exactly why the policy is
+// conservative after a bad chunk.
+func TestRatePolicyHarmonicMean(t *testing.T) {
+	s := sim.New(1)
+	a := NewABR(s, &queueRecorder{}, ABRConfig{Policy: PolicyRate, HistoryChunks: 3})
+	a.rates = []float64{8000, 8000, 500}
+	want := 3 / (1/8000.0 + 1/8000.0 + 1/500.0)
+	if got := a.predictKbps(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("harmonic mean = %v, want %v", got, want)
+	}
+	// The window slides: a fourth sample evicts the oldest.
+	a.recordRate(1500*1000, sim.Second) // 12000 kbps
+	if len(a.rates) != 3 || a.rates[0] != 8000 || a.rates[2] != 12000 {
+		t.Fatalf("rate window = %v, want [8000 500 12000]", a.rates)
+	}
+}

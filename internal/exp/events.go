@@ -1,0 +1,208 @@
+// Timed topology events: a Spec may carry a timeline of mid-run
+// mutations — route changes, link rate/delay changes, link outages —
+// executed on the simulation clock through the topo.Router API. Both the
+// chain and the mesh compiler schedule events through here; chain links
+// are addressed by the canonical edge names "fwd<i>" / "rev<i>", mesh
+// edges by their declared names. Everything that can be validated
+// statically (edge names, flow indices, route well-formedness, target
+// link kinds) is validated before the run starts, so a typo'd timeline
+// is a Spec error rather than a mid-run surprise.
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"abc/internal/netem"
+	"abc/internal/sim"
+	"abc/internal/topo"
+)
+
+// Event kinds.
+const (
+	// EventReroute atomically swaps a flow's data (or, with Ack, ACK)
+	// route onto Path. Packets in flight on abandoned edges drain to the
+	// next junction and are counted in Result.Drops unless the junction
+	// lies on the new route (topo's conservation contract).
+	EventReroute = "reroute"
+	// EventSetRate changes a rate link's capacity to RateMbps.
+	EventSetRate = "set_rate"
+	// EventSetDelay changes an edge's propagation delay to Delay. Only
+	// edges built with a positive delay own a delay stage to retune.
+	EventSetDelay = "set_delay"
+	// EventLinkDown takes an edge down: arrivals are dropped (counted in
+	// Result.LinkDownDrops) until a matching link_up.
+	EventLinkDown = "link_down"
+	// EventLinkUp brings a downed edge back up.
+	EventLinkUp = "link_up"
+)
+
+// EventSpec is one timed mutation of the running topology.
+type EventSpec struct {
+	// At is when the event fires on the simulation clock.
+	At sim.Time
+	// Kind is one of the Event* constants.
+	Kind string
+	// Flow indexes Spec.Flows for reroute events.
+	Flow int
+	// Ack selects the flow's ACK route instead of its data route.
+	Ack bool
+	// Path is the reroute's new route: edge names, in order, starting at
+	// the flow's existing origin junction.
+	Path []string
+	// Edge names the target edge for set_rate/set_delay/link_down/link_up.
+	Edge string
+	// RateMbps is the new capacity for set_rate.
+	RateMbps float64
+	// Delay is the new propagation delay for set_delay.
+	Delay sim.Time
+}
+
+// EventResult annotates one executed event in Result.Events.
+type EventResult struct {
+	AtMs   float64 `json:"at_ms"`
+	Kind   string  `json:"kind"`
+	Target string  `json:"target"`
+}
+
+// scheduleEvents validates the Spec's event timeline against the
+// compiled graph and schedules each event on the simulator. edgeID maps
+// addressable edge names to graph edge ids.
+func scheduleEvents(s *sim.Simulator, g *topo.Graph, spec *Spec, res *Result, edgeID map[string]int) error {
+	if len(spec.Events) == 0 {
+		return nil
+	}
+	rtr := g.Router()
+	res.Events = make([]EventResult, 0, len(spec.Events))
+	for i := range spec.Events {
+		ev := &spec.Events[i]
+		where := fmt.Sprintf("exp: events[%d] (%s)", i, ev.Kind)
+		if ev.At < 0 {
+			return fmt.Errorf("%s: negative time", where)
+		}
+		apply, target, err := compileEvent(g, rtr, spec, edgeID, ev, where)
+		if err != nil {
+			return err
+		}
+		at, kind := ev.At, ev.Kind
+		s.At(ev.At, func() {
+			apply()
+			res.Events = append(res.Events, EventResult{AtMs: at.Millis(), Kind: kind, Target: target})
+		})
+	}
+	return nil
+}
+
+// compileEvent validates one event and returns its application closure
+// plus the human-readable target annotation.
+func compileEvent(g *topo.Graph, rtr *topo.Router, spec *Spec, edgeID map[string]int, ev *EventSpec, where string) (func(), string, error) {
+	targetEdge := func() (*topo.Edge, error) {
+		// Every edge-targeted kind rejects the reroute fields: a stray
+		// field is a typo'd timeline, not something to silently ignore.
+		if len(ev.Path) > 0 || ev.Ack || ev.Flow != 0 {
+			return nil, fmt.Errorf("%s: flow/ack/path are reroute fields", where)
+		}
+		if ev.Edge == "" {
+			return nil, fmt.Errorf("%s: missing edge name", where)
+		}
+		id, ok := edgeID[ev.Edge]
+		if !ok {
+			return nil, fmt.Errorf("%s: unknown edge %q", where, ev.Edge)
+		}
+		return g.Edge(id), nil
+	}
+	switch ev.Kind {
+	case EventReroute:
+		if ev.Edge != "" || ev.RateMbps != 0 || ev.Delay != 0 {
+			return nil, "", fmt.Errorf("%s: edge/rate/delay are not reroute fields", where)
+		}
+		if ev.Flow < 0 || ev.Flow >= len(spec.Flows) {
+			return nil, "", fmt.Errorf("%s: flow %d out of range [0, %d)", where, ev.Flow, len(spec.Flows))
+		}
+		if len(ev.Path) == 0 {
+			return nil, "", fmt.Errorf("%s: missing path", where)
+		}
+		edges := make([]int, len(ev.Path))
+		for j, name := range ev.Path {
+			id, ok := edgeID[name]
+			if !ok {
+				return nil, "", fmt.Errorf("%s: unknown edge %q", where, name)
+			}
+			edges[j] = id
+		}
+		// The reroute is fully decidable statically: the origin never
+		// changes, so a timeline that validates here cannot fail mid-run.
+		if err := rtr.CheckReroute(ev.Flow, ev.Ack, edges); err != nil {
+			return nil, "", fmt.Errorf("%s: %v", where, err)
+		}
+		dir := "data"
+		if ev.Ack {
+			dir = "ack"
+		}
+		target := fmt.Sprintf("flow %d %s -> %s", ev.Flow, dir, strings.Join(ev.Path, ">"))
+		flow, ack := ev.Flow, ev.Ack
+		return func() {
+			// CheckReroute passed statically and nothing it depends on
+			// changes mid-run, so Reroute cannot fail here.
+			if err := rtr.Reroute(flow, ack, edges); err != nil {
+				panic(fmt.Sprintf("exp: statically validated reroute failed: %v", err))
+			}
+		}, target, nil
+	case EventSetRate:
+		if ev.Delay != 0 {
+			return nil, "", fmt.Errorf("%s: delay is a set_delay field", where)
+		}
+		e, err := targetEdge()
+		if err != nil {
+			return nil, "", err
+		}
+		if ev.RateMbps <= 0 {
+			return nil, "", fmt.Errorf("%s: needs rate_mbps > 0", where)
+		}
+		rl, ok := e.Link.(*netem.RateLink)
+		if !ok {
+			return nil, "", fmt.Errorf("%s: edge %q is not a rate link (kind \"rate\")", where, ev.Edge)
+		}
+		rate := netem.ConstRate(ev.RateMbps * 1e6)
+		target := fmt.Sprintf("edge %s rate %g Mbit/s", ev.Edge, ev.RateMbps)
+		return func() { rl.SetRate(rate) }, target, nil
+	case EventSetDelay:
+		if ev.RateMbps != 0 {
+			return nil, "", fmt.Errorf("%s: rate_mbps is a set_rate field", where)
+		}
+		e, err := targetEdge()
+		if err != nil {
+			return nil, "", err
+		}
+		if ev.Delay < 0 {
+			return nil, "", fmt.Errorf("%s: negative delay", where)
+		}
+		if !e.DelayMutable() {
+			return nil, "", fmt.Errorf("%s: edge %q was built with zero delay; give it a positive delay to make it mutable", where, ev.Edge)
+		}
+		d := ev.Delay
+		target := fmt.Sprintf("edge %s delay %v", ev.Edge, ev.Delay)
+		return func() {
+			if err := e.SetDelay(d); err != nil {
+				panic(fmt.Sprintf("exp: statically validated set_delay failed: %v", err))
+			}
+		}, target, nil
+	case EventLinkDown, EventLinkUp:
+		if ev.RateMbps != 0 || ev.Delay != 0 {
+			return nil, "", fmt.Errorf("%s: rate/delay are not link_down/link_up fields", where)
+		}
+		e, err := targetEdge()
+		if err != nil {
+			return nil, "", err
+		}
+		down := ev.Kind == EventLinkDown
+		state := "up"
+		if down {
+			state = "down"
+		}
+		target := fmt.Sprintf("edge %s %s", ev.Edge, state)
+		return func() { e.SetDown(down) }, target, nil
+	}
+	return nil, "", fmt.Errorf("%s: unknown event kind %q (want %s)", where, ev.Kind,
+		strings.Join([]string{EventReroute, EventSetRate, EventSetDelay, EventLinkDown, EventLinkUp}, ", "))
+}

@@ -145,12 +145,12 @@ func fig12Run(policy string, load float64, dur sim.Time, seed int64) (abcT, cubi
 			return nil, nil, aerr
 		}
 		ep := cc.NewEndpoint(s, id, nil, alg)
-		ackEntry, aerr := g.RouteFlow(id, []int{ackEdge}, 0, ep)
+		ackEntry, aerr := g.RouteFlow(id, true, []int{ackEdge}, 0, ep)
 		if aerr != nil {
 			return nil, nil, aerr
 		}
 		recv := netem.NewReceiver(s, id, ackEntry)
-		dataEntry, aerr := g.RouteFlow(id, []int{dataEdge}, 0, recv)
+		dataEntry, aerr := g.RouteFlow(id, false, []int{dataEdge}, 0, recv)
 		if aerr != nil {
 			return nil, nil, aerr
 		}

@@ -232,6 +232,11 @@ type Spec struct {
 	// Workloads spawn finite flows mid-run from open-loop arrival
 	// processes, reported per-workload in Result.Workloads.
 	Workloads []WorkloadSpec
+	// Events is the timed mutation timeline: reroutes, rate and delay
+	// changes, link outages, executed on the simulation clock. Edges are
+	// addressed by name — mesh edges by their EdgeSpec.Name, chain links
+	// as "fwd<i>" / "rev<i>" (link i of Links / ReverseLinks).
+	Events []EventSpec
 	// Sample enables time-series collection at this period (0 = off).
 	Sample sim.Time
 	// Probe, when set with Sample > 0, is called once per sample period
@@ -277,13 +282,22 @@ type Result struct {
 	// EdgeQdiscs maps mesh edge names to their built disciplines (nil for
 	// chain scenarios; wire edges have no entry).
 	EdgeQdiscs map[string]qdisc.Qdisc
-	// Drops counts packets that reached a junction with no route for
-	// their flow. Anything non-zero indicates a wiring bug in the
-	// scenario (a flow id without a routed path).
+	// Drops counts packets that reached a junction with no forwarding
+	// entry for their flow and direction. In a static scenario anything
+	// non-zero indicates a wiring bug (a flow id without a routed path);
+	// under a reroute event timeline it additionally counts packets that
+	// were in flight on abandoned edges when their route moved — the
+	// handover losses the conservation contract makes explicit.
 	Drops int64
 	// ImpairDrops counts packets deliberately discarded by impairment
 	// stages (lossy-link scenarios).
 	ImpairDrops int64
+	// LinkDownDrops counts packets dropped at the entry of edges taken
+	// down by link_down events.
+	LinkDownDrops int64
+	// Events annotates each executed Spec.Events entry in execution
+	// order.
+	Events []EventResult
 	// Graph is the compiled topology, available to Probe callbacks and
 	// post-run inspection (edge stats, custom traffic injection).
 	Graph *topo.Graph
@@ -583,6 +597,19 @@ func Run(spec Spec) (*Result, *metrics.DelayRecorder, error) {
 		return nil, nil, err
 	}
 
+	// Chain links are addressable in the event timeline as "fwd<i>" /
+	// "rev<i>".
+	edgeID := make(map[string]int, len(fwdEdges)+len(revEdges))
+	for i, id := range fwdEdges {
+		edgeID[fmt.Sprintf("fwd%d", i)] = id
+	}
+	for i, id := range revEdges {
+		edgeID[fmt.Sprintf("rev%d", i)] = id
+	}
+	if err := scheduleEvents(s, g, &spec, res, edgeID); err != nil {
+		return nil, nil, err
+	}
+
 	runAndMeasure(s, g, &spec, res, res.Qdiscs[0], capacityFn(&spec.Links[0]))
 	if err := finishWorkloads(runners); err != nil {
 		return nil, nil, err
@@ -686,7 +713,7 @@ func wireFlows(s *sim.Simulator, g *topo.Graph, spec *Spec, res *Result, pooled 
 			s.At(fs.Start, func() { a.Start(s.Now()) })
 		}
 		fr.Endpoint = ep
-		ackEntry, err := g.RouteFlow(i, routes[i].ack, flowRTT/2, ep)
+		ackEntry, err := g.RouteFlow(i, true, routes[i].ack, flowRTT/2, ep)
 		if err != nil {
 			return err
 		}
@@ -702,7 +729,7 @@ func wireFlows(s *sim.Simulator, g *topo.Graph, spec *Spec, res *Result, pooled 
 			fr.QDelay.Add(p.QueueDelay)
 			pooled.Add(d)
 		}
-		dataEntry, err := g.RouteFlow(i, routes[i].data, flowRTT/2, recv)
+		dataEntry, err := g.RouteFlow(i, false, routes[i].data, flowRTT/2, recv)
 		if err != nil {
 			return err
 		}
@@ -787,4 +814,5 @@ func runAndMeasure(s *sim.Simulator, g *topo.Graph, spec *Spec, res *Result, fir
 	}
 	res.Drops = g.UnroutedDrops()
 	res.ImpairDrops = g.ImpairDrops()
+	res.LinkDownDrops = g.DownDrops()
 }

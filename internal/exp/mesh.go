@@ -145,6 +145,9 @@ func runMesh(spec Spec) (*Result, *metrics.DelayRecorder, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	if err := scheduleEvents(s, g, &spec, res, edgeID); err != nil {
+		return nil, nil, err
+	}
 
 	runAndMeasure(s, g, &spec, res, firstQ, firstCap)
 	if err := finishWorkloads(runners); err != nil {

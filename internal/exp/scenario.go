@@ -89,6 +89,26 @@
 // accel/brake echo the receiver stamps onto ACKs is then subject to
 // demotion on the way back, and the sender paces to the minimum of
 // marks over the full round trip.
+//
+// A scenario may also declare a timed event timeline mutating the
+// topology mid-run — route changes, link rate/delay changes, outages:
+//
+//	"events": [
+//	  {"at_s": 10, "kind": "reroute", "flow": 0, "path": ["cell2", "air2"]},
+//	  {"at_s": 10, "kind": "reroute", "flow": 0, "ack": true, "path": ["up2"]},
+//	  {"at_s": 12, "kind": "set_rate", "edge": "up", "rate_mbps": 1},
+//	  {"at_s": 14, "kind": "set_delay", "edge": "air2", "delay_ms": 20},
+//	  {"at_s": 16, "kind": "link_down", "edge": "cell1"},
+//	  {"at_s": 17, "kind": "link_up", "edge": "cell1"}
+//	]
+//
+// Mesh edges are addressed by their declared names; chain links by the
+// canonical names "fwd<i>" / "rev<i>" (link i of links / reverse_links).
+// A reroute's path must start at the junction the flow's existing route
+// starts at; set_rate targets rate links, and set_delay needs an edge
+// built with a positive delay_ms. Packets in flight on edges a reroute
+// abandons drain to the next junction and are counted as drops there
+// (the conservation contract — no duplication, no silent loss).
 package exp
 
 import (
@@ -96,6 +116,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"abc/internal/app"
 	"abc/internal/cc"
@@ -216,10 +237,15 @@ func (ss *ScenarioSource) compile(where string) (cc.Source, error) {
 // to a flow.
 type ScenarioApp struct {
 	Kind string `json:"kind"` // "abr" | "rpc"
-	// ABR fields.
-	LadderKbps []float64 `json:"ladder_kbps,omitempty"`
-	ChunkS     float64   `json:"chunk_s,omitempty"`
-	MaxBufS    float64   `json:"max_buf_s,omitempty"`
+	// ABR fields. Policy selects the adaptation policy: "buffer" (BBA,
+	// the default) or "rate" (harmonic-mean throughput prediction over
+	// the last history_chunks downloads, scaled by safety).
+	LadderKbps    []float64 `json:"ladder_kbps,omitempty"`
+	ChunkS        float64   `json:"chunk_s,omitempty"`
+	MaxBufS       float64   `json:"max_buf_s,omitempty"`
+	Policy        string    `json:"policy,omitempty"`
+	HistoryChunks int       `json:"history_chunks,omitempty"`
+	Safety        float64   `json:"safety,omitempty"`
 	// RPC fields.
 	ThinkMs float64 `json:"think_ms,omitempty"`
 	RespKB  float64 `json:"resp_kb,omitempty"`
@@ -229,13 +255,22 @@ type ScenarioApp struct {
 func (sa *ScenarioApp) compile(where string) (*AppSpec, error) {
 	// Zero means "take the default" for every numeric field; a negative
 	// value is a typo that must not silently become the default.
-	if sa.ChunkS < 0 || sa.MaxBufS < 0 || sa.ThinkMs < 0 || sa.RespKB < 0 {
+	if sa.ChunkS < 0 || sa.MaxBufS < 0 || sa.ThinkMs < 0 || sa.RespKB < 0 ||
+		sa.HistoryChunks < 0 || sa.Safety < 0 {
 		return nil, fmt.Errorf("%s: negative app parameters (omit a field for its default)", where)
 	}
 	switch sa.Kind {
 	case "abr":
 		if sa.ThinkMs != 0 || sa.RespKB != 0 {
 			return nil, fmt.Errorf("%s: think_ms/resp_kb are rpc fields", where)
+		}
+		switch sa.Policy {
+		case "", "buffer", "rate":
+		default:
+			return nil, fmt.Errorf("%s: unknown abr policy %q (want buffer or rate)", where, sa.Policy)
+		}
+		if sa.Policy != "rate" && (sa.HistoryChunks != 0 || sa.Safety != 0) {
+			return nil, fmt.Errorf("%s: history_chunks/safety are rate-policy fields", where)
 		}
 		for i, kbps := range sa.LadderKbps {
 			if kbps <= 0 {
@@ -246,13 +281,17 @@ func (sa *ScenarioApp) compile(where string) (*AppSpec, error) {
 			}
 		}
 		return &AppSpec{Kind: "abr", ABR: app.ABRConfig{
-			LadderKbps: sa.LadderKbps,
-			ChunkS:     sa.ChunkS,
-			MaxBufS:    sa.MaxBufS,
+			LadderKbps:    sa.LadderKbps,
+			ChunkS:        sa.ChunkS,
+			MaxBufS:       sa.MaxBufS,
+			Policy:        sa.Policy,
+			HistoryChunks: sa.HistoryChunks,
+			SafetyFactor:  sa.Safety,
 		}}, nil
 	case "rpc":
-		if len(sa.LadderKbps) > 0 || sa.ChunkS != 0 || sa.MaxBufS != 0 {
-			return nil, fmt.Errorf("%s: ladder_kbps/chunk_s/max_buf_s are abr fields", where)
+		if len(sa.LadderKbps) > 0 || sa.ChunkS != 0 || sa.MaxBufS != 0 ||
+			sa.Policy != "" || sa.HistoryChunks != 0 || sa.Safety != 0 {
+			return nil, fmt.Errorf("%s: ladder_kbps/chunk_s/max_buf_s/policy are abr fields", where)
 		}
 		return &AppSpec{Kind: "rpc", RPC: app.RPCConfig{
 			ThinkMeanS: sa.ThinkMs / 1000,
@@ -262,18 +301,52 @@ func (sa *ScenarioApp) compile(where string) (*AppSpec, error) {
 	return nil, fmt.Errorf("%s: unknown app kind %q (want abr or rpc)", where, sa.Kind)
 }
 
+// ScenarioArrival is the JSON arrival clause. It accepts either a bare
+// string naming a synthetic process ("poisson", "deterministic") or an
+// object for processes with parameters of their own — today the
+// trace-driven replay, {"kind": "replay", "file": "arrivals.csv"},
+// which replays a recorded (time_s, bytes) log verbatim: arrival
+// instants and transfer sizes both come from the file (relative to the
+// workload's start_s), so per_s and size must be absent.
+type ScenarioArrival struct {
+	Kind string `json:"kind"`
+	File string `json:"file,omitempty"`
+}
+
+// UnmarshalJSON accepts the string and object forms.
+func (sa *ScenarioArrival) UnmarshalJSON(data []byte) error {
+	if len(data) > 0 && data[0] == '"' {
+		return json.Unmarshal(data, &sa.Kind)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	type plain ScenarioArrival // drop the method set to avoid recursion
+	return dec.Decode((*plain)(sa))
+}
+
+// MarshalJSON emits the compact string form when only a kind is set, so
+// parse → marshal → parse round-trips both spellings.
+func (sa ScenarioArrival) MarshalJSON() ([]byte, error) {
+	if sa.File == "" {
+		return json.Marshal(sa.Kind)
+	}
+	type plain ScenarioArrival
+	return json.Marshal(plain(sa))
+}
+
 // ScenarioWorkload is the JSON workload clause: an open-loop arrival
 // process spawning finite flows mid-run.
 type ScenarioWorkload struct {
 	Scheme string `json:"scheme"`
 	Class  string `json:"class,omitempty"`
 	// Arrival selects the process: "poisson" (the default) with per_s
-	// arrivals per second, or "deterministic" with the same mean gap.
-	Arrival string       `json:"arrival,omitempty"`
-	PerS    float64      `json:"per_s"`
-	Size    ScenarioSize `json:"size"`
-	StartS  float64      `json:"start_s"`
-	StopS   float64      `json:"stop_s"`
+	// arrivals per second, "deterministic" with the same mean gap, or
+	// {"kind": "replay", "file": ...} to replay a recorded log.
+	Arrival *ScenarioArrival `json:"arrival,omitempty"`
+	PerS    float64          `json:"per_s,omitempty"`
+	Size    ScenarioSize     `json:"size,omitempty"`
+	StartS  float64          `json:"start_s"`
+	StopS   float64          `json:"stop_s"`
 	// Routing, exactly as on flows.
 	Dir     string   `json:"dir,omitempty"`
 	EnterAt int      `json:"enter_at,omitempty"`
@@ -364,6 +437,20 @@ type ScenarioEdge struct {
 	ScenarioLink
 }
 
+// ScenarioEvent is one entry of the timed event timeline. Kind-specific
+// fields: reroute takes flow/ack/path, set_rate takes edge/rate_mbps,
+// set_delay takes edge/delay_ms, link_down/link_up take edge.
+type ScenarioEvent struct {
+	AtS      float64  `json:"at_s"`
+	Kind     string   `json:"kind"`
+	Flow     int      `json:"flow,omitempty"`
+	Ack      bool     `json:"ack,omitempty"`
+	Path     []string `json:"path,omitempty"`
+	Edge     string   `json:"edge,omitempty"`
+	RateMbps float64  `json:"rate_mbps,omitempty"`
+	DelayMs  float64  `json:"delay_ms,omitempty"`
+}
+
 // Scenario is a complete declarative scenario file: either a chain
 // (links / reverse_links) or a mesh (nodes / edges).
 type Scenario struct {
@@ -380,15 +467,29 @@ type Scenario struct {
 	Flows        []ScenarioFlow `json:"flows"`
 	// Workloads spawn flows mid-run from open-loop arrival processes.
 	Workloads []ScenarioWorkload `json:"workloads,omitempty"`
+	// Events mutate the topology mid-run on the simulation clock.
+	Events []ScenarioEvent `json:"events,omitempty"`
+
+	// dir is the directory the scenario was loaded from; relative file
+	// references (replay logs) resolve against it. Empty for scenarios
+	// parsed from raw bytes, which resolve against the process cwd.
+	dir string
 }
 
-// LoadScenario reads and parses a scenario file.
+// LoadScenario reads and parses a scenario file. File references inside
+// the scenario (e.g. a replay arrival's log) resolve relative to the
+// scenario file's directory.
 func LoadScenario(path string) (*Scenario, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	return ParseScenario(data)
+	sc, err := ParseScenario(data)
+	if err != nil {
+		return nil, err
+	}
+	sc.dir = filepath.Dir(path)
+	return sc, nil
 }
 
 // ParseScenario parses a scenario from JSON bytes. Unknown keys are an
@@ -608,23 +709,81 @@ func (sc *Scenario) Compile() (Spec, error) {
 		if len(sw.Path) > 0 && (sw.Dir != "" || sw.EnterAt != 0 || sw.ExitAt != 0) {
 			return Spec{}, fmt.Errorf("%s: path routes over mesh edges; dir/enter_at/exit_at are chain fields", where)
 		}
-		if sw.PerS <= 0 {
-			return Spec{}, fmt.Errorf("%s: needs per_s > 0", where)
+		kind, file := "", ""
+		if sw.Arrival != nil {
+			kind, file = sw.Arrival.Kind, sw.Arrival.File
 		}
-		switch sw.Arrival {
+		if kind != "replay" && file != "" {
+			return Spec{}, fmt.Errorf("%s: file is a replay-arrival field", where)
+		}
+		switch kind {
 		case "", "poisson":
+			if sw.PerS <= 0 {
+				return Spec{}, fmt.Errorf("%s: needs per_s > 0", where)
+			}
 			ws.Arrival = app.Poisson{PerSec: sw.PerS}
 		case "deterministic":
+			if sw.PerS <= 0 {
+				return Spec{}, fmt.Errorf("%s: needs per_s > 0", where)
+			}
 			ws.Arrival = app.Deterministic{Gap: sim.FromSeconds(1 / sw.PerS)}
+		case "replay":
+			// The log carries both the arrival instants and the transfer
+			// sizes, so the synthetic-process knobs must be absent.
+			if file == "" {
+				return Spec{}, fmt.Errorf("%s: replay arrival needs a file", where)
+			}
+			if sw.PerS != 0 {
+				return Spec{}, fmt.Errorf("%s: per_s conflicts with a replay arrival (the log fixes the instants)", where)
+			}
+			if sw.Size.Kind != "" || sw.Size.KB != 0 || sw.Size.MinKB != 0 || sw.Size.MaxKB != 0 ||
+				sw.Size.Alpha != 0 || len(sw.Size.SizesKB) != 0 || len(sw.Size.Weights) != 0 {
+				return Spec{}, fmt.Errorf("%s: size conflicts with a replay arrival (the log fixes the sizes)", where)
+			}
+			if !filepath.IsAbs(file) && sc.dir != "" {
+				file = filepath.Join(sc.dir, file)
+			}
+			rp, err := app.LoadReplay(file)
+			if err != nil {
+				return Spec{}, fmt.Errorf("%s: %v", where, err)
+			}
+			ws.Arrival, ws.Sizes = rp, rp
 		default:
-			return Spec{}, fmt.Errorf("%s: unknown arrival %q (want poisson or deterministic)", where, sw.Arrival)
+			return Spec{}, fmt.Errorf("%s: unknown arrival %q (want poisson, deterministic or replay)", where, kind)
 		}
-		sizes, err := sw.Size.compile(where + ".size")
-		if err != nil {
-			return Spec{}, err
+		if ws.Sizes == nil {
+			sizes, err := sw.Size.compile(where + ".size")
+			if err != nil {
+				return Spec{}, err
+			}
+			ws.Sizes = sizes
 		}
-		ws.Sizes = sizes
 		spec.Workloads = append(spec.Workloads, ws)
+	}
+	for i := range sc.Events {
+		se := &sc.Events[i]
+		where := fmt.Sprintf("scenario: events[%d]", i)
+		if se.AtS < 0 {
+			return Spec{}, fmt.Errorf("%s: negative at_s", where)
+		}
+		switch se.Kind {
+		case EventReroute, EventSetRate, EventSetDelay, EventLinkDown, EventLinkUp:
+		default:
+			return Spec{}, fmt.Errorf("%s: unknown event kind %q", where, se.Kind)
+		}
+		// Kind-specific field validation (edge names, flow indices, route
+		// shapes) happens against the compiled graph in scheduleEvents;
+		// here only the clause shape is checked.
+		spec.Events = append(spec.Events, EventSpec{
+			At:       sim.FromSeconds(se.AtS),
+			Kind:     se.Kind,
+			Flow:     se.Flow,
+			Ack:      se.Ack,
+			Path:     se.Path,
+			Edge:     se.Edge,
+			RateMbps: se.RateMbps,
+			Delay:    ms(se.DelayMs),
+		})
 	}
 	return spec, nil
 }

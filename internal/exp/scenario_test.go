@@ -2,6 +2,7 @@ package exp
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -10,6 +11,7 @@ import (
 
 	"abc/internal/app"
 	"abc/internal/cc"
+	"abc/internal/packet"
 	"abc/internal/sim"
 )
 
@@ -40,11 +42,7 @@ func TestScenarioFilesRoundTrip(t *testing.T) {
 		t.Fatalf("no example scenarios found: %v", err)
 	}
 	for _, path := range paths {
-		data, err := os.ReadFile(path)
-		if err != nil {
-			t.Fatal(err)
-		}
-		sc, err := ParseScenario(data)
+		sc, err := LoadScenario(path)
 		if err != nil {
 			t.Fatalf("%s: %v", path, err)
 		}
@@ -56,6 +54,9 @@ func TestScenarioFilesRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: re-parse of own marshal: %v", path, err)
 		}
+		// The load directory is process state, not scenario content; carry
+		// it over so relative file references still resolve.
+		sc2.dir = sc.dir
 		if !reflect.DeepEqual(sc, sc2) {
 			t.Errorf("%s: round trip changed the scenario:\n%+v\n%+v", path, sc, sc2)
 		}
@@ -128,6 +129,13 @@ func FuzzScenarioJSON(f *testing.F) {
 	f.Add([]byte(`{"links":[{"rate_mbps":1}],"workloads":[{"scheme":"Cubic","per_s":1,"size":{"kind":"fixed","kb":10}}]}`))
 	f.Add([]byte(`{"links":[{"rate_mbps":1}],"workloads":[{"scheme":"Cubic","arrival":"deterministic","per_s":-2,"size":{"kind":"pareto","min_kb":1,"max_kb":0}}]}`))
 	f.Add([]byte(`{"workloads":[{"scheme":"Cubic","per_s":1,"size":{"kind":"choice","sizes_kb":[1,2],"weights":[1]}}]}`))
+	f.Add([]byte(`{"links":[{"rate_mbps":8}],"flows":[{"scheme":"ABC"}],"events":[{"at_s":1,"kind":"link_down","edge":"fwd0"},{"at_s":2,"kind":"link_up","edge":"fwd0"}]}`))
+	f.Add([]byte(`{"nodes":["a","b"],"edges":[{"name":"e","from":"a","to":"b","kind":"rate","rate_mbps":8}],"flows":[{"scheme":"ABC","path":["e"]}],"events":[{"at_s":1,"kind":"reroute","flow":0,"ack":true,"path":["e"]}]}`))
+	f.Add([]byte(`{"events":[{"at_s":-3,"kind":"teleport","edge":"","rate_mbps":-1}]}`))
+	f.Add([]byte(`{"links":[{"rate_mbps":8}],"workloads":[{"scheme":"Cubic","arrival":{"kind":"replay","file":"no-such.csv"}}]}`))
+	f.Add([]byte(`{"links":[{"rate_mbps":8}],"workloads":[{"scheme":"Cubic","arrival":{"kind":"replay"},"per_s":1}]}`))
+	f.Add([]byte(`{"links":[{"rate_mbps":8}],"flows":[{"scheme":"ABC","app":{"kind":"abr","policy":"rate","history_chunks":3,"safety":0.85}}]}`))
+	f.Add([]byte(`{"links":[{"rate_mbps":8}],"flows":[{"scheme":"ABC","app":{"kind":"abr","policy":"warp"}}]}`))
 	f.Add([]byte(`[]`))
 	f.Add([]byte(`{`))
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -304,6 +312,161 @@ func TestScenarioWorkloadClauses(t *testing.T) {
 		}
 		if err == nil {
 			t.Errorf("%s: compiled and ran without error", tc.name)
+		}
+	}
+}
+
+// TestScenarioEventClauses covers the events block: shape errors are
+// compile errors, deep errors (unknown edges, malformed routes) surface
+// from Run, and a well-formed timeline executes.
+func TestScenarioEventClauses(t *testing.T) {
+	compileRun := func(events string) error {
+		sc, err := ParseScenario([]byte(`{
+			"seed": 1, "duration_s": 2,
+			"nodes": ["a", "b"],
+			"edges": [
+				{"name": "e1", "from": "a", "to": "b", "kind": "rate", "rate_mbps": 8,
+				 "qdisc": {"kind": "droptail"}, "delay_ms": 2},
+				{"name": "e2", "from": "a", "to": "b", "kind": "wire", "delay_ms": 5}
+			],
+			"flows": [{"scheme": "Cubic", "path": ["e1"]}],
+			"events": [` + events + `]
+		}`))
+		if err != nil {
+			return err
+		}
+		spec, err := sc.Compile()
+		if err != nil {
+			return err
+		}
+		_, _, err = Run(spec)
+		return err
+	}
+	good := `{"at_s": 0.5, "kind": "set_rate", "edge": "e1", "rate_mbps": 4},
+		{"at_s": 0.7, "kind": "set_delay", "edge": "e1", "delay_ms": 10},
+		{"at_s": 0.9, "kind": "link_down", "edge": "e1"},
+		{"at_s": 1.0, "kind": "link_up", "edge": "e1"},
+		{"at_s": 1.2, "kind": "reroute", "flow": 0, "path": ["e2"]}`
+	if err := compileRun(good); err != nil {
+		t.Fatalf("well-formed timeline failed: %v", err)
+	}
+	bad := []struct{ name, in string }{
+		{"unknown kind", `{"at_s": 1, "kind": "teleport"}`},
+		{"negative time", `{"at_s": -1, "kind": "link_up", "edge": "e1"}`},
+		{"unknown edge", `{"at_s": 1, "kind": "link_down", "edge": "zz"}`},
+		{"unknown path edge", `{"at_s": 1, "kind": "reroute", "flow": 0, "path": ["zz"]}`},
+		{"set_rate on wire", `{"at_s": 1, "kind": "set_rate", "edge": "e2", "rate_mbps": 2}`},
+		{"reroute bad flow", `{"at_s": 1, "kind": "reroute", "flow": 5, "path": ["e2"]}`},
+	}
+	for _, tc := range bad {
+		if err := compileRun(tc.in); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// TestScenarioReplayWorkload: the replay arrival clause spawns exactly
+// the logged flows with the logged sizes.
+func TestScenarioReplayWorkload(t *testing.T) {
+	dir := t.TempDir()
+	log := filepath.Join(dir, "arrivals.csv")
+	entries := []struct {
+		atS   float64
+		bytes int
+	}{{0.2, 30000}, {0.9, 4500}, {1.7, 120000}, {2.4, 1500}}
+	var sb strings.Builder
+	for _, e := range entries {
+		fmt.Fprintf(&sb, "%.3f,%d\n", e.atS, e.bytes)
+	}
+	if err := os.WriteFile(log, []byte(sb.String()), 0644); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := ParseScenario([]byte(`{
+		"seed": 1, "duration_s": 10, "warmup_s": 0.001,
+		"links": [{"kind": "rate", "rate_mbps": 20}],
+		"workloads": [{"scheme": "Cubic",
+			"arrival": {"kind": "replay", "file": "` + log + `"}}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := sc.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &res.Workloads[0]
+	if w.Spawned != len(entries) || w.Completed != len(entries) {
+		t.Fatalf("spawned %d / completed %d, want %d", w.Spawned, w.Completed, len(entries))
+	}
+	// Deliveries are MTU-quantized: each logged size rounds up to whole
+	// packets, and nothing else may arrive.
+	var want int64
+	for _, e := range entries {
+		want += int64((e.bytes + packet.MTU - 1) / packet.MTU * packet.MTU)
+	}
+	if w.Bytes != want {
+		t.Fatalf("delivered %d bytes, want %d (MTU-rounded log sizes)", w.Bytes, want)
+	}
+
+	bad := []struct{ name, workload string }{
+		{"replay with per_s", `{"scheme": "Cubic", "per_s": 2, "arrival": {"kind": "replay", "file": "` + log + `"}}`},
+		{"replay with size", `{"scheme": "Cubic", "arrival": {"kind": "replay", "file": "` + log + `"},
+			"size": {"kind": "fixed", "kb": 1}}`},
+		{"replay without file", `{"scheme": "Cubic", "arrival": {"kind": "replay"}}`},
+		{"file on poisson", `{"scheme": "Cubic", "per_s": 1, "arrival": {"kind": "poisson", "file": "x"},
+			"size": {"kind": "fixed", "kb": 1}}`},
+		{"missing log", `{"scheme": "Cubic", "arrival": {"kind": "replay", "file": "` + log + `.nope"}}`},
+	}
+	for _, tc := range bad {
+		sc, err := ParseScenario([]byte(`{
+			"duration_s": 5,
+			"links": [{"kind": "rate", "rate_mbps": 10}],
+			"workloads": [` + tc.workload + `]
+		}`))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", tc.name, err)
+		}
+		if _, err := sc.Compile(); err == nil {
+			t.Errorf("%s: compiled without error", tc.name)
+		}
+	}
+}
+
+// TestScenarioABRPolicyClause: the abr policy fields compile through to
+// the app config and malformed combinations fail.
+func TestScenarioABRPolicyClause(t *testing.T) {
+	compile := func(app string) (Spec, error) {
+		sc, err := ParseScenario([]byte(`{
+			"duration_s": 5,
+			"links": [{"kind": "rate", "rate_mbps": 10}],
+			"flows": [{"scheme": "ABC", "app": ` + app + `}]
+		}`))
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		return sc.Compile()
+	}
+	spec, err := compile(`{"kind": "abr", "policy": "rate", "history_chunks": 8, "safety": 0.8}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := spec.Flows[0].App.ABR
+	if cfg.Policy != "rate" || cfg.HistoryChunks != 8 || cfg.SafetyFactor != 0.8 {
+		t.Fatalf("abr config = %+v", cfg)
+	}
+	bad := []struct{ name, app string }{
+		{"unknown policy", `{"kind": "abr", "policy": "oracle"}`},
+		{"history on buffer policy", `{"kind": "abr", "history_chunks": 4}`},
+		{"policy on rpc", `{"kind": "rpc", "policy": "rate"}`},
+		{"negative safety", `{"kind": "abr", "policy": "rate", "safety": -1}`},
+	}
+	for _, tc := range bad {
+		if _, err := compile(tc.app); err == nil {
+			t.Errorf("%s: compiled without error", tc.name)
 		}
 	}
 }

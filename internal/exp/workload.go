@@ -108,6 +108,11 @@ func buildApp(s *sim.Simulator, ep *cc.Endpoint, as *AppSpec, warmup sim.Time) (
 	var a app.App
 	switch as.Kind {
 	case "abr":
+		switch as.ABR.Policy {
+		case "", app.PolicyBuffer, app.PolicyRate:
+		default:
+			return nil, fmt.Errorf("exp: unknown abr policy %q (want buffer or rate)", as.ABR.Policy)
+		}
 		a = app.NewABR(s, tr, as.ABR)
 	case "rpc":
 		cfg := as.RPC
@@ -152,6 +157,11 @@ func startWorkloads(s *sim.Simulator, g *topo.Graph, spec *Spec, res *Result, po
 		ws := &spec.Workloads[i]
 		if ws.Arrival == nil {
 			return nil, fmt.Errorf("exp: workload %d: missing Arrival process", i)
+		}
+		// Stateful arrival processes (replays) rewind so the same Spec can
+		// drive several runs.
+		if rst, ok := ws.Arrival.(interface{ Reset() }); ok {
+			rst.Reset()
 		}
 		if ws.Sizes == nil {
 			return nil, fmt.Errorf("exp: workload %d: missing Sizes distribution", i)
@@ -238,7 +248,7 @@ func (r *workloadRunner) spawn(now sim.Time) {
 		rtt = r.spec.RTT
 	}
 	ep := cc.NewEndpoint(r.s, id, nil, alg)
-	ackEntry, err := r.g.RouteFlow(id, r.route.ack, rtt/2, ep)
+	ackEntry, err := r.g.RouteFlow(id, true, r.route.ack, rtt/2, ep)
 	if err != nil {
 		r.fail(err)
 		return
@@ -254,7 +264,7 @@ func (r *workloadRunner) spawn(now sim.Time) {
 		pooled.Add(t - p.SentAt)
 		wr.QDelay.Add(p.QueueDelay)
 	}
-	dataEntry, err := r.g.RouteFlow(id, r.route.data, rtt/2, recv)
+	dataEntry, err := r.g.RouteFlow(id, false, r.route.data, rtt/2, recv)
 	if err != nil {
 		r.fail(err)
 		return

@@ -154,6 +154,21 @@ func TestRCPSenderPacesAtStampedRate(t *testing.T) {
 	}
 }
 
+// TestRCPSenderIgnoresStaleAckRate: an ACK that acknowledges nothing new
+// (a duplicate, or one that drained late off an abandoned ACK path after
+// a mid-run reroute) must not override the current path's stamped rate —
+// otherwise the old path's congestion state poisons the new one.
+func TestRCPSenderIgnoresStaleAckRate(t *testing.T) {
+	s := NewRCPSender()
+	fresh := &packet.Packet{IsAck: true, RCPRate: 7e6}
+	s.OnAck(0, nil, cc.AckInfo{Ack: fresh, AckedBytes: packet.MTU})
+	stale := &packet.Packet{IsAck: true, RCPRate: 0.2e6}
+	s.OnAck(0, nil, cc.AckInfo{Ack: stale, AckedBytes: 0})
+	if rate, _ := s.PacingRate(0); rate != 7e6 {
+		t.Errorf("stale ACK overrode the rate: %v, want 7e6", rate)
+	}
+}
+
 func TestVCPRouterLoadCodes(t *testing.T) {
 	cfg := DefaultVCPConfig()
 	v := NewVCPRouter(cfg)

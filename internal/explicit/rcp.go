@@ -153,8 +153,15 @@ func (s *RCPSender) StampData(now sim.Time, e *cc.Endpoint, p *packet.Packet) {
 	p.RCPRate = 0
 }
 
-// OnAck implements cc.Algorithm.
+// OnAck implements cc.Algorithm. Only ACKs that acknowledge new data
+// update the rate: a stale ACK (a duplicate, or one that drained late
+// off an abandoned ACK path after a mid-run reroute) carries a rate the
+// path it took stamped, and adopting it would let the old path's
+// congestion state override what the current path is reporting.
 func (s *RCPSender) OnAck(now sim.Time, e *cc.Endpoint, info cc.AckInfo) {
+	if info.AckedBytes == 0 {
+		return
+	}
 	if info.Ack.RCPRate > 0 {
 		s.rate = info.Ack.RCPRate
 	}

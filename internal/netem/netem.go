@@ -1,7 +1,8 @@
 // Package netem provides the network elements that experiments are wired
 // from: propagation-delay wires, bottleneck links driven by Mahimahi-style
-// traces or by rate functions, per-flow receivers that echo ABC feedback,
-// and flow demultiplexers.
+// traces or by rate functions, and per-flow receivers that echo ABC
+// feedback. (Per-flow routing lives in internal/topo's forwarding
+// tables.)
 //
 // The emulation semantics deliberately mirror Mahimahi (used by the paper
 // for all cellular experiments): a trace-driven link delivers up to one
@@ -35,46 +36,6 @@ func wireDeliver(a, b any) { a.(*Wire).Dst.Recv(b.(*packet.Packet)) }
 // Recv implements packet.Node.
 func (w *Wire) Recv(p *packet.Packet) {
 	w.S.AfterArgs(w.Delay, wireDeliver, w, p)
-}
-
-// Demux routes packets to per-flow destinations.
-type Demux struct {
-	routes map[int]packet.Node
-	// Default receives packets with no per-flow route.
-	Default packet.Node
-	// Drops counts packets that had neither a per-flow route nor a
-	// default and were released. A non-zero count is almost always a
-	// topology wiring bug, so experiment harnesses surface it instead of
-	// letting misrouted traffic vanish silently.
-	Drops int64
-}
-
-// NewDemux returns an empty demultiplexer.
-func NewDemux() *Demux { return &Demux{routes: make(map[int]packet.Node)} }
-
-// Route installs the destination for a flow.
-func (d *Demux) Route(flow int, dst packet.Node) { d.routes[flow] = dst }
-
-// Routed reports whether the flow has a per-flow route installed.
-func (d *Demux) Routed(flow int) bool {
-	_, ok := d.routes[flow]
-	return ok
-}
-
-// Recv implements packet.Node.
-func (d *Demux) Recv(p *packet.Packet) {
-	if dst, ok := d.routes[p.Flow]; ok {
-		dst.Recv(p)
-		return
-	}
-	if d.Default != nil {
-		d.Default.Recv(p)
-		return
-	}
-	// No route and no default: the demux is the last holder. Count the
-	// drop so wiring bugs in new topologies are visible.
-	d.Drops++
-	p.Release()
 }
 
 // DeliveryFunc observes packets delivered by a link or receiver.
@@ -215,14 +176,20 @@ type RateLink struct {
 }
 
 // NewRateLink wires a rate-driven link. Capacity-aware qdiscs receive the
-// exact rate function.
+// exact rate function; the provider reads the Rate field at call time, so
+// a mid-run SetRate is immediately visible to the discipline.
 func NewRateLink(s *sim.Simulator, rate RateFunc, q qdisc.Qdisc, dst packet.Node) *RateLink {
 	l := &RateLink{S: s, Q: q, Dst: dst, Rate: rate}
 	if ca, ok := q.(qdisc.CapacityAware); ok {
-		ca.SetCapacityProvider(func(now sim.Time) float64 { return rate(now) })
+		ca.SetCapacityProvider(func(now sim.Time) float64 { return l.Rate(now) })
 	}
 	return l
 }
+
+// SetRate replaces the link's rate function mid-run. The transmission in
+// progress finishes at the rate it started with; subsequent packets (and
+// capacity-aware qdiscs) see the new rate.
+func (l *RateLink) SetRate(rate RateFunc) { l.Rate = rate }
 
 // ConstRate returns a RateFunc for a fixed bits/sec capacity.
 func ConstRate(bps float64) RateFunc { return func(sim.Time) float64 { return bps } }

@@ -29,25 +29,6 @@ func TestWireDelays(t *testing.T) {
 	}
 }
 
-func TestDemuxRouting(t *testing.T) {
-	d := NewDemux()
-	a, b, def := &packet.Sink{}, &packet.Sink{}, &packet.Sink{}
-	d.Route(1, a)
-	d.Route(2, b)
-	d.Default = def
-	d.Recv(packet.NewData(1, 0, 100, 0))
-	d.Recv(packet.NewData(2, 0, 100, 0))
-	d.Recv(packet.NewData(9, 0, 100, 0))
-	if a.Count != 1 || b.Count != 1 || def.Count != 1 {
-		t.Errorf("routing: a=%d b=%d def=%d", a.Count, b.Count, def.Count)
-	}
-}
-
-func TestDemuxNoDefaultDrops(t *testing.T) {
-	d := NewDemux()
-	d.Recv(packet.NewData(5, 0, 100, 0)) // must not panic
-}
-
 func TestTraceLinkDeliversAtTraceRate(t *testing.T) {
 	s := sim.New(1)
 	tr := trace.Constant("c", 12e6)
@@ -218,32 +199,5 @@ func TestTraceLinkHighRateMultiOpportunity(t *testing.T) {
 	want := 36e6 / 8 / packet.MTU
 	if math.Abs(float64(sink.Count)-want)/want > 0.05 {
 		t.Errorf("delivered %d packets, want ≈ %.0f", sink.Count, want)
-	}
-}
-
-// TestDemuxCountsUnroutedDrops: packets with no route and no default are
-// released and counted, not silently vanished.
-func TestDemuxCountsUnroutedDrops(t *testing.T) {
-	d := NewDemux()
-	sink := &packet.Sink{}
-	d.Route(1, sink)
-	for i := 0; i < 3; i++ {
-		d.Recv(packet.NewData(2, int64(i), packet.MTU, 0))
-	}
-	d.Recv(packet.NewData(1, 0, packet.MTU, 0))
-	if d.Drops != 3 {
-		t.Fatalf("Drops = %d, want 3", d.Drops)
-	}
-	if sink.Count != 1 {
-		t.Fatalf("routed deliveries = %d, want 1", sink.Count)
-	}
-	if !d.Routed(1) || d.Routed(2) {
-		t.Fatal("Routed() wrong")
-	}
-	// A default destination absorbs instead of dropping.
-	d.Default = &packet.Sink{}
-	d.Recv(packet.NewData(2, 9, packet.MTU, 0))
-	if d.Drops != 3 {
-		t.Fatalf("Drops moved to %d with a default installed", d.Drops)
 	}
 }

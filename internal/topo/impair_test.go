@@ -75,7 +75,7 @@ func TestReorderConservesPackets(t *testing.T) {
 		}
 		p.Release()
 	})
-	entry, err := g.RouteFlow(1, []int{e1}, 0, sink)
+	entry, err := g.RouteFlow(1, false, []int{e1}, 0, sink)
 	if err != nil {
 		t.Fatal(err)
 	}

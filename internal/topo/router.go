@@ -1,0 +1,77 @@
+// Router: mid-run mutation of the graph's forwarding state. The
+// simulator is single-threaded and forwarding is synchronous, so a
+// table swap between two events is atomic with respect to every packet:
+// a packet either sees the old tables at every hop of its current
+// junction decision or the new ones — never a half-installed route.
+//
+// Conservation contract. A reroute only rewrites table entries; it never
+// touches packets. Packets in flight on an abandoned edge keep draining
+// through its impairment/link/delay chain and arrive at the edge's head
+// node, where the next table lookup decides their fate: nodes shared
+// with the new route forward them along it, nodes off the new route
+// count them as unrouted drops and release them. Nothing is duplicated
+// and nothing vanishes silently — every packet ends up delivered or in
+// exactly one drop counter, which the harness's conservation property
+// test asserts over randomized event timelines.
+package topo
+
+import "fmt"
+
+// Router mutates a running graph's forwarding tables. Obtain one with
+// Graph.Router; all methods must be called from simulator context (event
+// callbacks or before the run starts).
+type Router struct {
+	g *Graph
+}
+
+// Router returns the mutation handle for the graph.
+func (g *Graph) Router() *Router { return &Router{g: g} }
+
+// CheckReroute validates a prospective Reroute without mutating
+// anything, so Spec compilers can reject a malformed event timeline
+// before the run starts: the flow must have a reroutable (table-backed)
+// route in that direction, the new edges must form a well-formed path,
+// and the path must start at the route's origin — the sender (or, for
+// ACK routes, the receiver) keeps injecting at the same junction, only
+// the junctions' decisions change.
+func (r *Router) CheckReroute(flow int, ack bool, edges []int) error {
+	g := r.g
+	key := hopKey{flow: int32(flow), ack: ack}
+	rt, ok := g.routes[key]
+	if !ok {
+		return fmt.Errorf("topo: reroute: flow %d has no %s route", flow, dirName(ack))
+	}
+	if rt.origin < 0 {
+		return fmt.Errorf("topo: reroute: flow %d %s route is a direct wire (no junctions to re-decide)", flow, dirName(ack))
+	}
+	if len(edges) == 0 {
+		return fmt.Errorf("topo: reroute: flow %d: empty route", flow)
+	}
+	if err := g.CheckPath(edges); err != nil {
+		return fmt.Errorf("topo: reroute: flow %d route %v", flow, err)
+	}
+	if from := g.edges[edges[0]].From; from.ID != rt.origin {
+		return fmt.Errorf("topo: reroute: flow %d %s route must start at its origin %q, not %q",
+			flow, dirName(ack), g.nodes[rt.origin].Name, from.Name)
+	}
+	return nil
+}
+
+// Reroute atomically swaps one direction of a flow's route onto a new
+// edge sequence: the old route's table entries are removed and the new
+// ones installed in a single synchronous step, with the route's terminal
+// (and its access-latency tail) re-attached at the new route's last
+// node. See the package comment for what happens to packets in flight.
+func (r *Router) Reroute(flow int, ack bool, edges []int) error {
+	if err := r.CheckReroute(flow, ack, edges); err != nil {
+		return err
+	}
+	g := r.g
+	key := hopKey{flow: int32(flow), ack: ack}
+	rt := g.routes[key]
+	g.uninstall(key, rt.edges)
+	rt.edges = append([]int(nil), edges...)
+	g.install(key, rt.edges, rt.tail)
+	g.routes[key] = rt
+	return nil
+}

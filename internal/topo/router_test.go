@@ -1,0 +1,240 @@
+package topo
+
+import (
+	"testing"
+
+	"abc/internal/packet"
+	"abc/internal/sim"
+)
+
+// twoPathGraph builds a diamond: a → b → d over e1,e2 and a → c → d over
+// e3,e4, all 8 Mbit/s rate links.
+func twoPathGraph(t *testing.T, s *sim.Simulator) (g *Graph, e1, e2, e3, e4 int) {
+	t.Helper()
+	g = New(s)
+	a, b, c, d := g.AddNode("a"), g.AddNode("b"), g.AddNode("c"), g.AddNode("d")
+	e1 = rateEdge(t, g, s, a, b, 2*sim.Millisecond, Impairments{})
+	e2 = rateEdge(t, g, s, b, d, 2*sim.Millisecond, Impairments{})
+	e3 = rateEdge(t, g, s, a, c, 2*sim.Millisecond, Impairments{})
+	e4 = rateEdge(t, g, s, c, d, 2*sim.Millisecond, Impairments{})
+	return g, e1, e2, e3, e4
+}
+
+func TestRerouteMovesTraffic(t *testing.T) {
+	s := sim.New(1)
+	g, e1, e2, e3, e4 := twoPathGraph(t, s)
+	sink := &packet.Sink{}
+	entry, err := g.RouteFlow(1, false, []int{e1, e2}, 0, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 packets over a second; swap paths halfway through. The swap
+	// happens between arrivals, so nothing is in flight and every packet
+	// must be delivered — the early ones via b, the late ones via c.
+	for i := 0; i < 100; i++ {
+		seq := int64(i)
+		s.At(sim.Time(i)*10*sim.Millisecond, func() {
+			entry.Recv(packet.NewData(1, seq, packet.MTU, s.Now()))
+		})
+	}
+	s.At(505*sim.Millisecond, func() {
+		if err := g.Router().Reroute(1, false, []int{e3, e4}); err != nil {
+			t.Errorf("reroute: %v", err)
+		}
+	})
+	s.RunUntil(2 * sim.Second)
+	if sink.Count != 100 {
+		t.Fatalf("delivered %d/100 across the reroute", sink.Count)
+	}
+	if d := g.UnroutedDrops(); d != 0 {
+		t.Fatalf("unrouted drops = %d, want 0 (swap happened with nothing in flight)", d)
+	}
+	if got := g.Edge(e3).Link.DeliveredBytes(); got != 49*packet.MTU {
+		t.Fatalf("new path carried %d bytes, want %d", got, 49*packet.MTU)
+	}
+	if route, ok := g.RouteOf(1, false); !ok || len(route) != 2 || route[0] != e3 || route[1] != e4 {
+		t.Fatalf("RouteOf after reroute = %v, %v", route, ok)
+	}
+}
+
+func TestRerouteStrandsInFlightAsCountedDrops(t *testing.T) {
+	s := sim.New(1)
+	g, e1, e2, e3, e4 := twoPathGraph(t, s)
+	sink := &packet.Sink{}
+	entry, err := g.RouteFlow(1, false, []int{e1, e2}, 0, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	// Burst everything at t=0: most packets are queued on e1 when the
+	// route moves, drain to node b, and must be counted there — not
+	// duplicated onto the new path, not silently lost.
+	s.At(0, func() {
+		for i := 0; i < n; i++ {
+			entry.Recv(packet.NewData(1, int64(i), packet.MTU, s.Now()))
+		}
+	})
+	s.At(10*sim.Millisecond, func() {
+		if err := g.Router().Reroute(1, false, []int{e3, e4}); err != nil {
+			t.Errorf("reroute: %v", err)
+		}
+	})
+	s.RunUntil(2 * sim.Second)
+	drops := g.UnroutedDrops()
+	if drops == 0 {
+		t.Fatal("expected in-flight packets stranded on the old path to be counted")
+	}
+	if int64(sink.Count)+drops != n {
+		t.Fatalf("conservation violated: delivered %d + drops %d != sent %d", sink.Count, drops, n)
+	}
+	if g.Node(2).Drops != 0 { // node c is on the new path only
+		t.Fatalf("node c counted %d drops, want 0", g.Node(2).Drops)
+	}
+}
+
+func TestRerouteValidation(t *testing.T) {
+	s := sim.New(1)
+	g, e1, e2, e3, e4 := twoPathGraph(t, s)
+	if _, err := g.RouteFlow(1, false, []int{e1, e2}, 0, &packet.Sink{}); err != nil {
+		t.Fatal(err)
+	}
+	// Direct (edge-less) ACK route: reroutable routes need junctions.
+	if _, err := g.RouteFlow(1, true, nil, sim.Millisecond, &packet.Sink{}); err != nil {
+		t.Fatal(err)
+	}
+	r := g.Router()
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"unknown flow", r.CheckReroute(9, false, []int{e3, e4})},
+		{"direct route", r.CheckReroute(1, true, []int{e3, e4})},
+		{"empty route", r.CheckReroute(1, false, nil)},
+		{"wrong origin", r.CheckReroute(1, false, []int{e4})},
+		{"non-contiguous", r.CheckReroute(1, false, []int{e3, e2})},
+	}
+	for _, tc := range cases {
+		if tc.err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	if err := r.CheckReroute(1, false, []int{e3, e4}); err != nil {
+		t.Errorf("valid reroute rejected: %v", err)
+	}
+	// CheckReroute must not have mutated anything.
+	if route, _ := g.RouteOf(1, false); route[0] != e1 {
+		t.Error("CheckReroute mutated the installed route")
+	}
+}
+
+func TestCheckPathRejectsLoopToOrigin(t *testing.T) {
+	s := sim.New(1)
+	g := New(s)
+	a, b := g.AddNode("a"), g.AddNode("b")
+	e1 := rateEdge(t, g, s, a, b, 0, Impairments{})
+	e2 := rateEdge(t, g, s, b, a, 0, Impairments{})
+	if err := g.CheckPath([]int{e1, e2}); err == nil {
+		t.Fatal("route looping back to its origin accepted; the origin's table entry would conflict with the terminal's")
+	}
+}
+
+func TestLinkDownGate(t *testing.T) {
+	s := sim.New(1)
+	g := New(s)
+	a, b := g.AddNode("a"), g.AddNode("b")
+	e1 := rateEdge(t, g, s, a, b, 0, Impairments{})
+	sink := &packet.Sink{}
+	entry, err := g.RouteFlow(1, false, []int{e1}, 0, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	send(s, entry, 1, 10) // one per ms from t=0
+	s.At(4500*sim.Microsecond, func() { g.Edge(e1).SetDown(true) })
+	s.At(7500*sim.Microsecond, func() { g.Edge(e1).SetDown(false) })
+	s.RunUntil(sim.Second)
+	e := g.Edge(e1)
+	if e.DownDrops != 3 { // packets at t=5,6,7 ms hit the gate
+		t.Fatalf("down drops = %d, want 3", e.DownDrops)
+	}
+	if int64(sink.Count)+e.DownDrops != 10 {
+		t.Fatalf("conservation violated: %d delivered + %d down drops != 10", sink.Count, e.DownDrops)
+	}
+	if g.DownDrops() != e.DownDrops {
+		t.Fatalf("graph DownDrops %d != edge %d", g.DownDrops(), e.DownDrops)
+	}
+}
+
+func TestSetDelay(t *testing.T) {
+	s := sim.New(1)
+	g := New(s)
+	a, b := g.AddNode("a"), g.AddNode("b")
+	// Pure-delay edge so arrival time is exactly injection + delay.
+	e1, err := g.AddEdge(a, b, 10*sim.Millisecond, Impairments{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arrivals []sim.Time
+	sink := packet.NodeFunc(func(p *packet.Packet) {
+		arrivals = append(arrivals, s.Now())
+		p.Release()
+	})
+	entry, err := g.RouteFlow(1, false, []int{e1}, 0, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.At(0, func() { entry.Recv(packet.NewData(1, 0, packet.MTU, s.Now())) })
+	s.At(20*sim.Millisecond, func() {
+		if err := g.Edge(e1).SetDelay(40 * sim.Millisecond); err != nil {
+			t.Errorf("SetDelay: %v", err)
+		}
+	})
+	s.At(30*sim.Millisecond, func() { entry.Recv(packet.NewData(1, 1, packet.MTU, s.Now())) })
+	s.RunUntil(sim.Second)
+	want := []sim.Time{10 * sim.Millisecond, 70 * sim.Millisecond}
+	if len(arrivals) != 2 || arrivals[0] != want[0] || arrivals[1] != want[1] {
+		t.Fatalf("arrivals = %v, want %v", arrivals, want)
+	}
+
+	// Zero-delay edges have no delay stage to retune.
+	e2 := rateEdge(t, g, s, b, a, 0, Impairments{})
+	if g.Edge(e2).DelayMutable() {
+		t.Error("zero-delay edge reports a mutable delay")
+	}
+	if err := g.Edge(e2).SetDelay(sim.Millisecond); err == nil {
+		t.Error("SetDelay on a zero-delay edge accepted")
+	}
+}
+
+// TestDataAndAckRoutesShareJunction pins the (flow, direction) keying:
+// the same flow's data and ACK routes may now traverse the same node,
+// which the handover topologies rely on.
+func TestDataAndAckRoutesShareJunction(t *testing.T) {
+	s := sim.New(1)
+	g := New(s)
+	a, b := g.AddNode("a"), g.AddNode("b")
+	down := rateEdge(t, g, s, a, b, 0, Impairments{})
+	up := rateEdge(t, g, s, b, a, 0, Impairments{})
+	dataSink := &packet.Sink{}
+	ackSink := &packet.Sink{}
+	dataEntry, err := g.RouteFlow(1, false, []int{down}, 0, dataSink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ackEntry, err := g.RouteFlow(1, true, []int{up}, 0, ackSink)
+	if err != nil {
+		t.Fatalf("ACK route sharing nodes with the data route rejected: %v", err)
+	}
+	s.At(0, func() {
+		dataEntry.Recv(packet.NewData(1, 0, packet.MTU, s.Now()))
+		ack := packet.Get()
+		ack.Flow, ack.IsAck, ack.Size = 1, true, packet.AckSize
+		ackEntry.Recv(ack)
+	})
+	s.RunUntil(sim.Second)
+	if dataSink.Count != 1 || ackSink.Count != 1 {
+		t.Fatalf("data %d, ack %d delivered; want 1 and 1", dataSink.Count, ackSink.Count)
+	}
+	if d := g.UnroutedDrops(); d != 0 {
+		t.Fatalf("unrouted drops = %d", d)
+	}
+}

@@ -1,6 +1,6 @@
 // Package topo models an experiment's network as a directed graph of
 // nodes and links with explicit per-flow routes. A node is a junction
-// that routes packets by flow id; an edge is one hop — an optional
+// that forwards packets by table lookup; an edge is one hop — an optional
 // bottleneck link (trace-driven, rate-driven or Wi-Fi modelled), an
 // optional impairment stage (jitter, random or bursty loss, reordering)
 // and a propagation delay. A flow's data path and its ACK path are both
@@ -8,12 +8,24 @@
 // and cross traffic entering or leaving mid-path are all expressible
 // without bespoke wiring.
 //
-// The graph adds no events of its own: junction routing is synchronous,
-// so a chain of edges behaves (and schedules) exactly like the manually
-// wired element chains it replaces. Misrouted packets — a flow arriving
-// at a node with no route installed for it — are counted, not silently
-// released; UnroutedDrops is the first thing to check when a new topology
-// misbehaves.
+// Forwarding is a per-node decision: every node owns a forwarding table
+// keyed by (flow, direction) — direction distinguishing a flow's data
+// packets from its ACKs — whose entries name either the next edge of the
+// route or the terminal delivery element (the receiver for data, the
+// sender endpoint for ACKs). Because the decision is made hop by hop at
+// run time rather than wired into a fixed chain at build time, routes can
+// change mid-run: Router atomically swaps a flow's table entries while
+// packets are in flight (see router.go for the conservation contract).
+//
+// The graph adds no events of its own: table lookup and the edge gate are
+// synchronous, so a chain of edges behaves (and schedules) exactly like
+// the manually wired element chains it replaces — a static route through
+// the forwarding tables is byte-identical to the precompiled pipeline it
+// superseded. Misrouted packets — a flow arriving at a node with no table
+// entry for it — are counted, not silently released; UnroutedDrops is
+// the first thing to check when a new topology misbehaves (after a
+// mid-run reroute a non-zero count is expected: packets in flight on
+// abandoned edges drain to the next junction and are dropped there).
 package topo
 
 import (
@@ -37,17 +49,52 @@ type Link interface {
 // construction). A nil factory makes the edge a pure propagation hop.
 type LinkFactory func(dst packet.Node) (Link, error)
 
-// Node is a junction: packets arriving here are routed by flow id to the
-// next hop of that flow's route.
+// hopKey addresses one direction of one flow in a forwarding table: a
+// flow's data packets and its ACKs are routed independently, so a data
+// route and an ACK route may share junctions.
+type hopKey struct {
+	flow int32
+	ack  bool
+}
+
+// hop is one forwarding-table entry: the next edge of the route, or the
+// terminal delivery element when edge is negative.
+type hop struct {
+	edge     int32
+	terminal packet.Node
+}
+
+// Node is a junction: packets arriving here are forwarded by a
+// (flow, direction) table lookup to the next edge of that flow's route,
+// or delivered to the route's terminal.
 type Node struct {
 	ID   int
 	Name string
-	// demux does the per-flow routing; unrouted arrivals are counted.
-	demux *netem.Demux
+	g    *Graph
+	// table is the forwarding table; Router mutates it mid-run.
+	table map[hopKey]hop
+	// Drops counts arrivals with no table entry (wiring bugs, or packets
+	// stranded on an abandoned route after a mid-run reroute).
+	Drops int64
 }
 
-// Recv implements packet.Node.
-func (n *Node) Recv(p *packet.Packet) { n.demux.Recv(p) }
+// Recv implements packet.Node: one forwarding decision.
+func (n *Node) Recv(p *packet.Packet) {
+	h, ok := n.table[hopKey{flow: int32(p.Flow), ack: p.IsAck}]
+	if !ok {
+		// No route for this (flow, direction) here: the node is the last
+		// holder. Count the drop so both wiring bugs and reroute-stranded
+		// packets are visible.
+		n.Drops++
+		p.Release()
+		return
+	}
+	if h.edge >= 0 {
+		n.g.edges[h.edge].Recv(p)
+		return
+	}
+	h.terminal.Recv(p)
+}
 
 // Edge is one directed hop between two nodes.
 type Edge struct {
@@ -57,11 +104,61 @@ type Edge struct {
 	Delay sim.Time
 	// Link is the edge's bottleneck element (nil for pure delay hops).
 	Link Link
+	// DownDrops counts packets discarded at the edge's entry while the
+	// edge was administratively down (SetDown).
+	DownDrops int64
+
 	// head is the first element of the edge's chain:
 	// impairments → link → delay wire → To.
 	head packet.Node
+	// wire is the propagation stage, kept so SetDelay can retune it.
+	wire *netem.Wire
 	// impair exposes the impairment stage's drop counters.
 	impair *impairStats
+	// down gates the edge: while set, arriving packets are counted into
+	// DownDrops and released. Packets already inside the chain (queued in
+	// the qdisc, in flight on the wire) still drain.
+	down bool
+}
+
+// Recv implements packet.Node: the edge's entry, applying the up/down
+// gate before the impairment/link/delay chain.
+func (e *Edge) Recv(p *packet.Packet) {
+	if e.down {
+		e.DownDrops++
+		p.Release()
+		return
+	}
+	e.head.Recv(p)
+}
+
+// SetDown takes the edge down (true) or back up (false). While down,
+// packets arriving at the edge are dropped and counted in DownDrops;
+// packets already queued or in flight on the edge still drain — an
+// outage severs the hop, it does not vaporize its buffer.
+func (e *Edge) SetDown(down bool) { e.down = down }
+
+// Down reports whether the edge is administratively down.
+func (e *Edge) Down() bool { return e.down }
+
+// DelayMutable reports whether SetDelay can retune this edge: only edges
+// built with a positive propagation delay own a delay stage.
+func (e *Edge) DelayMutable() bool { return e.wire != nil }
+
+// SetDelay retunes the edge's propagation delay mid-run. Deliveries
+// already scheduled keep the old delay; subsequent packets use the new
+// one. Edges built with zero delay have no delay stage to retune (give
+// the edge a positive initial delay to make it mutable).
+func (e *Edge) SetDelay(d sim.Time) error {
+	if e.wire == nil {
+		return fmt.Errorf("topo: edge %d built with zero delay has no delay stage", e.ID)
+	}
+	if d < 0 {
+		return fmt.Errorf("topo: negative delay %v", d)
+	}
+	e.Delay = d
+	e.wire.Delay = d
+	return nil
 }
 
 // ImpairDrops reports packets dropped by this edge's impairment stage.
@@ -72,20 +169,39 @@ func (e *Edge) ImpairDrops() int64 {
 	return e.impair.drops
 }
 
+// routeState records one installed (flow, direction) route so Router can
+// atomically swap it later.
+type routeState struct {
+	edges []int
+	// origin is the node the route's traffic is injected at (the first
+	// edge's tail), or -1 for direct routes (no edges: the terminal is
+	// wired straight to the producer and nothing is reroutable).
+	origin int
+	// tail is the delivery element installed at the route's last node:
+	// the per-flow access-latency wire when the route has one, else the
+	// terminal itself. A reroute moves it to the new last node.
+	tail packet.Node
+}
+
 // Graph is the topology under construction and, once flows are routed,
 // the running network.
 type Graph struct {
 	S     *sim.Simulator
 	nodes []*Node
 	edges []*Edge
+	// routes registers every installed route by (flow, direction) for
+	// mid-run mutation and conservation accounting.
+	routes map[hopKey]routeState
 }
 
 // New returns an empty graph on the simulator.
-func New(s *sim.Simulator) *Graph { return &Graph{S: s} }
+func New(s *sim.Simulator) *Graph {
+	return &Graph{S: s, routes: make(map[hopKey]routeState)}
+}
 
 // AddNode adds a junction and returns its id.
 func (g *Graph) AddNode(name string) int {
-	n := &Node{ID: len(g.nodes), Name: name, demux: netem.NewDemux()}
+	n := &Node{ID: len(g.nodes), Name: name, g: g, table: make(map[hopKey]hop)}
 	g.nodes = append(g.nodes, n)
 	return n.ID
 }
@@ -105,7 +221,8 @@ func (g *Graph) AddEdge(from, to int, delay sim.Time, imp Impairments, mk LinkFa
 	e := &Edge{ID: len(g.edges), From: g.nodes[from], To: g.nodes[to], Delay: delay}
 	var tail packet.Node = e.To
 	if delay > 0 {
-		tail = netem.NewWire(g.S, delay, tail)
+		e.wire = netem.NewWire(g.S, delay, tail)
+		tail = e.wire
 	}
 	if mk != nil {
 		l, err := mk(tail)
@@ -128,19 +245,29 @@ func (g *Graph) AddEdge(from, to int, delay sim.Time, imp Impairments, mk LinkFa
 // Edge returns the edge with the given id.
 func (g *Graph) Edge(id int) *Edge { return g.edges[id] }
 
-// Entry returns the first element of an edge's chain, the hop a sender
-// attached at the edge's tail node transmits into.
-func (g *Graph) Entry(edge int) packet.Node { return g.edges[edge].head }
+// Edges returns the number of edges in the graph.
+func (g *Graph) Edges() int { return len(g.edges) }
+
+// Entry returns the entry element of an edge — the hop a sender attached
+// at the edge's tail node transmits into (gate included).
+func (g *Graph) Entry(edge int) packet.Node { return g.edges[edge] }
 
 // CheckPath verifies that an edge sequence is a well-formed route over
 // the graph: every id names an existing edge, consecutive edges are
-// contiguous (each starts at the node the previous one ends at), and no
-// edge ends at a node an earlier edge already ended at — a junction
-// routes each flow to exactly one next hop, so a route looping back over
-// an installation node could never be wired. Spec compilers call it to
-// reject malformed mesh routes before any wiring happens.
+// contiguous (each starts at the node the previous one ends at), and the
+// route never revisits a node it started at or already passed through —
+// a forwarding table maps each (flow, direction) to exactly one next
+// hop, so a looping route could never be installed. Spec compilers call
+// it to reject malformed mesh routes before any wiring happens.
 func (g *Graph) CheckPath(edges []int) error {
-	seen := make(map[*Node]bool, len(edges))
+	if len(edges) == 0 {
+		return nil
+	}
+	if edges[0] < 0 || edges[0] >= len(g.edges) {
+		return fmt.Errorf("references unknown edge %d", edges[0])
+	}
+	seen := make(map[*Node]bool, len(edges)+1)
+	seen[g.edges[edges[0]].From] = true
 	for i, id := range edges {
 		if id < 0 || id >= len(g.edges) {
 			return fmt.Errorf("references unknown edge %d", id)
@@ -158,47 +285,113 @@ func (g *Graph) CheckPath(edges []int) error {
 	return nil
 }
 
-// RouteFlow installs a flow's route along the given edge sequence and
-// terminates it at terminal (the flow's receiver for data routes, its
-// sender endpoint for ACK routes). tailDelay, when positive, inserts a
-// final per-flow propagation hop — the flow's access latency — between
-// the last node and the terminal. It returns the route's entry element.
+// checkFree verifies no node along the route (origin included) already
+// holds a table entry for key.
+func (g *Graph) checkFree(key hopKey, edges []int) error {
+	check := func(n *Node) error {
+		if _, dup := n.table[key]; dup {
+			return fmt.Errorf("already routed at node %q", n.Name)
+		}
+		return nil
+	}
+	if err := check(g.edges[edges[0]].From); err != nil {
+		return err
+	}
+	for _, id := range edges {
+		if err := check(g.edges[id].To); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// install writes the route's table entries: the origin forwards onto the
+// first edge, each intermediate node onto the next edge, and the last
+// node delivers to tail.
+func (g *Graph) install(key hopKey, edges []int, tail packet.Node) {
+	g.edges[edges[0]].From.table[key] = hop{edge: int32(edges[0])}
+	for i, id := range edges {
+		next := hop{edge: -1, terminal: tail}
+		if i < len(edges)-1 {
+			next = hop{edge: int32(edges[i+1])}
+		}
+		g.edges[id].To.table[key] = next
+	}
+}
+
+// uninstall removes the route's table entries.
+func (g *Graph) uninstall(key hopKey, edges []int) {
+	delete(g.edges[edges[0]].From.table, key)
+	for _, id := range edges {
+		delete(g.edges[id].To.table, key)
+	}
+}
+
+// RouteFlow installs one direction of a flow's route along the given
+// edge sequence and terminates it at terminal (the flow's receiver for
+// data routes — ack false — and its sender endpoint for ACK routes — ack
+// true). tailDelay, when positive, inserts a final per-flow propagation
+// hop — the flow's access latency — between the last node and the
+// terminal. It returns the element the route's traffic must be injected
+// into: the route's origin node, so that every hop including the first
+// is a forwarding-table decision (and hence reroutable).
 //
-// The edges must satisfy CheckPath, and the flow must not already be
-// routed at any node along the way: a node routes each flow to exactly
-// one next hop, so a flow's forward and reverse routes must not share
-// nodes.
-func (g *Graph) RouteFlow(flow int, edges []int, tailDelay sim.Time, terminal packet.Node) (packet.Node, error) {
+// The edges must satisfy CheckPath, and the (flow, direction) pair must
+// not already be routed at any node along the way — each table maps it
+// to exactly one next hop. An empty edge sequence wires the terminal
+// (behind its tailDelay) directly; such direct routes bypass the tables
+// and cannot be rerouted.
+func (g *Graph) RouteFlow(flow int, ack bool, edges []int, tailDelay sim.Time, terminal packet.Node) (packet.Node, error) {
+	key := hopKey{flow: int32(flow), ack: ack}
+	if _, dup := g.routes[key]; dup {
+		return nil, fmt.Errorf("topo: flow %d %s route installed twice", flow, dirName(ack))
+	}
 	var tail packet.Node = terminal
 	if tailDelay > 0 {
 		tail = netem.NewWire(g.S, tailDelay, terminal)
 	}
 	if len(edges) == 0 {
+		g.routes[key] = routeState{origin: -1, tail: tail}
 		return tail, nil
 	}
 	if err := g.CheckPath(edges); err != nil {
 		return nil, fmt.Errorf("topo: flow %d route %v", flow, err)
 	}
-	for i, id := range edges {
-		at := g.edges[id].To
-		if at.demux.Routed(flow) {
-			return nil, fmt.Errorf("topo: flow %d already routed at node %q", flow, at.Name)
-		}
-		if i == len(edges)-1 {
-			at.demux.Route(flow, tail)
-		} else {
-			at.demux.Route(flow, g.edges[edges[i+1]].head)
-		}
+	if err := g.checkFree(key, edges); err != nil {
+		return nil, fmt.Errorf("topo: flow %d %v", flow, err)
 	}
-	return g.edges[edges[0]].head, nil
+	g.install(key, edges, tail)
+	origin := g.edges[edges[0]].From
+	g.routes[key] = routeState{edges: edges, origin: origin.ID, tail: tail}
+	return origin, nil
 }
 
-// UnroutedDrops sums packets dropped at junctions because no route was
-// installed for their flow — the graph-wide wiring-bug counter.
+// RouteOf reports the edge sequence currently installed for one
+// direction of a flow, and whether such a route exists. The returned
+// slice must not be mutated.
+func (g *Graph) RouteOf(flow int, ack bool) ([]int, bool) {
+	rt, ok := g.routes[hopKey{flow: int32(flow), ack: ack}]
+	if !ok {
+		return nil, false
+	}
+	return rt.edges, true
+}
+
+// dirName names a route direction in errors.
+func dirName(ack bool) string {
+	if ack {
+		return "ack"
+	}
+	return "data"
+}
+
+// UnroutedDrops sums packets dropped at junctions because no table entry
+// existed for their (flow, direction) — wiring bugs in static
+// topologies, expected transients across mid-run reroutes.
 func (g *Graph) UnroutedDrops() int64 {
 	var n int64
 	for _, nd := range g.nodes {
-		n += nd.demux.Drops
+		n += nd.Drops
 	}
 	return n
 }
@@ -209,6 +402,16 @@ func (g *Graph) ImpairDrops() int64 {
 	var n int64
 	for _, e := range g.edges {
 		n += e.ImpairDrops()
+	}
+	return n
+}
+
+// DownDrops sums packets dropped at the entry of administratively-down
+// edges across the graph (link_down outage windows).
+func (g *Graph) DownDrops() int64 {
+	var n int64
+	for _, e := range g.edges {
+		n += e.DownDrops
 	}
 	return n
 }

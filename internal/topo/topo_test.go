@@ -38,7 +38,7 @@ func TestRouteFlowDelivers(t *testing.T) {
 	e1 := rateEdge(t, g, s, a, b, 5*sim.Millisecond, Impairments{})
 	e2 := rateEdge(t, g, s, b, c, 0, Impairments{})
 	sink := &packet.Sink{}
-	entry, err := g.RouteFlow(7, []int{e1, e2}, 10*sim.Millisecond, sink)
+	entry, err := g.RouteFlow(7, false, []int{e1, e2}, 10*sim.Millisecond, sink)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +61,7 @@ func TestRouteFlowRejectsNonContiguous(t *testing.T) {
 	a, b, c, d := g.AddNode("a"), g.AddNode("b"), g.AddNode("c"), g.AddNode("d")
 	e1 := rateEdge(t, g, s, a, b, 0, Impairments{})
 	e2 := rateEdge(t, g, s, c, d, 0, Impairments{})
-	if _, err := g.RouteFlow(1, []int{e1, e2}, 0, &packet.Sink{}); err == nil {
+	if _, err := g.RouteFlow(1, false, []int{e1, e2}, 0, &packet.Sink{}); err == nil {
 		t.Fatal("non-contiguous route accepted")
 	}
 }
@@ -71,10 +71,10 @@ func TestRouteFlowRejectsDoubleRoute(t *testing.T) {
 	g := New(s)
 	a, b := g.AddNode("a"), g.AddNode("b")
 	e1 := rateEdge(t, g, s, a, b, 0, Impairments{})
-	if _, err := g.RouteFlow(1, []int{e1}, 0, &packet.Sink{}); err != nil {
+	if _, err := g.RouteFlow(1, false, []int{e1}, 0, &packet.Sink{}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := g.RouteFlow(1, []int{e1}, 0, &packet.Sink{}); err == nil {
+	if _, err := g.RouteFlow(1, false, []int{e1}, 0, &packet.Sink{}); err == nil {
 		t.Fatal("second route for the same flow at the same node accepted")
 	}
 }
@@ -85,7 +85,7 @@ func TestUnroutedPacketsCounted(t *testing.T) {
 	a, b := g.AddNode("a"), g.AddNode("b")
 	e1 := rateEdge(t, g, s, a, b, 0, Impairments{})
 	// Route flow 1 but inject flow 2: it reaches node b with no route.
-	if _, err := g.RouteFlow(1, []int{e1}, 0, &packet.Sink{}); err != nil {
+	if _, err := g.RouteFlow(1, false, []int{e1}, 0, &packet.Sink{}); err != nil {
 		t.Fatal(err)
 	}
 	send(s, g.Entry(e1), 2, 5)
@@ -101,7 +101,7 @@ func TestLossGateDropsAndCounts(t *testing.T) {
 	a, b := g.AddNode("a"), g.AddNode("b")
 	e1 := rateEdge(t, g, s, a, b, 0, Impairments{LossRate: 0.5})
 	sink := &packet.Sink{}
-	entry, err := g.RouteFlow(1, []int{e1}, 0, sink)
+	entry, err := g.RouteFlow(1, false, []int{e1}, 0, sink)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +134,7 @@ func TestJitterPreservesOrder(t *testing.T) {
 		seqs = append(seqs, p.Seq)
 		p.Release()
 	})
-	entry, err := g.RouteFlow(1, []int{e1}, 0, sink)
+	entry, err := g.RouteFlow(1, false, []int{e1}, 0, sink)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +170,7 @@ func TestReorderPipeReorders(t *testing.T) {
 		}
 		p.Release()
 	})
-	entry, err := g.RouteFlow(1, []int{e1}, 0, sink)
+	entry, err := g.RouteFlow(1, false, []int{e1}, 0, sink)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +196,7 @@ func TestImpairmentsDeterministic(t *testing.T) {
 			ReorderDelay:  8 * sim.Millisecond,
 		})
 		sink := &packet.Sink{}
-		entry, err := g.RouteFlow(1, []int{e1}, 0, sink)
+		entry, err := g.RouteFlow(1, false, []int{e1}, 0, sink)
 		if err != nil {
 			t.Fatal(err)
 		}
