@@ -497,7 +497,7 @@ func BenchmarkForwardHop(b *testing.B) {
 	a, c := g.AddNode("a"), g.AddNode("b")
 	// Pure edge (no link, no delay): the measured work is exactly
 	// node table lookup → edge gate → terminal delivery.
-	id, err := g.AddEdge(a, c, 0, topo.Impairments{}, nil)
+	id, err := g.AddEdge("hop", a, c, 0, topo.Impairments{}, nil)
 	if err != nil {
 		b.Fatal(err)
 	}

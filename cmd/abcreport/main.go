@@ -218,6 +218,25 @@ func run() error {
 	}
 	fmt.Println()
 
+	fmt.Println("## Adversarial robustness — targeted attack / greedy sender")
+	advSchemes := []string{"ABC", "Cubic"}
+	tg, err := exp.Targeted(advSchemes, dur, *seed)
+	if err != nil {
+		return err
+	}
+	for _, sch := range advSchemes {
+		fmt.Printf("targeted %s", exp.FormatTargetedResult(sch, tg[sch]))
+	}
+	greedySchemes := []string{"ABC", "XCP", "RCP"}
+	gr, err := exp.Greedy(greedySchemes, dur, *seed)
+	if err != nil {
+		return err
+	}
+	for _, sch := range greedySchemes {
+		fmt.Printf("greedy   %s", exp.FormatGreedyResult(sch, gr[sch]))
+	}
+	fmt.Println()
+
 	fmt.Println("## §6.5 / §6.6 / Theorem 3.1")
 	for _, n := range []int{2, 8, 32} {
 		idx, err := exp.JainFairness(n, *seed)

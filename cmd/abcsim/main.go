@@ -91,6 +91,8 @@ func experiments() []experiment {
 		{"lossy", "lossy-link robustness sweep (random + bursty loss)", runLossy},
 		{"handover", "mid-run base-station handover via forwarding-table reroute", runHandover},
 		{"flap", "flapping link: timed outages on the bottleneck edge", runFlap},
+		{"targeted", "targeted attack on one flow: victim vs bystander degradation", runTargeted},
+		{"greedy", "greedy sender ignoring brakes: stolen bandwidth per scheme", runGreedy},
 		{"shortflows", "open-loop web-like short flows: FCT and slowdown per scheme", runShortFlows},
 		{"video", "ABR video client: bitrate/rebuffer/switch QoE per scheme", runVideo},
 		{"rpc", "request-response RPC clients vs a bulk flow: per-call FCT", runRPC},
@@ -573,6 +575,38 @@ func runFlap() error {
 	sort.Strings(names)
 	for _, sch := range names {
 		fmt.Print(exp.FormatFlapResult(sch, out[sch]))
+	}
+	return nil
+}
+
+func runTargeted() error {
+	out, err := exp.Targeted(schemeList(), dur(), *seed)
+	if err != nil {
+		return err
+	}
+	var names []string
+	for sch := range out {
+		names = append(names, sch)
+	}
+	sort.Strings(names)
+	for _, sch := range names {
+		fmt.Print(exp.FormatTargetedResult(sch, out[sch]))
+	}
+	return nil
+}
+
+func runGreedy() error {
+	out, err := exp.Greedy(schemeList(), dur(), *seed)
+	if err != nil {
+		return err
+	}
+	var names []string
+	for sch := range out {
+		names = append(names, sch)
+	}
+	sort.Strings(names)
+	for _, sch := range names {
+		fmt.Print(exp.FormatGreedyResult(sch, out[sch]))
 	}
 	return nil
 }

@@ -1,0 +1,85 @@
+package abc
+
+import (
+	"math/rand"
+	"testing"
+
+	"abc/internal/packet"
+	"abc/internal/qdisc"
+	"abc/internal/sim"
+)
+
+// TestLyingRouterPromotesBrakes: with LieFraction 1 every brake-bound
+// packet — demoted by the bucket or already braked on arrival — leaves
+// as a forged accelerate, and LiePromoted counts each one.
+func TestLyingRouterPromotesBrakes(t *testing.T) {
+	cfg := DefaultRouterConfig()
+	cfg.LieFraction = 1
+	r := NewRouter(cfg)
+	r.rng = rand.New(rand.NewSource(1))
+	// Zero capacity → target rate 0 → every accel is demoted... and then
+	// the liar promotes it right back.
+	r.SetCapacityProvider(func(sim.Time) float64 { return 0 })
+	const n = 20
+	for i := 0; i < n; i++ {
+		r.Enqueue(0, accelPkt(int64(i)))
+	}
+	for i := 0; i < n; i++ {
+		p := r.Dequeue(sim.Time(i) * sim.Millisecond)
+		if p.ECN != packet.Accel {
+			t.Fatalf("packet %d left with ECN %d, want forged Accel", i, p.ECN)
+		}
+		p.Release()
+	}
+	if r.BrakeMarked != n {
+		t.Errorf("BrakeMarked = %d, want %d (honest bucket still demoted)", r.BrakeMarked, n)
+	}
+	if r.LiePromoted != n {
+		t.Errorf("LiePromoted = %d, want %d", r.LiePromoted, n)
+	}
+}
+
+// TestHonestRouterDrawsNothing: LieFraction 0 never touches the RNG, so
+// honest routers are byte-identical with and without an attached stream.
+func TestHonestRouterDrawsNothing(t *testing.T) {
+	r := testRouter(1e6)
+	rng := rand.New(rand.NewSource(7))
+	want := rand.New(rand.NewSource(7)).Int63()
+	r.rng = rng
+	for i := 0; i < 10; i++ {
+		r.Enqueue(0, accelPkt(int64(i)))
+	}
+	for i := 0; i < 10; i++ {
+		if p := r.Dequeue(sim.Time(i) * sim.Millisecond); p != nil {
+			p.Release()
+		}
+	}
+	if r.LiePromoted != 0 {
+		t.Errorf("LiePromoted = %d on honest router", r.LiePromoted)
+	}
+	if got := rng.Int63(); got != want {
+		t.Error("honest router consumed from the RNG stream")
+	}
+}
+
+// TestLieFractionViaBuildSpec: the qdisc registry threads Lie into the
+// router config and rejects out-of-range fractions.
+func TestLieFractionViaBuildSpec(t *testing.T) {
+	q, err := qdisc.Build(qdisc.BuildSpec{Kind: "abc", Lie: 0.25, Rand: rand.New(rand.NewSource(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := q.(*Router)
+	if r.Cfg.LieFraction != 0.25 {
+		t.Errorf("LieFraction = %g, want 0.25", r.Cfg.LieFraction)
+	}
+	if r.rng == nil {
+		t.Error("builder did not attach the RNG")
+	}
+	if _, err := qdisc.Build(qdisc.BuildSpec{Kind: "abc", Lie: 1.5}); err == nil {
+		t.Error("Lie 1.5 accepted")
+	}
+	if _, err := qdisc.Build(qdisc.BuildSpec{Kind: "abc", Lie: -0.1}); err == nil {
+		t.Error("Lie -0.1 accepted")
+	}
+}

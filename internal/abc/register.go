@@ -4,6 +4,8 @@
 package abc
 
 import (
+	"fmt"
+
 	"abc/internal/cc"
 	"abc/internal/qdisc"
 )
@@ -32,6 +34,12 @@ func routerConfigFor(s qdisc.BuildSpec) (RouterConfig, error) {
 	if !override {
 		cfg.Feedback = FeedbackMode(s.Feedback)
 	}
+	if s.Lie != 0 {
+		if s.Lie < 0 || s.Lie > 1 {
+			return RouterConfig{}, fmt.Errorf("abc: lie fraction %g outside [0, 1]", s.Lie)
+		}
+		cfg.LieFraction = s.Lie
+	}
 	return cfg, nil
 }
 
@@ -55,7 +63,9 @@ func init() {
 		if err != nil {
 			return nil, err
 		}
-		return NewRouter(cfg), nil
+		r := NewRouter(cfg)
+		r.rng = s.Rand
+		return r, nil
 	})
 	qdisc.Register("abc-proxied", func(s qdisc.BuildSpec) (qdisc.Qdisc, error) {
 		cfg := DefaultRouterConfig()

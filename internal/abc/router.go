@@ -9,6 +9,8 @@
 package abc
 
 import (
+	"math/rand"
+
 	"abc/internal/packet"
 	"abc/internal/qdisc"
 	"abc/internal/sim"
@@ -47,6 +49,13 @@ type RouterConfig struct {
 	Limit int
 	// Feedback selects dequeue- vs enqueue-rate feedback.
 	Feedback FeedbackMode
+	// LieFraction makes the router misbehave: after the honest token
+	// bucket runs, each packet leaving with a brake is fraudulently
+	// promoted back to accelerate with this probability. A lying router
+	// violates ABC's only-demote invariant, so downstream honest routers
+	// can still demote the forged mark — the lie is strongest when the
+	// liar is the last ABC hop. Zero (the default) is an honest router.
+	LieFraction float64
 }
 
 // DefaultRouterConfig returns the paper's emulation parameters.
@@ -127,6 +136,14 @@ type Router struct {
 	// whole round trip).
 	EchoAccelKept int64
 	EchoDemoted   int64
+	// LiePromoted counts brake marks the lying-router mode fraudulently
+	// promoted to accelerate (zero on honest routers).
+	LiePromoted int64
+
+	// rng drives LieFraction draws; installed by the qdisc builder. The
+	// draw happens only on brake-bound packets, so an honest router
+	// (LieFraction 0) consumes nothing from the stream.
+	rng *rand.Rand
 }
 
 // NewRouter returns an ABC router with the given configuration.
@@ -276,6 +293,15 @@ func (r *Router) Dequeue(now sim.Time) *packet.Packet {
 				r.BrakeMarked++
 			}
 		}
+	}
+	// Lying-router mode: promote a fraction of brake-bound packets back
+	// to accelerate, violating the only-demote invariant. Applied after
+	// the honest bucket so the lie covers demotions and already-braked
+	// arrivals alike.
+	if r.Cfg.LieFraction > 0 && r.rng != nil && p.ECN == packet.Brake &&
+		r.rng.Float64() < r.Cfg.LieFraction {
+		p.ECN = packet.Accel
+		r.LiePromoted++
 	}
 	return p
 }

@@ -35,6 +35,12 @@ const (
 	EventLinkDown = "link_down"
 	// EventLinkUp brings a downed edge back up.
 	EventLinkUp = "link_up"
+	// EventAttack installs (or retunes — an attack switching victims
+	// mid-run is just a second attack event on the same edge) the
+	// adversarial stage on an edge.
+	EventAttack = "attack"
+	// EventClearAttack removes an edge's adversarial stage.
+	EventClearAttack = "clear_attack"
 )
 
 // EventSpec is one timed mutation of the running topology.
@@ -56,6 +62,8 @@ type EventSpec struct {
 	RateMbps float64
 	// Delay is the new propagation delay for set_delay.
 	Delay sim.Time
+	// Attack is the adversarial stage installed by attack events.
+	Attack *topo.Attack
 }
 
 // EventResult annotates one executed event in Result.Events.
@@ -110,6 +118,9 @@ func compileEvent(g *topo.Graph, rtr *topo.Router, spec *Spec, edgeID map[string
 			return nil, fmt.Errorf("%s: unknown edge %q", where, ev.Edge)
 		}
 		return g.Edge(id), nil
+	}
+	if ev.Attack != nil && ev.Kind != EventAttack {
+		return nil, "", fmt.Errorf("%s: attack is an attack-event field", where)
 	}
 	switch ev.Kind {
 	case EventReroute:
@@ -202,7 +213,34 @@ func compileEvent(g *topo.Graph, rtr *topo.Router, spec *Spec, edgeID map[string
 		}
 		target := fmt.Sprintf("edge %s %s", ev.Edge, state)
 		return func() { e.SetDown(down) }, target, nil
+	case EventAttack:
+		if ev.RateMbps != 0 || ev.Delay != 0 {
+			return nil, "", fmt.Errorf("%s: rate/delay are not attack fields", where)
+		}
+		e, err := targetEdge()
+		if err != nil {
+			return nil, "", err
+		}
+		if ev.Attack == nil {
+			return nil, "", fmt.Errorf("%s: missing attack", where)
+		}
+		if err := ev.Attack.Validate(); err != nil {
+			return nil, "", fmt.Errorf("%s: %v", where, err)
+		}
+		a := ev.Attack
+		target := fmt.Sprintf("edge %s %s", ev.Edge, a)
+		return func() { e.SetAttack(a) }, target, nil
+	case EventClearAttack:
+		if ev.RateMbps != 0 || ev.Delay != 0 {
+			return nil, "", fmt.Errorf("%s: rate/delay are not clear_attack fields", where)
+		}
+		e, err := targetEdge()
+		if err != nil {
+			return nil, "", err
+		}
+		target := fmt.Sprintf("edge %s attack cleared", ev.Edge)
+		return func() { e.SetAttack(nil) }, target, nil
 	}
 	return nil, "", fmt.Errorf("%s: unknown event kind %q (want %s)", where, ev.Kind,
-		strings.Join([]string{EventReroute, EventSetRate, EventSetDelay, EventLinkDown, EventLinkUp}, ", "))
+		strings.Join([]string{EventReroute, EventSetRate, EventSetDelay, EventLinkDown, EventLinkUp, EventAttack, EventClearAttack}, ", "))
 }

@@ -125,14 +125,14 @@ func fig12Run(policy string, load float64, dur sim.Time, seed int64) (abcT, cubi
 	// pure-delay edge carries ACKs back.
 	g := topo.New(s)
 	lhs, rhs := g.AddNode("lhs"), g.AddNode("rhs")
-	dataEdge, err := g.AddEdge(lhs, rhs, 50*sim.Millisecond, topo.Impairments{},
+	dataEdge, err := g.AddEdge("data", lhs, rhs, 50*sim.Millisecond, topo.Impairments{},
 		func(dst packet.Node) (topo.Link, error) {
 			return netem.NewRateLink(s, netem.ConstRate(linkBps), qd, dst), nil
 		})
 	if err != nil {
 		return nil, nil, err
 	}
-	ackEdge, err := g.AddEdge(rhs, lhs, 50*sim.Millisecond, topo.Impairments{}, nil)
+	ackEdge, err := g.AddEdge("ack", rhs, lhs, 50*sim.Millisecond, topo.Impairments{}, nil)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -59,6 +59,10 @@ type QdiscSpec struct {
 	// configuration (ablation sweeps); Buffer still applies if
 	// ABCConfig.Limit is zero.
 	ABCConfig *abc.RouterConfig
+	// ABCLie makes the ABC router misbehave: the fraction of brake-bound
+	// packets it fraudulently promotes back to accelerate. Only the plain
+	// "abc" kind consumes it.
+	ABCLie float64
 }
 
 // build resolves the spec through the qdisc registry. scheme is the
@@ -83,6 +87,14 @@ func (q QdiscSpec) build(scheme string, s *sim.Simulator) (qdisc.Qdisc, error) {
 			return nil, fmt.Errorf("exp: ABCConfig set for qdisc kind %q, which does not consume it", kind)
 		}
 		bs.Config = q.ABCConfig
+	}
+	if q.ABCLie != 0 {
+		// Same contract as ABCConfig: a lying-router fraction on a kind
+		// that has no lying mode is a spec error, not a silent no-op.
+		if kind != "abc" {
+			return nil, fmt.Errorf("exp: ABCLie set for qdisc kind %q, which does not consume it", kind)
+		}
+		bs.Lie = q.ABCLie
 	}
 	return qdisc.Build(bs)
 }
@@ -123,6 +135,11 @@ type LinkSpec struct {
 	// Impair adds an impairment stage (jitter, random/burst loss,
 	// reordering) in front of the link.
 	Impair topo.Impairments
+	// Attack installs an adversarial stage on the edge at build time:
+	// targeted drops, extra delay or mark-stripping against the flows its
+	// Target selects. Retunable mid-run via "attack"/"clear_attack"
+	// events.
+	Attack *topo.Attack
 }
 
 // wire reports whether the spec is a pure propagation hop (mesh only).
@@ -185,6 +202,11 @@ type FlowSpec struct {
 	// an uncongested direct wire back to the sender (the chain harness's
 	// no-ReverseLinks default).
 	AckPath []string
+	// Misbehave wraps the constructed algorithm in a misbehaving-sender
+	// shim. The only recognized value is "greedy": a sender that ignores
+	// brakes, CE and negative explicit feedback (cc.Greedy). Empty means
+	// an honest sender.
+	Misbehave string
 	// Mutate, if set, adjusts the constructed algorithm before the run
 	// (ablation switches such as abc.Sender.DisableAI).
 	Mutate func(alg cc.Algorithm)
@@ -295,12 +317,26 @@ type Result struct {
 	// LinkDownDrops counts packets dropped at the entry of edges taken
 	// down by link_down events.
 	LinkDownDrops int64
+	// AdvDrops / AdvDelayed / AdvStripped count adversarial-stage actions
+	// across all edges: packets dropped, delayed, and accel marks
+	// stripped by installed attacks.
+	AdvDrops    int64
+	AdvDelayed  int64
+	AdvStripped int64
+	// Adversary splits the run's degradation metrics into victim,
+	// bystander and attacker classes; nil when the spec has no adversary
+	// (no attacks, no misbehaving flows, no lying routers).
+	Adversary *AdversaryReport
 	// Events annotates each executed Spec.Events entry in execution
 	// order.
 	Events []EventResult
 	// Graph is the compiled topology, available to Probe callbacks and
 	// post-run inspection (edge stats, custom traffic injection).
 	Graph *topo.Graph
+
+	// adv classifies flows into victim/bystander/attacker and collects
+	// the per-class workload FCTs behind Adversary; nil for honest specs.
+	adv *advCollector
 }
 
 // AggTputMbps sums flow throughputs.
@@ -426,9 +462,15 @@ func buildChain(g *topo.Graph, s *sim.Simulator, spec *Spec, links []LinkSpec, d
 		if err != nil {
 			return nil, nil, err
 		}
-		id, err := g.AddEdge(nodes[i], nodes[i+1], ls.Delay, ls.Impair, mk)
+		id, err := g.AddEdge(fmt.Sprintf("%s%d", prefix, i), nodes[i], nodes[i+1], ls.Delay, ls.Impair, mk)
 		if err != nil {
 			return nil, nil, err
+		}
+		if ls.Attack != nil {
+			if err := ls.Attack.Validate(); err != nil {
+				return nil, nil, fmt.Errorf("exp: link %s%d: %v", prefix, i, err)
+			}
+			g.Edge(id).SetAttack(ls.Attack)
 		}
 		edges = append(edges, id)
 	}
@@ -552,7 +594,7 @@ func Run(spec Spec) (*Result, *metrics.DelayRecorder, error) {
 	}
 
 	s := sim.New(spec.Seed)
-	res := &Result{Spec: spec}
+	res := &Result{Spec: spec, adv: newAdvCollector(&spec)}
 	pooled := &metrics.DelayRecorder{}
 
 	// The topology: both chains as graph edges, every flow an explicit
@@ -690,6 +732,13 @@ func wireFlows(s *sim.Simulator, g *topo.Graph, spec *Spec, res *Result, pooled 
 		if fs.Mutate != nil {
 			fs.Mutate(alg)
 		}
+		switch fs.Misbehave {
+		case "":
+		case "greedy":
+			alg = cc.NewGreedy(alg)
+		default:
+			return fmt.Errorf("exp: flow %d: unknown Misbehave %q (recognized: \"greedy\")", i, fs.Misbehave)
+		}
 		fr := &res.Flows[i]
 		fr.Scheme = fs.Scheme
 		fr.Algorithm = alg
@@ -718,7 +767,7 @@ func wireFlows(s *sim.Simulator, g *topo.Graph, spec *Spec, res *Result, pooled 
 			return err
 		}
 		recv := netem.NewReceiver(s, i, ackEntry)
-		start, warm := fs.Start, spec.Warmup
+		start, warm, flowID := fs.Start, spec.Warmup, i
 		recv.OnData = func(now sim.Time, p *packet.Packet) {
 			if now < warm || now < start {
 				return
@@ -728,6 +777,9 @@ func wireFlows(s *sim.Simulator, g *topo.Graph, spec *Spec, res *Result, pooled 
 			fr.Delay.Add(d)
 			fr.QDelay.Add(p.QueueDelay)
 			pooled.Add(d)
+			if res.adv != nil {
+				res.adv.addDelay(flowID, d)
+			}
 		}
 		dataEntry, err := g.RouteFlow(i, false, routes[i].data, flowRTT/2, recv)
 		if err != nil {
@@ -815,4 +867,10 @@ func runAndMeasure(s *sim.Simulator, g *topo.Graph, spec *Spec, res *Result, fir
 	res.Drops = g.UnroutedDrops()
 	res.ImpairDrops = g.ImpairDrops()
 	res.LinkDownDrops = g.DownDrops()
+	res.AdvDrops = g.AdversaryDrops()
+	res.AdvDelayed = g.AdversaryDelayed()
+	res.AdvStripped = g.AdversaryStripped()
+	if res.adv != nil {
+		res.Adversary = res.adv.report(spec, res)
+	}
 }

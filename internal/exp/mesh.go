@@ -42,7 +42,7 @@ func runMesh(spec Spec) (*Result, *metrics.DelayRecorder, error) {
 	}
 
 	s := sim.New(spec.Seed)
-	res := &Result{Spec: spec}
+	res := &Result{Spec: spec, adv: newAdvCollector(&spec)}
 	pooled := &metrics.DelayRecorder{}
 	g := topo.New(s)
 	res.Graph = g
@@ -107,9 +107,15 @@ func runMesh(spec Spec) (*Result, *metrics.DelayRecorder, error) {
 				firstCap = capacityFn(ls)
 			}
 		}
-		id, err := g.AddEdge(from, to, ls.Delay, ls.Impair, mk)
+		id, err := g.AddEdge(es.Name, from, to, ls.Delay, ls.Impair, mk)
 		if err != nil {
 			return nil, nil, err
+		}
+		if ls.Attack != nil {
+			if err := ls.Attack.Validate(); err != nil {
+				return nil, nil, fmt.Errorf("exp: edge %q: %v", es.Name, err)
+			}
+			g.Edge(id).SetAttack(ls.Attack)
 		}
 		edgeID[es.Name] = id
 	}

@@ -109,6 +109,25 @@
 // built with a positive delay_ms. Packets in flight on edges a reroute
 // abandons drain to the next junction and are counted as drops there
 // (the conservation contract — no duplication, no silent loss).
+//
+// Adversaries come in three declarable forms. A targeted attack is an
+// "attack" clause on any link or edge (wire edges included), or an
+// "attack" / "clear_attack" event installing, retuning or removing one
+// mid-run; a misbehaving sender is "misbehave": "greedy" on a flow; a
+// lying ABC router is "lie" on an abc qdisc clause:
+//
+//	{"kind": "rate", "rate_mbps": 16,
+//	 "attack": {"flows": [0], "drop_rate": 0.01, "strip_marks": true,
+//	            "extra_delay_ms": 30, "dir": "data", "from_s": 10}}
+//	{"scheme": "ABC", "misbehave": "greedy"}
+//	"qdisc": {"kind": "abc", "lie": 0.3}
+//	{"at_s": 20, "kind": "attack", "edge": "fwd0",
+//	 "attack": {"fraction": 0.5, "drop_rate": 0.05}}
+//	{"at_s": 30, "kind": "clear_attack", "edge": "fwd0"}
+//
+// Any of the three makes the run's Result carry an Adversary report:
+// victim/bystander/attacker throughput, p95 delay, FCT, QoE and Jain
+// fairness splits.
 package exp
 
 import (
@@ -133,6 +152,57 @@ type ScenarioQdisc struct {
 	Kind   string  `json:"kind"`
 	Buffer int     `json:"buffer"`
 	DTms   float64 `json:"dt_ms"`
+	// Lie makes an ABC router misbehave: the fraction of brake-bound
+	// packets it fraudulently promotes back to accelerate.
+	Lie float64 `json:"lie,omitempty"`
+}
+
+// ScenarioAttack is the JSON attack clause: a targeted adversarial stage
+// on an edge. Target selection: "flows" lists victim flow indices
+// explicitly, "fraction" selects a seeded pseudo-random fraction of all
+// flow ids (stable per flow, covering workload-spawned flows too); "dir"
+// restricts matching to "data" or "ack" packets ("both"/"" matches
+// everything); from_s/to_s bound the active window (to_s 0 = forever).
+// Actions: drop_rate, strip_marks (accel→brake demotion of ABC marks),
+// extra_delay_ms.
+type ScenarioAttack struct {
+	Flows        []int   `json:"flows,omitempty"`
+	Fraction     float64 `json:"fraction,omitempty"`
+	Dir          string  `json:"dir,omitempty"`
+	FromS        float64 `json:"from_s,omitempty"`
+	ToS          float64 `json:"to_s,omitempty"`
+	DropRate     float64 `json:"drop_rate,omitempty"`
+	StripMarks   bool    `json:"strip_marks,omitempty"`
+	ExtraDelayMs float64 `json:"extra_delay_ms,omitempty"`
+}
+
+// compile builds the topo.Attack. where locates the clause in errors.
+func (sa *ScenarioAttack) compile(where string) (*topo.Attack, error) {
+	a := &topo.Attack{
+		Target: topo.Target{
+			Flows:    sa.Flows,
+			Fraction: sa.Fraction,
+			From:     sim.FromSeconds(sa.FromS),
+			To:       sim.FromSeconds(sa.ToS),
+		},
+		DropRate:   sa.DropRate,
+		StripMarks: sa.StripMarks,
+		ExtraDelay: ms(sa.ExtraDelayMs),
+	}
+	switch sa.Dir {
+	case "", "both":
+		a.Target.Dir = topo.TargetBoth
+	case "data":
+		a.Target.Dir = topo.TargetData
+	case "ack":
+		a.Target.Dir = topo.TargetAck
+	default:
+		return nil, fmt.Errorf("%s: unknown dir %q (want both, data or ack)", where, sa.Dir)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %v", where, err)
+	}
+	return a, nil
 }
 
 // ScenarioLink is the JSON link clause.
@@ -164,6 +234,9 @@ type ScenarioLink struct {
 	ReorderDelayMs float64 `json:"reorder_delay_ms"`
 
 	Qdisc ScenarioQdisc `json:"qdisc"`
+	// Attack installs a targeted adversarial stage on the edge at build
+	// time (wire edges may carry one too — the stage precedes the link).
+	Attack *ScenarioAttack `json:"attack,omitempty"`
 }
 
 // ScenarioFlow is the JSON flow clause.
@@ -176,6 +249,8 @@ type ScenarioFlow struct {
 	ExitAt   int     `json:"exit_at"`
 	RTTms    float64 `json:"rtt_ms"`
 	RateMbps float64 `json:"rate_mbps"`
+	// Misbehave wraps the flow's sender in a misbehaving shim ("greedy").
+	Misbehave string `json:"misbehave,omitempty"`
 	// Source selects a registered data source explicitly; the legacy
 	// rate_mbps shorthand is equivalent to {"kind":"rate","mbps":...}.
 	Source *ScenarioSource `json:"source,omitempty"`
@@ -449,6 +524,8 @@ type ScenarioEvent struct {
 	Edge     string   `json:"edge,omitempty"`
 	RateMbps float64  `json:"rate_mbps,omitempty"`
 	DelayMs  float64  `json:"delay_ms,omitempty"`
+	// Attack is the adversarial stage installed by "attack" events.
+	Attack *ScenarioAttack `json:"attack,omitempty"`
 }
 
 // Scenario is a complete declarative scenario file: either a chain
@@ -527,9 +604,17 @@ func compileLink(sl *ScenarioLink, idx int, chain string) (LinkSpec, error) {
 			Kind:              sl.Qdisc.Kind,
 			Buffer:            sl.Qdisc.Buffer,
 			ABCDelayThreshold: ms(sl.Qdisc.DTms),
+			ABCLie:            sl.Qdisc.Lie,
 		},
 	}
 	where := fmt.Sprintf("scenario: %s[%d]", chain, idx)
+	if sl.Attack != nil {
+		a, err := sl.Attack.compile(where + ".attack")
+		if err != nil {
+			return LinkSpec{}, err
+		}
+		ls.Attack = a
+	}
 	switch sl.Kind {
 	case "wire":
 		// Pure propagation hop (mesh edges only): no bottleneck model, no
@@ -635,14 +720,20 @@ func (sc *Scenario) Compile() (Spec, error) {
 			return Spec{}, fmt.Errorf("scenario: flows[%d]: %v", i, err)
 		}
 		fs := FlowSpec{
-			Scheme:  sf.Scheme,
-			Start:   sim.FromSeconds(sf.StartS),
-			Stop:    sim.FromSeconds(sf.StopS),
-			EnterAt: sf.EnterAt,
-			ExitAt:  sf.ExitAt,
-			RTT:     ms(sf.RTTms),
-			Path:    sf.Path,
-			AckPath: sf.AckPath,
+			Scheme:    sf.Scheme,
+			Start:     sim.FromSeconds(sf.StartS),
+			Stop:      sim.FromSeconds(sf.StopS),
+			EnterAt:   sf.EnterAt,
+			ExitAt:    sf.ExitAt,
+			RTT:       ms(sf.RTTms),
+			Path:      sf.Path,
+			AckPath:   sf.AckPath,
+			Misbehave: sf.Misbehave,
+		}
+		switch sf.Misbehave {
+		case "", "greedy":
+		default:
+			return Spec{}, fmt.Errorf("scenario: flows[%d]: unknown misbehave %q (want greedy)", i, sf.Misbehave)
 		}
 		switch sf.Dir {
 		case "", "forward":
@@ -767,9 +858,18 @@ func (sc *Scenario) Compile() (Spec, error) {
 			return Spec{}, fmt.Errorf("%s: negative at_s", where)
 		}
 		switch se.Kind {
-		case EventReroute, EventSetRate, EventSetDelay, EventLinkDown, EventLinkUp:
+		case EventReroute, EventSetRate, EventSetDelay, EventLinkDown, EventLinkUp,
+			EventAttack, EventClearAttack:
 		default:
 			return Spec{}, fmt.Errorf("%s: unknown event kind %q", where, se.Kind)
+		}
+		var attack *topo.Attack
+		if se.Attack != nil {
+			a, err := se.Attack.compile(where + ".attack")
+			if err != nil {
+				return Spec{}, err
+			}
+			attack = a
 		}
 		// Kind-specific field validation (edge names, flow indices, route
 		// shapes) happens against the compiled graph in scheduleEvents;
@@ -783,6 +883,7 @@ func (sc *Scenario) Compile() (Spec, error) {
 			Edge:     se.Edge,
 			RateMbps: se.RateMbps,
 			Delay:    ms(se.DelayMs),
+			Attack:   attack,
 		})
 	}
 	return spec, nil

@@ -163,7 +163,10 @@ func digest(res *Result, pooledMean, pooledP95 float64) []flowDigest {
 // per-flow RTTs and a reverse-direction cross flow.
 func reverseCongestedSpec() Spec {
 	return Spec{
-		Seed:     7,
+		// Seed 3 (not 7): the per-edge name-seeded impairment RNG changed
+		// which seeds overflow the 50-packet reverse buffer, and the test
+		// below asserts visible ACK drops.
+		Seed:     3,
 		Duration: 8 * sim.Second,
 		Warmup:   2 * sim.Second,
 		RTT:      100 * sim.Millisecond,

@@ -135,6 +135,7 @@ type workloadRunner struct {
 	ws     *WorkloadSpec
 	wr     *WorkloadResult
 	pooled *metrics.DelayRecorder
+	adv    *advCollector
 	route  flowRoute
 	nextID *int
 	stopAt sim.Time
@@ -180,7 +181,7 @@ func startWorkloads(s *sim.Simulator, g *topo.Graph, spec *Spec, res *Result, po
 		}
 		r := &workloadRunner{
 			s: s, g: g, spec: spec, ws: ws, wr: wr, pooled: pooled,
-			route: routes[i], nextID: &nextID, stopAt: stop,
+			adv: res.adv, route: routes[i], nextID: &nextID, stopAt: stop,
 		}
 		runners = append(runners, r)
 		s.At(ws.Start, r.schedule)
@@ -283,11 +284,16 @@ func (r *workloadRunner) spawn(now sim.Time) {
 		}
 		fct := done - now
 		wr.FCT.Add(fct)
+		slow := 0.0
 		if r.ws.RefMbps > 0 {
 			ideal := rtt + sim.FromSeconds(float64(size)*8/(r.ws.RefMbps*1e6))
 			if ideal > 0 {
-				wr.Slowdown.AddSample(fct.Seconds() / ideal.Seconds())
+				slow = fct.Seconds() / ideal.Seconds()
+				wr.Slowdown.AddSample(slow)
 			}
+		}
+		if r.adv != nil {
+			r.adv.addFCT(id, fct, slow, int64(size))
 		}
 	}
 	ep.Start()

@@ -32,6 +32,12 @@ type BuildSpec struct {
 	// Feedback is a provider-defined mode selector (ABC uses it to pick
 	// dequeue- vs enqueue-rate feedback, Fig. 2).
 	Feedback uint8
+	// Lie configures a misbehaving (lying) router for kinds that model
+	// one: the fraction of brake-bound packets the router fraudulently
+	// promotes back to accelerate (ABC's lying-router mode). Callers
+	// must not set it for kinds without a misbehaving variant (the exp
+	// harness enforces this for QdiscSpec, as with Config).
+	Lie float64
 	// Config, when non-nil, is a provider-specific full configuration
 	// (e.g. *abc.RouterConfig for ablation sweeps). Builders that
 	// interpret Config must reject values of a type they do not

@@ -111,7 +111,8 @@ type Simulator struct {
 	// slot indices. Both are reused for the life of the simulator.
 	slots []slotInfo
 	free  []int32
-	rng   *rand.Rand
+	rng  *rand.Rand
+	seed int64
 	// executed counts events run, useful for runaway detection in tests.
 	executed uint64
 	// limit aborts Run after this many events (0 = unlimited).
@@ -123,8 +124,13 @@ type Simulator struct {
 // All randomness used by simulated components must come from Rand() so that
 // runs are reproducible.
 func New(seed int64) *Simulator {
-	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+	return &Simulator{rng: rand.New(rand.NewSource(seed)), seed: seed}
 }
+
+// Seed returns the seed the simulator was created with, so components
+// can derive independent sub-streams (e.g. per-edge impairment RNGs)
+// that stay stable under unrelated topology changes.
+func (s *Simulator) Seed() int64 { return s.seed }
 
 // Now returns the current virtual time.
 func (s *Simulator) Now() Time { return s.now }

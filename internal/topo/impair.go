@@ -44,15 +44,18 @@ type impairStats struct{ drops int64 }
 
 // build assembles the stage in a fixed order — loss, burst loss,
 // reordering, jitter — and returns its head. The fixed order keeps runs
-// deterministic and reproducible from the spec alone.
-func (im Impairments) build(s *sim.Simulator, dst packet.Node) (packet.Node, *impairStats) {
+// deterministic and reproducible from the spec alone. All elements share
+// rng, the owning edge's private stream seeded from the edge name: the
+// pattern one edge draws never depends on what other edges exist or
+// forward (see Graph.AddEdge).
+func (im Impairments) build(s *sim.Simulator, rng *rand.Rand, dst packet.Node) (packet.Node, *impairStats) {
 	st := &impairStats{}
 	head := dst
 	if im.Jitter > 0 {
-		head = &jitterPipe{s: s, rng: s.Rand(), dst: head, max: im.Jitter}
+		head = &jitterPipe{s: s, rng: rng, dst: head, max: im.Jitter}
 	}
 	if im.ReorderProb > 0 && im.ReorderDelay > 0 {
-		head = &reorderPipe{s: s, rng: s.Rand(), dst: head, prob: im.ReorderProb, delay: im.ReorderDelay}
+		head = &reorderPipe{s: s, rng: rng, dst: head, prob: im.ReorderProb, delay: im.ReorderDelay}
 	}
 	if im.BurstLossRate > 0 {
 		pBad, pGood := im.BurstPBad, im.BurstPGood
@@ -62,10 +65,10 @@ func (im Impairments) build(s *sim.Simulator, dst packet.Node) (packet.Node, *im
 		if pGood <= 0 {
 			pGood = 0.2
 		}
-		head = &burstGate{rng: s.Rand(), dst: head, lossBad: im.BurstLossRate, pBad: pBad, pGood: pGood, st: st}
+		head = &burstGate{rng: rng, dst: head, lossBad: im.BurstLossRate, pBad: pBad, pGood: pGood, st: st}
 	}
 	if im.LossRate > 0 {
-		head = &lossGate{rng: s.Rand(), dst: head, p: im.LossRate, st: st}
+		head = &lossGate{rng: rng, dst: head, p: im.LossRate, st: st}
 	}
 	return head, st
 }

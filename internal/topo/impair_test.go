@@ -8,6 +8,11 @@ import (
 	"abc/internal/sim"
 )
 
+// testRNG builds a stage RNG the way AddEdge would for an edge name.
+func testRNG(s *sim.Simulator, name string) *Edge {
+	return &Edge{Name: name, g: &Graph{S: s}}
+}
+
 // TestGilbertElliottStationaryLoss checks the burst-loss gate against the
 // model's stationary distribution: the chain spends π_bad = p_bad /
 // (p_bad + p_good) of its time in the bad state and only drops there
@@ -32,7 +37,7 @@ func TestGilbertElliottStationaryLoss(t *testing.T) {
 				BurstLossRate: tc.lossBad,
 				BurstPBad:     tc.pBad,
 				BurstPGood:    tc.pGood,
-			}.build(s, sink)
+			}.build(s, testRNG(s, "ge").rand("impair"), sink)
 			for i := 0; i < n; i++ {
 				head.Recv(packet.NewData(1, int64(i), packet.MTU, 0))
 			}
@@ -57,7 +62,7 @@ func TestReorderConservesPackets(t *testing.T) {
 	s := sim.New(3)
 	g := New(s)
 	a, b := g.AddNode("a"), g.AddNode("b")
-	e1, err := g.AddEdge(a, b, sim.Millisecond,
+	e1, err := g.AddEdge("ab", a, b, sim.Millisecond,
 		Impairments{ReorderProb: 0.3, ReorderDelay: 7 * sim.Millisecond}, nil)
 	if err != nil {
 		t.Fatal(err)

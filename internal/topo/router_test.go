@@ -169,7 +169,7 @@ func TestSetDelay(t *testing.T) {
 	g := New(s)
 	a, b := g.AddNode("a"), g.AddNode("b")
 	// Pure-delay edge so arrival time is exactly injection + delay.
-	e1, err := g.AddEdge(a, b, 10*sim.Millisecond, Impairments{}, nil)
+	e1, err := g.AddEdge("ab", a, b, 10*sim.Millisecond, Impairments{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -30,6 +30,8 @@ package topo
 
 import (
 	"fmt"
+	"hash/fnv"
+	"math/rand"
 
 	"abc/internal/netem"
 	"abc/internal/packet"
@@ -98,7 +100,12 @@ func (n *Node) Recv(p *packet.Packet) {
 
 // Edge is one directed hop between two nodes.
 type Edge struct {
-	ID       int
+	ID int
+	// Name identifies the edge in event timelines and, crucially, seeds
+	// its private RNG streams: impairment and attack randomness derive
+	// from (simulator seed, edge name), so adding or reordering unrelated
+	// edges never reshuffles this edge's loss pattern.
+	Name     string
 	From, To *Node
 	// Delay is the hop's propagation delay, applied after the link.
 	Delay sim.Time
@@ -107,7 +114,14 @@ type Edge struct {
 	// DownDrops counts packets discarded at the edge's entry while the
 	// edge was administratively down (SetDown).
 	DownDrops int64
+	// AdvDrops / AdvDelayed / AdvStripped count the installed attack's
+	// actions: targeted discards, targeted extra-delay deferrals and
+	// accel marks demoted by mark-stripping (adversary.go).
+	AdvDrops    int64
+	AdvDelayed  int64
+	AdvStripped int64
 
+	g *Graph
 	// head is the first element of the edge's chain:
 	// impairments → link → delay wire → To.
 	head packet.Node
@@ -115,6 +129,11 @@ type Edge struct {
 	wire *netem.Wire
 	// impair exposes the impairment stage's drop counters.
 	impair *impairStats
+	// attack is the installed adversary stage (nil = honest edge); advRng
+	// is its private RNG, created on first install and kept across
+	// retunes so an event timeline swapping attacks stays deterministic.
+	attack *Attack
+	advRng *rand.Rand
 	// down gates the edge: while set, arriving packets are counted into
 	// DownDrops and released. Packets already inside the chain (queued in
 	// the qdisc, in flight on the wire) still drain.
@@ -122,12 +141,15 @@ type Edge struct {
 }
 
 // Recv implements packet.Node: the edge's entry, applying the up/down
-// gate before the impairment/link/delay chain.
+// gate, then the attack stage, then the impairment/link/delay chain.
 func (e *Edge) Recv(p *packet.Packet) {
 	if e.down {
 		e.DownDrops++
 		p.Release()
 		return
+	}
+	if e.attack != nil && !e.applyAttack(p) {
+		return // dropped or deferred by the attack stage
 	}
 	e.head.Recv(p)
 }
@@ -209,16 +231,22 @@ func (g *Graph) AddNode(name string) int {
 // Node returns the node with the given id.
 func (g *Graph) Node(id int) *Node { return g.nodes[id] }
 
-// AddEdge adds a directed hop from one node to another and returns its
-// edge id. The link factory (which may be nil) is invoked immediately
-// with the edge's tail — the delay wire when Delay is positive, otherwise
-// the destination node — as its destination. Impairments, when non-zero,
-// are applied before the link (arriving traffic is impaired, then queued).
-func (g *Graph) AddEdge(from, to int, delay sim.Time, imp Impairments, mk LinkFactory) (int, error) {
+// AddEdge adds a directed hop named name from one node to another and
+// returns its edge id. The link factory (which may be nil) is invoked
+// immediately with the edge's tail — the delay wire when Delay is
+// positive, otherwise the destination node — as its destination.
+// Impairments, when non-zero, are applied before the link (arriving
+// traffic is impaired, then queued) and draw from a per-edge RNG seeded
+// by (simulator seed, name): the loss/jitter/reorder pattern an edge
+// sees is a pure function of its own name and the run seed, never of
+// how many other edges exist or what traffic they carry. Names should
+// be unique per graph — two edges sharing one would also share their
+// random pattern, not their RNG state.
+func (g *Graph) AddEdge(name string, from, to int, delay sim.Time, imp Impairments, mk LinkFactory) (int, error) {
 	if from < 0 || from >= len(g.nodes) || to < 0 || to >= len(g.nodes) {
 		return 0, fmt.Errorf("topo: AddEdge(%d → %d) references unknown node", from, to)
 	}
-	e := &Edge{ID: len(g.edges), From: g.nodes[from], To: g.nodes[to], Delay: delay}
+	e := &Edge{ID: len(g.edges), Name: name, From: g.nodes[from], To: g.nodes[to], Delay: delay, g: g}
 	var tail packet.Node = e.To
 	if delay > 0 {
 		e.wire = netem.NewWire(g.S, delay, tail)
@@ -233,13 +261,25 @@ func (g *Graph) AddEdge(from, to int, delay sim.Time, imp Impairments, mk LinkFa
 		tail = l
 	}
 	if !imp.zero() {
-		head, stats := imp.build(g.S, tail)
+		head, stats := imp.build(g.S, e.rand("impair"), tail)
 		tail = head
 		e.impair = stats
 	}
 	e.head = tail
 	g.edges = append(g.edges, e)
 	return e.ID, nil
+}
+
+// rand returns a fresh RNG for one of the edge's random stages, seeded
+// from (simulator seed, edge name, salt). Distinct salts give the
+// impairment and attack stages independent streams, so installing an
+// attack mid-run does not perturb the edge's impairment pattern.
+func (e *Edge) rand(salt string) *rand.Rand {
+	h := fnv.New64a()
+	h.Write([]byte(e.Name))
+	h.Write([]byte{0})
+	h.Write([]byte(salt))
+	return rand.New(rand.NewSource(e.g.S.Seed() ^ int64(h.Sum64())))
 }
 
 // Edge returns the edge with the given id.
@@ -412,6 +452,37 @@ func (g *Graph) DownDrops() int64 {
 	var n int64
 	for _, e := range g.edges {
 		n += e.DownDrops
+	}
+	return n
+}
+
+// AdversaryDrops sums packets discarded by installed attack stages
+// across all edges (targeted loss, as opposed to ImpairDrops' oblivious
+// loss).
+func (g *Graph) AdversaryDrops() int64 {
+	var n int64
+	for _, e := range g.edges {
+		n += e.AdvDrops
+	}
+	return n
+}
+
+// AdversaryDelayed sums packets deferred by attack extra-delay stages
+// across all edges.
+func (g *Graph) AdversaryDelayed() int64 {
+	var n int64
+	for _, e := range g.edges {
+		n += e.AdvDelayed
+	}
+	return n
+}
+
+// AdversaryStripped sums accel marks demoted by mark-stripping attacks
+// across all edges.
+func (g *Graph) AdversaryStripped() int64 {
+	var n int64
+	for _, e := range g.edges {
+		n += e.AdvStripped
 	}
 	return n
 }

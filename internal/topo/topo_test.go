@@ -1,6 +1,7 @@
 package topo
 
 import (
+	"fmt"
 	"testing"
 
 	"abc/internal/netem"
@@ -12,7 +13,7 @@ import (
 // rateEdge adds a 8 Mbit/s droptail rate-link edge between two nodes.
 func rateEdge(t *testing.T, g *Graph, s *sim.Simulator, from, to int, delay sim.Time, imp Impairments) int {
 	t.Helper()
-	id, err := g.AddEdge(from, to, delay, imp, func(dst packet.Node) (Link, error) {
+	id, err := g.AddEdge(fmt.Sprintf("e%d-%d", from, to), from, to, delay, imp, func(dst packet.Node) (Link, error) {
 		return netem.NewRateLink(s, netem.ConstRate(8e6), qdisc.NewDropTail(100), dst), nil
 	})
 	if err != nil {
@@ -125,7 +126,7 @@ func TestJitterPreservesOrder(t *testing.T) {
 	g := New(s)
 	a, b := g.AddNode("a"), g.AddNode("b")
 	// Pure-delay jittery edge: no link, just impairment + wire.
-	e1, err := g.AddEdge(a, b, sim.Millisecond, Impairments{Jitter: 20 * sim.Millisecond}, nil)
+	e1, err := g.AddEdge("ab", a, b, sim.Millisecond, Impairments{Jitter: 20 * sim.Millisecond}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,7 @@ func TestReorderPipeReorders(t *testing.T) {
 	s := sim.New(1)
 	g := New(s)
 	a, b := g.AddNode("a"), g.AddNode("b")
-	e1, err := g.AddEdge(a, b, sim.Millisecond,
+	e1, err := g.AddEdge("ab", a, b, sim.Millisecond,
 		Impairments{ReorderProb: 0.2, ReorderDelay: 10 * sim.Millisecond}, nil)
 	if err != nil {
 		t.Fatal(err)
