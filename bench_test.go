@@ -518,6 +518,32 @@ func BenchmarkForwardHop(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedRun measures the conservative-lookahead coordinator
+// end to end: the four-bottleneck ring at 1 shard (the plain sequential
+// simulator) vs 4 shards (per-shard event queues on worker goroutines
+// with cross-shard mailbox handoff). On a multi-core host the 4-shard
+// run approaches the topology's parallel speedup; on any host the two
+// results are byte-identical (TestShardedMeshDigestInvariant). The
+// allocs/op ceilings in bench_thresholds.txt keep the cross-shard
+// handoff from allocating per packet: both sub-benchmarks simulate the
+// same traffic, so their allocation gap is pure sharding overhead.
+func BenchmarkShardedRun(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run("shards="+itoa(shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r, err := exp.ShardedMesh(shards, 5*sim.Second, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r.Drops != 0 {
+					b.Fatalf("%d unrouted drops", r.Drops)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkWorkloadChurn measures the dynamic-flow machinery: one run of
 // an open-loop workload churning ~160 short flows through a rate link
 // (spawn → route → transfer → complete → tear down). The committed

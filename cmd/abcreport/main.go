@@ -9,17 +9,29 @@ import (
 	"os"
 
 	"abc/internal/exp"
+	"abc/internal/prof"
 	"abc/internal/sim"
 )
 
 var (
-	seed = flag.Int64("seed", 1, "simulation seed")
-	fast = flag.Bool("fast", false, "shorter runs (CI-sized)")
+	seed     = flag.Int64("seed", 1, "simulation seed")
+	fast     = flag.Bool("fast", false, "shorter runs (CI-sized)")
+	pprofOut = flag.String("pprof", "", "profile the sweep: CPU to <prefix>.cpu.pprof, heap to <prefix>.heap.pprof")
+	rtTrace  = flag.String("runtime-trace", "", "write a runtime execution trace (go tool trace) to this file")
 )
 
 func main() {
 	flag.Parse()
-	if err := run(); err != nil {
+	stop, err := prof.Start(prof.Config{Pprof: *pprofOut, Trace: *rtTrace})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "abcreport:", err)
+		os.Exit(1)
+	}
+	err = run()
+	if perr := stop(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "abcreport:", err)
 		os.Exit(1)
 	}

@@ -21,6 +21,7 @@ import (
 	"abc/internal/app"
 	"abc/internal/cc"
 	"abc/internal/exp"
+	"abc/internal/prof"
 	"abc/internal/qdisc"
 	"abc/internal/sim"
 )
@@ -34,11 +35,22 @@ var (
 	runs     = flag.Int("runs", 3, "runs per point (fig12)")
 	scenario = flag.String("scenario", "", "path to a declarative scenario file (overrides -exp)")
 	traceNm  = flag.String("trace", "", "cellular trace for the app-workload experiments (default Verizon1)")
+	pprofOut = flag.String("pprof", "", "profile the run: CPU to <prefix>.cpu.pprof, heap to <prefix>.heap.pprof")
+	rtTrace  = flag.String("runtime-trace", "", "write a runtime execution trace (go tool trace) to this file")
 )
 
 func main() {
 	flag.Parse()
-	if err := run(); err != nil {
+	stop, err := prof.Start(prof.Config{Pprof: *pprofOut, Trace: *rtTrace})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "abcsim:", err)
+		os.Exit(1)
+	}
+	err = run()
+	if perr := stop(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "abcsim:", err)
 		os.Exit(1)
 	}
@@ -96,6 +108,7 @@ func experiments() []experiment {
 		{"shortflows", "open-loop web-like short flows: FCT and slowdown per scheme", runShortFlows},
 		{"video", "ABR video client: bitrate/rebuffer/switch QoE per scheme", runVideo},
 		{"rpc", "request-response RPC clients vs a bulk flow: per-call FCT", runRPC},
+		{"sharded", "sharded-execution ring at 1/2/4 shards: per-flow results must match", runSharded},
 		{"schemes", "registered schemes and qdisc kinds", runSchemes},
 	}
 }
@@ -647,6 +660,36 @@ func runRPC() error {
 	for _, r := range rows {
 		fmt.Printf("%-14s %8d %9.0f ms %9.0f ms %10.0f %10.2f\n",
 			r.Scheme, r.Calls, r.FCT.MeanMs, r.FCT.P95Ms, r.QDelayP95, r.LongTputMbps)
+	}
+	return nil
+}
+
+func runSharded() error {
+	var base *exp.ShardedMeshResult
+	for _, shards := range []int{1, 2, 4} {
+		r, err := exp.ShardedMesh(shards, dur(), *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("shards=%d (drops=%d)\n", r.Shards, r.Drops)
+		fmt.Printf("  %-8s %-12s %10s %10s %10s %6s\n",
+			"Scheme", "Path", "Mbps", "mean(ms)", "p95(ms)", "lost")
+		for _, f := range r.Flows {
+			fmt.Printf("  %-8s %-12s %10.2f %10.1f %10.1f %6d\n",
+				f.Scheme, f.Path, f.TputMbps, f.MeanMs, f.P95Ms, f.Lost)
+		}
+		if base == nil {
+			base = r
+			continue
+		}
+		for i := range r.Flows {
+			got, want := r.Flows[i], base.Flows[i]
+			got.Scheme, got.Path = want.Scheme, want.Path
+			if got != want {
+				return fmt.Errorf("flow %d diverged between shards=1 and shards=%d", i, r.Shards)
+			}
+		}
+		fmt.Printf("  identical to shards=1\n")
 	}
 	return nil
 }

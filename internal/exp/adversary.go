@@ -158,6 +158,20 @@ func (c *advCollector) addDelay(flow int, d sim.Time) {
 	}
 }
 
+// mergeDelay pools one flow's whole delay recorder into its class — the
+// sharded harness's deterministic post-run replacement for the
+// per-packet addDelay calls, with the same attacker exclusion.
+func (c *advCollector) mergeDelay(flow int, rec *metrics.DelayRecorder) {
+	if c.attackers[flow] {
+		return
+	}
+	if c.victim(flow) {
+		c.victimDelay.Merge(rec)
+	} else {
+		c.bystanderDelay.Merge(rec)
+	}
+}
+
 // addFCT records one completed workload flow into its class. A zero
 // slowdown means the workload has no RefMbps reference and records only
 // the raw FCT.

@@ -75,7 +75,10 @@ type EventResult struct {
 
 // scheduleEvents validates the Spec's event timeline against the
 // compiled graph and schedules each event on the simulator. edgeID maps
-// addressable edge names to graph edge ids.
+// addressable edge names to graph edge ids. On sharded graphs events
+// run as coordinator globals: every shard quiesces to the event time
+// before the mutation applies, so a topology change is never observed
+// partially by a shard that ran ahead.
 func scheduleEvents(s *sim.Simulator, g *topo.Graph, spec *Spec, res *Result, edgeID map[string]int) error {
 	if len(spec.Events) == 0 {
 		return nil
@@ -93,10 +96,15 @@ func scheduleEvents(s *sim.Simulator, g *topo.Graph, spec *Spec, res *Result, ed
 			return err
 		}
 		at, kind := ev.At, ev.Kind
-		s.At(ev.At, func() {
+		fire := func() {
 			apply()
 			res.Events = append(res.Events, EventResult{AtMs: at.Millis(), Kind: kind, Target: target})
-		})
+		}
+		if c := g.Coordinator(); c != nil {
+			c.GlobalAt(ev.At, fire)
+		} else {
+			s.At(ev.At, fire)
+		}
 	}
 	return nil
 }
@@ -187,6 +195,9 @@ func compileEvent(g *topo.Graph, rtr *topo.Router, spec *Spec, edgeID map[string
 		}
 		if ev.Delay < 0 {
 			return nil, "", fmt.Errorf("%s: negative delay", where)
+		}
+		if e.CrossShard() {
+			return nil, "", fmt.Errorf("%s: edge %q crosses shards; its delay is the synchronization lookahead and cannot be retuned", where, ev.Edge)
 		}
 		if !e.DelayMutable() {
 			return nil, "", fmt.Errorf("%s: edge %q was built with zero delay; give it a positive delay to make it mutable", where, ev.Edge)

@@ -76,7 +76,25 @@ func goldenCases() []goldenCase {
 		{"app-shortflows", func() (any, error) { return ShortFlows([]string{"ABC", "Cubic"}, "", short, 1) }},
 		{"app-video", func() (any, error) { return VideoExp([]string{"ABC", "Cubic"}, "", short, 1) }},
 		{"app-rpc", func() (any, error) { return RPCExp([]string{"ABC", "Cubic"}, "", short, 1) }},
+		// The three sharded-mesh entries digest the same result with the
+		// shard count masked, so the corpus itself asserts the sharded
+		// runtime's digest invariance: all three lines must stay equal.
+		{"sharded-mesh-s1", func() (any, error) { return shardedMeshGolden(1, short) }},
+		{"sharded-mesh-s2", func() (any, error) { return shardedMeshGolden(2, short) }},
+		{"sharded-mesh-s4", func() (any, error) { return shardedMeshGolden(4, short) }},
 	}
+}
+
+// shardedMeshGolden runs the sharded-mesh driver and masks the shard
+// count, the one field allowed to differ between the s1/s2/s4 entries.
+func shardedMeshGolden(shards int, dur sim.Time) (any, error) {
+	r, err := ShardedMesh(shards, dur, 1)
+	if err != nil {
+		return nil, err
+	}
+	c := *r
+	c.Shards = 0
+	return &c, nil
 }
 
 // goldenDigest canonicalizes a driver result and digests it. The byte

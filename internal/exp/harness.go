@@ -259,6 +259,17 @@ type Spec struct {
 	// addressed by name — mesh edges by their EdgeSpec.Name, chain links
 	// as "fwd<i>" / "rev<i>" (link i of Links / ReverseLinks).
 	Events []EventSpec
+	// Shards splits the simulation into this many parallel event queues
+	// advanced under conservative lookahead synchronization (0 or 1 =
+	// the sequential simulator, byte-identical to previous releases).
+	// Junctions are partitioned automatically (topo.Partition) unless
+	// pinned via ShardMap; shard-cut edges must have positive Delay.
+	// Sharded specs cannot use Workloads or Sample/Probe time series.
+	Shards int
+	// ShardMap pins named junctions (mesh node names, or chain junctions
+	// "fwd<i>" / "rev<i>") to shard indices; unnamed junctions are placed
+	// by the automatic partitioner around the pins.
+	ShardMap map[string]int
 	// Sample enables time-series collection at this period (0 = off).
 	Sample sim.Time
 	// Probe, when set with Sample > 0, is called once per sample period
@@ -434,8 +445,11 @@ func autoScheme(spec *Spec, dir Direction, i int, spans, wspans []span) string {
 }
 
 // buildChain adds one chain of links to the graph as nodes n[0..len] and
-// returns the edge ids and built qdiscs, first hop first.
-func buildChain(g *topo.Graph, s *sim.Simulator, spec *Spec, links []LinkSpec, dir Direction, spans, wspans []span) (edges []int, qdiscs []qdisc.Qdisc, err error) {
+// returns the edge ids and built qdiscs, first hop first. Each link's
+// qdisc and bottleneck schedule on the simulator of the junction feeding
+// it (the edge's From node), which is the graph's sole simulator unless
+// the spec is sharded.
+func buildChain(g *topo.Graph, spec *Spec, links []LinkSpec, dir Direction, spans, wspans []span) (edges []int, qdiscs []qdisc.Qdisc, err error) {
 	if len(links) == 0 {
 		return nil, nil, nil
 	}
@@ -449,6 +463,7 @@ func buildChain(g *topo.Graph, s *sim.Simulator, spec *Spec, links []LinkSpec, d
 	}
 	for i := range links {
 		ls := &links[i]
+		s := g.SimFor(nodes[i])
 		kind, err := ls.kind()
 		if err != nil {
 			return nil, nil, fmt.Errorf("%v (link %d)", err, i)
@@ -593,19 +608,23 @@ func Run(spec Spec) (*Result, *metrics.DelayRecorder, error) {
 		wspans[i] = sp
 	}
 
-	s := sim.New(spec.Seed)
 	res := &Result{Spec: spec, adv: newAdvCollector(&spec)}
 	pooled := &metrics.DelayRecorder{}
 
 	// The topology: both chains as graph edges, every flow an explicit
-	// forward and reverse route over them.
-	g := topo.New(s)
-	res.Graph = g
-	fwdEdges, fwdQdiscs, err := buildChain(g, s, &spec, spec.Links, Forward, spans, wspans)
+	// forward and reverse route over them. Shards > 1 spreads the
+	// junctions over parallel event queues (see shard.go).
+	g, err := chainGraph(&spec, spans)
 	if err != nil {
 		return nil, nil, err
 	}
-	revEdges, revQdiscs, err := buildChain(g, s, &spec, spec.ReverseLinks, Reverse, spans, wspans)
+	s := g.S
+	res.Graph = g
+	fwdEdges, fwdQdiscs, err := buildChain(g, &spec, spec.Links, Forward, spans, wspans)
+	if err != nil {
+		return nil, nil, err
+	}
+	revEdges, revQdiscs, err := buildChain(g, &spec, spec.ReverseLinks, Reverse, spans, wspans)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -627,7 +646,7 @@ func Run(spec Spec) (*Result, *metrics.DelayRecorder, error) {
 		}
 		routes[i] = chainRoute(fs.Dir, spans[i])
 	}
-	if err := wireFlows(s, g, &spec, res, pooled, routes); err != nil {
+	if err := wireFlows(g, &spec, res, pooled, routes); err != nil {
 		return nil, nil, err
 	}
 	wroutes := make([]flowRoute, len(spec.Workloads))
@@ -652,7 +671,7 @@ func Run(spec Spec) (*Result, *metrics.DelayRecorder, error) {
 		return nil, nil, err
 	}
 
-	runAndMeasure(s, g, &spec, res, res.Qdiscs[0], capacityFn(&spec.Links[0]))
+	runAndMeasure(g, &spec, res, pooled, res.Qdiscs[0], capacityFn(&spec.Links[0]))
 	if err := finishWorkloads(runners); err != nil {
 		return nil, nil, err
 	}
@@ -721,7 +740,14 @@ type flowRoute struct{ data, ack []int }
 // installs its routes, attaching the per-flow metrics hooks. It is the
 // part of scenario execution the chain and mesh compilers share: by the
 // time it runs, a flow is just a pair of edge sequences.
-func wireFlows(s *sim.Simulator, g *topo.Graph, spec *Spec, res *Result, pooled *metrics.DelayRecorder, routes []flowRoute) error {
+//
+// On sharded graphs the endpoint lives on the data route's origin shard
+// and the receiver on its terminal shard (they inject packets
+// synchronously into those junctions), and the pooled/adversary
+// recorders are not touched per packet — poolShardedMetrics rebuilds
+// them from the per-flow recorders after the run.
+func wireFlows(g *topo.Graph, spec *Spec, res *Result, pooled *metrics.DelayRecorder, routes []flowRoute) error {
+	sharded := g.Sharded()
 	res.Flows = make([]FlowResult, len(spec.Flows))
 	for i := range spec.Flows {
 		fs := &spec.Flows[i]
@@ -748,25 +774,48 @@ func wireFlows(s *sim.Simulator, g *topo.Graph, spec *Spec, res *Result, pooled 
 			flowRTT = spec.RTT
 		}
 
-		ep := cc.NewEndpoint(s, i, nil, alg)
+		// Placement: endpoint with the data route's origin junction,
+		// receiver with its terminal junction. Unsharded graphs collapse
+		// all of this to the one simulator.
+		if sharded && len(routes[i].data) == 0 {
+			return fmt.Errorf("exp: flow %d: empty data route on a sharded graph", i)
+		}
+		epSim, recvSim := g.S, g.S
+		epShard, recvShard := 0, 0
+		if sharded {
+			origin := g.Edge(routes[i].data[0]).From.ID
+			last := g.Edge(routes[i].data[len(routes[i].data)-1]).To.ID
+			epSim, recvSim = g.SimFor(origin), g.SimFor(last)
+			epShard, recvShard = g.ShardOf(origin), g.ShardOf(last)
+		}
+
+		ep := cc.NewEndpoint(epSim, i, nil, alg)
 		ep.Src = fs.Source
 		if fs.App != nil {
 			if fs.Source != nil {
 				return fmt.Errorf("exp: flow %d: App and Source are mutually exclusive (the app owns the source)", i)
 			}
-			a, err := buildApp(s, ep, fs.App, spec.Warmup)
+			a, err := buildApp(epSim, ep, fs.App, spec.Warmup)
 			if err != nil {
 				return fmt.Errorf("exp: flow %d: %v", i, err)
 			}
 			fr.App = a
-			s.At(fs.Start, func() { a.Start(s.Now()) })
+			epSim.At(fs.Start, func() { a.Start(epSim.Now()) })
 		}
 		fr.Endpoint = ep
-		ackEntry, err := g.RouteFlow(i, true, routes[i].ack, flowRTT/2, ep)
+		// The ACK route starts at the receiver's junction and terminates
+		// at the endpoint, so its injection/terminal shards are the
+		// receiver's and endpoint's respectively.
+		var ackEntry packet.Node
+		if sharded {
+			ackEntry, err = g.RouteFlowAt(i, true, routes[i].ack, flowRTT/2, ep, epShard, recvShard)
+		} else {
+			ackEntry, err = g.RouteFlow(i, true, routes[i].ack, flowRTT/2, ep)
+		}
 		if err != nil {
 			return err
 		}
-		recv := netem.NewReceiver(s, i, ackEntry)
+		recv := netem.NewReceiver(recvSim, i, ackEntry)
 		start, warm, flowID := fs.Start, spec.Warmup, i
 		recv.OnData = func(now sim.Time, p *packet.Packet) {
 			if now < warm || now < start {
@@ -776,20 +825,27 @@ func wireFlows(s *sim.Simulator, g *topo.Graph, spec *Spec, res *Result, pooled 
 			d := now - p.SentAt
 			fr.Delay.Add(d)
 			fr.QDelay.Add(p.QueueDelay)
-			pooled.Add(d)
-			if res.adv != nil {
-				res.adv.addDelay(flowID, d)
+			if !sharded {
+				pooled.Add(d)
+				if res.adv != nil {
+					res.adv.addDelay(flowID, d)
+				}
 			}
 		}
-		dataEntry, err := g.RouteFlow(i, false, routes[i].data, flowRTT/2, recv)
+		var dataEntry packet.Node
+		if sharded {
+			dataEntry, err = g.RouteFlowAt(i, false, routes[i].data, flowRTT/2, recv, recvShard, epShard)
+		} else {
+			dataEntry, err = g.RouteFlow(i, false, routes[i].data, flowRTT/2, recv)
+		}
 		if err != nil {
 			return err
 		}
 		ep.Out = dataEntry
 
-		s.At(fs.Start, ep.Start)
+		epSim.At(fs.Start, ep.Start)
 		if fs.Stop > 0 {
-			s.At(fs.Stop, ep.Stop)
+			epSim.At(fs.Stop, ep.Stop)
 		}
 		if spec.Sample > 0 {
 			counter := &metrics.RateCounter{}
@@ -800,7 +856,7 @@ func wireFlows(s *sim.Simulator, g *topo.Graph, spec *Spec, res *Result, pooled 
 					prev(now, p)
 				}
 			}
-			fr.Tput = metrics.NewTimeseries(s, spec.Sample, spec.Duration, func(now sim.Time) float64 {
+			fr.Tput = metrics.NewTimeseries(recvSim, spec.Sample, spec.Duration, func(now sim.Time) float64 {
 				return counter.SampleBps(now) / 1e6
 			})
 		}
@@ -812,8 +868,11 @@ func wireFlows(s *sim.Simulator, g *topo.Graph, spec *Spec, res *Result, pooled 
 // simulation to spec.Duration and finalizes the per-flow counters.
 // firstQ/firstCap describe the scenario's leading bottleneck for the
 // standing-queue-delay series; they may be nil when the topology has no
-// bottleneck at all (an all-wire mesh).
-func runAndMeasure(s *sim.Simulator, g *topo.Graph, spec *Spec, res *Result, firstQ qdisc.Qdisc, firstCap func(now sim.Time) float64) {
+// bottleneck at all (an all-wire mesh). Sharded graphs run under the
+// coordinator and pool their run-wide delay recorders from the per-flow
+// ones afterwards (checkShardable guarantees no time series here).
+func runAndMeasure(g *topo.Graph, spec *Spec, res *Result, pooled *metrics.DelayRecorder, firstQ qdisc.Qdisc, firstCap func(now sim.Time) float64) {
+	s := g.S
 	if spec.Sample > 0 && firstQ != nil {
 		res.QueueDelayTS = metrics.NewTimeseries(s, spec.Sample, spec.Duration, func(now sim.Time) float64 {
 			mu := firstCap(now)
@@ -839,7 +898,11 @@ func runAndMeasure(s *sim.Simulator, g *topo.Graph, spec *Spec, res *Result, fir
 		})
 	}
 
-	s.RunUntil(spec.Duration)
+	if c := g.Coordinator(); c != nil {
+		c.Run(spec.Duration)
+	} else {
+		s.RunUntil(spec.Duration)
+	}
 
 	// Per-flow throughput over each flow's measured window.
 	for i := range res.Flows {
@@ -863,6 +926,9 @@ func runAndMeasure(s *sim.Simulator, g *topo.Graph, spec *Spec, res *Result, fir
 		}
 		fr.Lost = fr.Endpoint.LostPackets
 		fr.Retx = fr.Endpoint.RetxPackets
+	}
+	if g.Sharded() {
+		poolShardedMetrics(res, pooled)
 	}
 	res.Drops = g.UnroutedDrops()
 	res.ImpairDrops = g.ImpairDrops()

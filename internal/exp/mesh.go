@@ -41,10 +41,13 @@ func runMesh(spec Spec) (*Result, *metrics.DelayRecorder, error) {
 		return nil, nil, fmt.Errorf("exp: no flows in spec")
 	}
 
-	s := sim.New(spec.Seed)
 	res := &Result{Spec: spec, adv: newAdvCollector(&spec)}
 	pooled := &metrics.DelayRecorder{}
-	g := topo.New(s)
+	g, err := meshGraph(&spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := g.S
 	res.Graph = g
 
 	nodeID := make(map[string]int, len(spec.Nodes))
@@ -92,11 +95,13 @@ func runMesh(spec Spec) (*Result, *metrics.DelayRecorder, error) {
 			if err != nil {
 				return nil, nil, fmt.Errorf("exp: edge %q: %v", es.Name, err)
 			}
-			qd, err := ls.Qdisc.build(meshAutoScheme(&spec, es.Name), s)
+			// The bottleneck schedules on the feeding junction's shard.
+			fromSim := g.SimFor(from)
+			qd, err := ls.Qdisc.build(meshAutoScheme(&spec, es.Name), fromSim)
 			if err != nil {
 				return nil, nil, fmt.Errorf("exp: edge %q: %v", es.Name, err)
 			}
-			mk, err = linkFactory(s, ls, kind, qd)
+			mk, err = linkFactory(fromSim, ls, kind, qd)
 			if err != nil {
 				return nil, nil, fmt.Errorf("exp: edge %q: %v", es.Name, err)
 			}
@@ -144,7 +149,7 @@ func runMesh(spec Spec) (*Result, *metrics.DelayRecorder, error) {
 		}
 		wroutes[i] = r
 	}
-	if err := wireFlows(s, g, &spec, res, pooled, routes); err != nil {
+	if err := wireFlows(g, &spec, res, pooled, routes); err != nil {
 		return nil, nil, err
 	}
 	runners, err := startWorkloads(s, g, &spec, res, pooled, wroutes)
@@ -155,7 +160,7 @@ func runMesh(spec Spec) (*Result, *metrics.DelayRecorder, error) {
 		return nil, nil, err
 	}
 
-	runAndMeasure(s, g, &spec, res, firstQ, firstCap)
+	runAndMeasure(g, &spec, res, pooled, firstQ, firstCap)
 	if err := finishWorkloads(runners); err != nil {
 		return nil, nil, err
 	}

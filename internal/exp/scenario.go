@@ -128,6 +128,15 @@
 // Any of the three makes the run's Result carry an Adversary report:
 // victim/bystander/attacker throughput, p95 delay, FCT, QoE and Jain
 // fairness splits.
+//
+// A top-level "shards" count splits the simulation into that many
+// parallel event queues synchronized by conservative lookahead (runs
+// are deterministic for a fixed seed and shard count), and "shard_map"
+// pins named junctions to shard indices, overriding the automatic
+// partitioner:
+//
+//	"shards": 2,
+//	"shard_map": {"gw": 0, "sink": 1}
 package exp
 
 import (
@@ -537,6 +546,13 @@ type Scenario struct {
 	WarmupS      float64        `json:"warmup_s"`
 	RTTms        float64        `json:"rtt_ms"`
 	SampleMs     float64        `json:"sample_ms"`
+	// Shards splits the simulation into this many parallel event queues
+	// synchronized by conservative lookahead (0/1 = the sequential
+	// simulator). ShardMap pins named junctions (mesh node names, or the
+	// chain junctions "fwd<i>"/"rev<i>") to shard indices; unpinned
+	// junctions are placed by the automatic partitioner.
+	Shards   int            `json:"shards,omitempty"`
+	ShardMap map[string]int `json:"shard_map,omitempty"`
 	Links        []ScenarioLink `json:"links,omitempty"`
 	ReverseLinks []ScenarioLink `json:"reverse_links,omitempty"`
 	Nodes        []string       `json:"nodes,omitempty"`
@@ -690,6 +706,19 @@ func (sc *Scenario) Compile() (Spec, error) {
 		Warmup:   sim.FromSeconds(sc.WarmupS),
 		RTT:      ms(sc.RTTms),
 		Sample:   ms(sc.SampleMs),
+		Shards:   sc.Shards,
+		ShardMap: sc.ShardMap,
+	}
+	if sc.Shards < 0 {
+		return Spec{}, fmt.Errorf("scenario: negative shards")
+	}
+	if len(sc.ShardMap) > 0 && sc.Shards <= 1 {
+		return Spec{}, fmt.Errorf("scenario: shard_map needs shards > 1")
+	}
+	for name, idx := range sc.ShardMap {
+		if idx < 0 || idx >= sc.Shards {
+			return Spec{}, fmt.Errorf("scenario: shard_map[%q] = %d out of range [0, %d)", name, idx, sc.Shards)
+		}
 	}
 	for i := range sc.Links {
 		ls, err := compileLink(&sc.Links[i], i, "links")

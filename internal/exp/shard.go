@@ -1,0 +1,191 @@
+// Sharded compilation: Spec.Shards > 1 splits the simulation into
+// per-shard event queues advanced in parallel by a sim.Coordinator
+// (conservative lookahead synchronization; see internal/sim/shard.go).
+// This file owns the spec-level plumbing: which specs are shardable,
+// how a spec's topology becomes a partitioner input, and how per-flow
+// metrics are pooled deterministically after a sharded run.
+//
+// Placement rules the compilers follow:
+//   - A junction lives on the shard the partitioner assigns it
+//     (topo.Partition: zero-delay edges are never cut, Spec.ShardMap
+//     pins nodes manually).
+//   - A flow's endpoint lives with its data route's origin junction and
+//     its receiver with the data route's last junction, because both
+//     inject packets synchronously into their neighbor.
+//   - A receiver also injects ACKs synchronously into the ACK route's
+//     origin junction, so that junction must share the receiver's
+//     shard. Mesh specs guarantee it structurally (the ACK path starts
+//     where the data path ends); chain specs get a synthetic zero-delay
+//     tie between the two junctions in the partitioner input.
+//
+// Pooled metrics (the pooled delay recorder, adversary class recorders)
+// are not written per packet in sharded mode — receivers on different
+// shards would race — but merged from the per-flow recorders after the
+// run, in flow order (metrics.DelayRecorder.Merge), which keeps the
+// result a pure function of (spec, seed, shard count).
+package exp
+
+import (
+	"fmt"
+
+	"abc/internal/metrics"
+	"abc/internal/sim"
+	"abc/internal/topo"
+)
+
+// maxShards bounds Spec.Shards to something a machine could plausibly
+// run; beyond this a typo is far more likely than a 128-core box.
+const maxShards = 64
+
+// checkShardable rejects spec features the sharded path does not
+// support. Workloads spawn flows mid-run (route installs and harness
+// RNG draws from arbitrary shard contexts); Sample/Probe time series
+// interleave per-packet callbacks across flows on one clock. Both keep
+// their sequential semantics at Shards <= 1.
+func checkShardable(spec *Spec) error {
+	if spec.Shards > maxShards {
+		return fmt.Errorf("exp: Shards %d exceeds the maximum %d", spec.Shards, maxShards)
+	}
+	if len(spec.Workloads) > 0 {
+		return fmt.Errorf("exp: Shards > 1 does not support Workloads (mid-run flow spawning is inherently cross-shard); run with Shards 1")
+	}
+	if spec.Sample > 0 || spec.Probe != nil {
+		return fmt.Errorf("exp: Shards > 1 does not support Sample/Probe time series; run with Shards 1")
+	}
+	return nil
+}
+
+// shardOverride translates Spec.ShardMap node names into partitioner
+// node indices via the name → index mapping of the compiled topology.
+func shardOverride(spec *Spec, nodeIdx map[string]int) (map[int]int, error) {
+	if len(spec.ShardMap) == 0 {
+		return nil, nil
+	}
+	o := make(map[int]int, len(spec.ShardMap))
+	for name, sh := range spec.ShardMap {
+		id, ok := nodeIdx[name]
+		if !ok {
+			return nil, fmt.Errorf("exp: ShardMap: unknown node %q", name)
+		}
+		o[id] = sh
+	}
+	return o, nil
+}
+
+// chainGraph builds the topology graph for a chain-form spec: the plain
+// single-simulator graph at Shards <= 1, a partitioned one otherwise.
+// Chain junctions are named (and ShardMap-addressable) as "fwd<i>" /
+// "rev<i>", matching the edge naming used by event timelines.
+func chainGraph(spec *Spec, spans []span) (*topo.Graph, error) {
+	if spec.Shards <= 1 {
+		return topo.New(sim.New(spec.Seed)), nil
+	}
+	if err := checkShardable(spec); err != nil {
+		return nil, err
+	}
+	// Reproduce buildChain's node creation order: fwd0..fwdN first, then
+	// rev0..revM when a reverse chain exists.
+	nodeIdx := map[string]int{}
+	var n int
+	addChain := func(prefix string, links int) int {
+		base := n
+		for i := 0; i <= links; i++ {
+			nodeIdx[fmt.Sprintf("%s%d", prefix, i)] = n
+			n++
+		}
+		return base
+	}
+	fwdBase := addChain("fwd", len(spec.Links))
+	revBase := -1
+	if len(spec.ReverseLinks) > 0 {
+		revBase = addChain("rev", len(spec.ReverseLinks))
+	}
+	var pedges []topo.PartEdge
+	for i := range spec.Links {
+		pedges = append(pedges, topo.PartEdge{From: fwdBase + i, To: fwdBase + i + 1, Delay: spec.Links[i].Delay})
+	}
+	for i := range spec.ReverseLinks {
+		pedges = append(pedges, topo.PartEdge{From: revBase + i, To: revBase + i + 1, Delay: spec.ReverseLinks[i].Delay})
+	}
+	// Synthetic ties: each flow's receiver (at its data chain's exit
+	// junction) injects ACKs synchronously into the opposite chain's
+	// first junction, so the two must share a shard.
+	for i := range spec.Flows {
+		fs := &spec.Flows[i]
+		var last, ackOrigin int
+		if fs.Dir == Reverse {
+			last, ackOrigin = revBase+spans[i].exit, fwdBase
+		} else {
+			if revBase < 0 {
+				continue // direct ACK wire: no junction injection
+			}
+			last, ackOrigin = fwdBase+spans[i].exit, revBase
+		}
+		pedges = append(pedges, topo.PartEdge{From: last, To: ackOrigin, Delay: 0})
+	}
+	override, err := shardOverride(spec, nodeIdx)
+	if err != nil {
+		return nil, err
+	}
+	assign, err := topo.Partition(n, pedges, spec.Shards, override)
+	if err != nil {
+		return nil, err
+	}
+	return topo.NewSharded(sim.NewCoordinator(spec.Seed, spec.Shards), assign), nil
+}
+
+// meshGraph builds the topology graph for a mesh-form spec, partitioning
+// spec.Nodes (in declaration order) when sharded. Node and edge name
+// validation beyond what the partitioner needs stays with runMesh.
+func meshGraph(spec *Spec) (*topo.Graph, error) {
+	if spec.Shards <= 1 {
+		return topo.New(sim.New(spec.Seed)), nil
+	}
+	if err := checkShardable(spec); err != nil {
+		return nil, err
+	}
+	nodeIdx := make(map[string]int, len(spec.Nodes))
+	for i, name := range spec.Nodes {
+		if _, dup := nodeIdx[name]; name == "" || dup {
+			// Defer to runMesh's canonical validation error.
+			return topo.New(sim.New(spec.Seed)), nil
+		}
+		nodeIdx[name] = i
+	}
+	pedges := make([]topo.PartEdge, 0, len(spec.Edges))
+	for i := range spec.Edges {
+		es := &spec.Edges[i]
+		from, ok := nodeIdx[es.From]
+		if !ok {
+			return nil, fmt.Errorf("exp: edge %q: unknown node %q", es.Name, es.From)
+		}
+		to, ok := nodeIdx[es.To]
+		if !ok {
+			return nil, fmt.Errorf("exp: edge %q: unknown node %q", es.Name, es.To)
+		}
+		pedges = append(pedges, topo.PartEdge{From: from, To: to, Delay: es.Link.Delay})
+	}
+	override, err := shardOverride(spec, nodeIdx)
+	if err != nil {
+		return nil, err
+	}
+	assign, err := topo.Partition(len(spec.Nodes), pedges, spec.Shards, override)
+	if err != nil {
+		return nil, err
+	}
+	return topo.NewSharded(sim.NewCoordinator(spec.Seed, spec.Shards), assign), nil
+}
+
+// poolShardedMetrics rebuilds the run-wide pooled recorders from the
+// per-flow recorders after a sharded run, in flow order — the
+// deterministic replacement for the per-packet pooled/adversary updates
+// the sequential receivers perform inline.
+func poolShardedMetrics(res *Result, pooled *metrics.DelayRecorder) {
+	for i := range res.Flows {
+		fr := &res.Flows[i]
+		pooled.Merge(&fr.Delay)
+		if res.adv != nil {
+			res.adv.mergeDelay(i, &fr.Delay)
+		}
+	}
+}

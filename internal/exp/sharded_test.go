@@ -1,0 +1,242 @@
+package exp
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"abc/internal/sim"
+)
+
+// TestShardedMeshDigestInvariant is the multi-shard golden pick: the
+// sharded-mesh driver must serialize byte-identically at 1, 2 and 4
+// shards. Anything less means the conservative synchronization let an
+// event fire in a shard's past, or a pooled metric depended on
+// cross-flow arrival interleaving.
+func TestShardedMeshDigestInvariant(t *testing.T) {
+	const dur = 10 * sim.Second
+	digests := map[int]string{}
+	for _, shards := range []int{1, 2, 4} {
+		r, err := ShardedMesh(shards, dur, 1)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if r.Drops != 0 {
+			t.Fatalf("shards=%d: %d unrouted drops", shards, r.Drops)
+		}
+		if r.Flows[0].Bytes == 0 {
+			t.Fatalf("shards=%d: no traffic measured", shards)
+		}
+		// Shards is the one field expected to differ; digest the rest.
+		c := *r
+		c.Shards = 0
+		d, _, err := goldenDigest(&c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		digests[shards] = d
+	}
+	if digests[2] != digests[1] || digests[4] != digests[1] {
+		t.Errorf("digests diverge across shard counts: %v", digests)
+	}
+}
+
+// TestShardedMeshRepeatable: a fixed (seed, shard count) pair must be
+// digest-stable run to run — parallel shard workers may not leak
+// scheduling nondeterminism into the result.
+func TestShardedMeshRepeatable(t *testing.T) {
+	var first string
+	for i := 0; i < 3; i++ {
+		r, err := ShardedMesh(4, 10*sim.Second, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, _, err := goldenDigest(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = d
+		} else if d != first {
+			t.Fatalf("run %d digest %s != first %s", i, d, first)
+		}
+	}
+}
+
+// shardedTolerance asserts two measurements agree within frac.
+func shardedTolerance(t *testing.T, what string, seq, sh, frac float64) {
+	t.Helper()
+	if seq == 0 && sh == 0 {
+		return
+	}
+	ref := math.Max(math.Abs(seq), math.Abs(sh))
+	if math.Abs(seq-sh) > frac*ref {
+		t.Errorf("%s: sequential %v vs sharded %v differ by more than %.0f%%", what, seq, sh, frac*100)
+	}
+}
+
+// TestShardedHandoverMatchesSequential runs the handover topology (mid-
+// run reroute of both routes, executed as a coordinator global) sharded
+// and compares it against the sequential run. Same-instant cross-shard
+// ties may order differently than the sequential heap, so the
+// comparison is behavioral (throughput/delay within tolerance), not a
+// digest.
+func TestShardedHandoverMatchesSequential(t *testing.T) {
+	const dur = 12 * sim.Second
+	spec := handoverSpec("ABC", dur/2, dur, 1)
+	spec.Sample = 0 // time series are sequential-only
+	seq, _, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec = handoverSpec("ABC", dur/2, dur, 1)
+	spec.Sample = 0
+	spec.Shards = 2
+	sh, _, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sh.Events) != 2 {
+		t.Fatalf("sharded run executed %d events, want 2", len(sh.Events))
+	}
+	shardedTolerance(t, "throughput", seq.Flows[0].TputMbps, sh.Flows[0].TputMbps, 0.15)
+	shardedTolerance(t, "mean delay", seq.Flows[0].Delay.Mean(), sh.Flows[0].Delay.Mean(), 0.15)
+	if seqB, shB := seq.Flows[0].Bytes, sh.Flows[0].Bytes; seqB == 0 || shB == 0 {
+		t.Fatalf("no traffic: sequential %d bytes, sharded %d", seqB, shB)
+	}
+}
+
+// TestShardedTargetedMatchesSequential: the targeted-attack chain (all
+// four flows through one bottleneck, adversarial stage on the cut edge)
+// sharded across the bottleneck vs sequential, within tolerance.
+func TestShardedTargetedMatchesSequential(t *testing.T) {
+	const dur = 12 * sim.Second
+	build := func(shards int) Spec {
+		spec := targetedSpec("ABC", dur, 1)
+		// Give the single link a positive delay so the chain has a legal
+		// shard cut (zero-delay edges are contracted, not cut).
+		spec.Links[0].Delay = 4 * sim.Millisecond
+		spec.Links[0].Attack = targetedAttack()
+		spec.Shards = shards
+		return spec
+	}
+	seq, _, err := Run(build(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, _, err := Run(build(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.AdvDelayed == 0 && sh.AdvDrops == 0 {
+		t.Fatal("sharded run recorded no adversarial actions; attack not exercised")
+	}
+	var seqTput, shTput float64
+	for i := range seq.Flows {
+		seqTput += seq.Flows[i].TputMbps
+		shTput += sh.Flows[i].TputMbps
+	}
+	shardedTolerance(t, "aggregate throughput", seqTput, shTput, 0.15)
+	shardedTolerance(t, "victim p95", seq.Flows[0].Delay.P95(), sh.Flows[0].Delay.P95(), 0.2)
+	if seq.Adversary == nil || sh.Adversary == nil {
+		t.Fatal("missing adversary report")
+	}
+	shardedTolerance(t, "victim class p95", seq.Adversary.VictimP95Ms, sh.Adversary.VictimP95Ms, 0.2)
+}
+
+// TestShardedSpecValidation pins the sharded path's feature gates and
+// the cross-shard event restrictions.
+func TestShardedSpecValidation(t *testing.T) {
+	base := func() Spec {
+		spec := shardedMeshSpec(2, 10*sim.Second, 1)
+		return spec
+	}
+
+	spec := base()
+	spec.Sample = 100 * sim.Millisecond
+	if _, _, err := Run(spec); err == nil || !strings.Contains(err.Error(), "Sample") {
+		t.Errorf("Sample on a sharded spec not rejected: %v", err)
+	}
+
+	spec = base()
+	spec.Workloads = []WorkloadSpec{{Scheme: "Cubic", Path: []string{"bot0", "hop0"}}}
+	if _, _, err := Run(spec); err == nil || !strings.Contains(err.Error(), "Workloads") {
+		t.Errorf("Workloads on a sharded spec not rejected: %v", err)
+	}
+
+	spec = base()
+	spec.ShardMap = map[string]int{"nope": 0}
+	if _, _, err := Run(spec); err == nil || !strings.Contains(err.Error(), "unknown node") {
+		t.Errorf("unknown ShardMap node not rejected: %v", err)
+	}
+
+	// set_delay on a shard-cut edge would retune the synchronization
+	// lookahead; the timeline compiler must reject it statically. Pin
+	// hop0's endpoints (j1 -> j2) apart so it is a cut by construction.
+	spec = base()
+	spec.ShardMap = map[string]int{"j1": 0, "j2": 1}
+	spec.Events = []EventSpec{{At: 5 * sim.Second, Kind: EventSetDelay, Edge: "hop0", Delay: 9 * sim.Millisecond}}
+	if _, _, err := Run(spec); err == nil || !strings.Contains(err.Error(), "crosses shards") {
+		t.Errorf("set_delay on a shard-cut edge not rejected: %v", err)
+	}
+	// The same event on an unsharded run of the same spec is legal.
+	spec.Shards = 1
+	if _, _, err := Run(spec); err != nil {
+		t.Errorf("set_delay rejected on the sequential twin: %v", err)
+	}
+
+	// ShardMap pins are honored: forcing the whole ring onto one shard
+	// leaves no cut edges, so even set_delay is legal again.
+	spec = base()
+	spec.ShardMap = map[string]int{}
+	for j := 0; j < 8; j++ {
+		spec.ShardMap["j"+string(rune('0'+j))] = 0
+	}
+	spec.Events = []EventSpec{{At: 5 * sim.Second, Kind: EventSetDelay, Edge: "hop0", Delay: 9 * sim.Millisecond}}
+	if _, _, err := Run(spec); err != nil {
+		t.Errorf("pinning all nodes to one shard should legalize set_delay: %v", err)
+	}
+}
+
+// TestScenarioShardsClause pins the declarative spelling: "shards" and
+// "shard_map" compile into Spec.Shards/ShardMap, and malformed clauses
+// fail at Compile with a static error.
+func TestScenarioShardsClause(t *testing.T) {
+	sc, err := ParseScenario([]byte(`{
+		"duration_s": 10,
+		"shards": 2,
+		"shard_map": {"a": 0, "b": 1},
+		"nodes": ["a", "b"],
+		"edges": [{"name": "e", "from": "a", "to": "b",
+		           "kind": "rate", "rate_mbps": 8, "delay_ms": 3,
+		           "qdisc": {"kind": "droptail", "buffer": 100}}],
+		"flows": [{"scheme": "ABC", "path": ["e"]}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := sc.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Shards != 2 || spec.ShardMap["b"] != 1 {
+		t.Errorf("shards clause not carried into the Spec: %+v", spec.ShardMap)
+	}
+
+	bad := []struct {
+		name, in, want string
+	}{
+		{"negative shards", `{"shards": -1, "flows": []}`, "negative shards"},
+		{"map without shards", `{"shard_map": {"a": 0}, "flows": []}`, "shards > 1"},
+		{"pin out of range", `{"shards": 2, "shard_map": {"a": 2}, "flows": []}`, "out of range"},
+	}
+	for _, tc := range bad {
+		sc, err := ParseScenario([]byte(tc.in))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", tc.name, err)
+		}
+		if _, err := sc.Compile(); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Compile() err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestDelayRecorderMerge: merging K recorders fed disjoint slices of a
+// sample stream must agree with one recorder fed the whole stream —
+// exactly on count/mean/min/max, within the summed epsilon bound on
+// percentiles.
+func TestDelayRecorderMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, parts := range []int{2, 4, 7} {
+		for _, n := range []int{10, 999, 20000} {
+			samples := make([]float64, n)
+			for i := range samples {
+				// Heavy-tailed-ish mixture, the shape delay data takes.
+				v := rng.ExpFloat64() * 20
+				if rng.Float64() < 0.1 {
+					v += 200 * rng.Float64()
+				}
+				samples[i] = v
+			}
+			var whole DelayRecorder
+			shards := make([]DelayRecorder, parts)
+			for i, v := range samples {
+				whole.AddSample(v)
+				shards[i%parts].AddSample(v)
+			}
+			var merged DelayRecorder
+			for i := range shards {
+				merged.Merge(&shards[i])
+			}
+			if merged.Count() != whole.Count() {
+				t.Fatalf("parts=%d n=%d: merged count %d != %d", parts, n, merged.Count(), whole.Count())
+			}
+			if math.Abs(merged.Mean()-whole.Mean()) > 1e-9 {
+				t.Fatalf("parts=%d n=%d: merged mean %v != %v", parts, n, merged.Mean(), whole.Mean())
+			}
+			if merged.Percentile(0) != whole.Percentile(0) || merged.Percentile(100) != whole.Percentile(100) {
+				t.Fatalf("parts=%d n=%d: min/max drifted under merge", parts, n)
+			}
+			sorted := append([]float64(nil), samples...)
+			sort.Float64s(sorted)
+			for _, p := range []float64{50, 95, 99} {
+				got := merged.Percentile(p)
+				// Allowed rank error: one epsilon per merged sketch plus
+				// the query's own epsilon (conservative).
+				slack := int(math.Ceil(defaultEpsilon*float64(n)))*(parts+1) + 1
+				rank := int(math.Ceil(p / 100 * float64(n)))
+				lo, hi := rank-1-slack, rank-1+slack
+				if lo < 0 {
+					lo = 0
+				}
+				if hi >= n {
+					hi = n - 1
+				}
+				if got < sorted[lo] || got > sorted[hi] {
+					t.Fatalf("parts=%d n=%d p%g: merged %v outside rank band [%v, %v]",
+						parts, n, p, got, sorted[lo], sorted[hi])
+				}
+			}
+		}
+	}
+}
+
+// TestDelayRecorderMergeExact: Exact recorders merge into an Exact
+// recorder with bit-identical percentiles.
+func TestDelayRecorderMergeExact(t *testing.T) {
+	var a, b, whole DelayRecorder
+	a.Exact, b.Exact, whole.Exact = true, true, true
+	for i := 0; i < 100; i++ {
+		v := float64((i * 37) % 101)
+		whole.AddSample(v)
+		if i%2 == 0 {
+			a.AddSample(v)
+		} else {
+			b.AddSample(v)
+		}
+	}
+	var m DelayRecorder
+	m.Exact = true
+	m.Merge(&a)
+	m.Merge(&b)
+	for _, p := range []float64{0, 25, 50, 95, 100} {
+		if m.Percentile(p) != whole.Percentile(p) {
+			t.Fatalf("p%g: exact merge %v != %v", p, m.Percentile(p), whole.Percentile(p))
+		}
+	}
+}
+
+// TestDelayRecorderMergeEmpty: merging with empty recorders on either
+// side is the identity.
+func TestDelayRecorderMergeEmpty(t *testing.T) {
+	var empty, d DelayRecorder
+	d.AddSample(3)
+	d.AddSample(5)
+	d.Merge(&empty)
+	if d.Count() != 2 || d.Mean() != 4 {
+		t.Fatalf("merge with empty changed recorder: count=%d mean=%v", d.Count(), d.Mean())
+	}
+	var dst DelayRecorder
+	dst.Merge(&d)
+	if dst.Count() != 2 || dst.Percentile(100) != 5 {
+		t.Fatalf("merge into empty lost samples: count=%d max=%v", dst.Count(), dst.Percentile(100))
+	}
+}

@@ -49,6 +49,24 @@ func (d *DelayRecorder) AddSample(v float64) {
 	d.sketch.Add(v)
 }
 
+// Merge folds another recorder's samples into this one, as if every
+// sample o recorded had been Added here: counts and sums combine
+// exactly, sketches merge with the mergeable-summary error bound (the
+// two epsilons add). The sharded harness uses it to pool per-shard and
+// per-flow recorders in a deterministic order after the run. In Exact
+// mode the merged recorder stays exact only if o is Exact too;
+// otherwise percentile queries fall back to the merged sketch. o is
+// flushed but otherwise unchanged.
+func (d *DelayRecorder) Merge(o *DelayRecorder) {
+	d.count += o.count
+	d.sum += o.sum
+	if d.Exact && o.Exact {
+		d.samples = append(d.samples, o.samples...)
+		d.sorted = false
+	}
+	d.sketch.merge(&o.sketch)
+}
+
 // Count returns the number of samples.
 func (d *DelayRecorder) Count() int { return int(d.count) }
 

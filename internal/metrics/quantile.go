@@ -195,6 +195,52 @@ func (s *gkSketch) Max() float64 {
 	return s.tuples[len(s.tuples)-1].v
 }
 
+// merge folds another sketch into this one: both are flushed, the tuple
+// lists are merged in value order with their (g, delta) bands kept
+// verbatim, and the result is compressed against the combined count.
+// Each tuple's rank band stays valid in the merged summary (ranks only
+// shift by whole tuples from the other side, which the running g sums
+// account for), so the merged error is bounded by the sum of the two
+// sketches' epsilons — the standard mergeable-summary bound. o is
+// flushed but otherwise unchanged.
+func (s *gkSketch) merge(o *gkSketch) {
+	s.flush()
+	o.flush()
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		s.n = o.n
+		s.tuples = append(s.tuples[:0], o.tuples...)
+		return
+	}
+	need := len(s.tuples) + len(o.tuples)
+	merged := s.spare[:0]
+	if cap(merged) < need {
+		merged = make([]gkTuple, 0, need+need/2)
+	}
+	si, oi := 0, 0
+	for si < len(s.tuples) || oi < len(o.tuples) {
+		switch {
+		case oi >= len(o.tuples):
+			merged = append(merged, s.tuples[si])
+			si++
+		case si >= len(s.tuples):
+			merged = append(merged, o.tuples[oi])
+			oi++
+		case s.tuples[si].v <= o.tuples[oi].v:
+			merged = append(merged, s.tuples[si])
+			si++
+		default:
+			merged = append(merged, o.tuples[oi])
+			oi++
+		}
+	}
+	s.n += o.n
+	s.spare = s.tuples[:0]
+	s.tuples = s.compress(merged)
+}
+
 // TupleCount reports the summary size (for memory-bound tests).
 func (s *gkSketch) TupleCount() int {
 	s.flush()

@@ -1,0 +1,67 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestStartStopWritesProfiles: the full capture set produces non-empty
+// CPU, heap and trace files.
+func TestStartStopWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		Pprof: filepath.Join(dir, "run"),
+		Trace: filepath.Join(dir, "run.trace"),
+	}
+	stop, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A little work so the captures have something to record.
+	s := 0
+	for i := 0; i < 1e6; i++ {
+		s += i
+	}
+	_ = s
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cfg.Pprof + ".cpu.pprof", cfg.Pprof + ".heap.pprof", cfg.Trace} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("missing capture %s: %v", p, err)
+			continue
+		}
+		if st.Size() == 0 {
+			t.Errorf("empty capture %s", p)
+		}
+	}
+}
+
+// TestStartNothing: an empty config is a no-op pair.
+func TestStartNothing(t *testing.T) {
+	stop, err := Start(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStartBadPath: an uncreatable output path fails at Start, leaving
+// nothing running (a second Start must succeed).
+func TestStartBadPath(t *testing.T) {
+	if _, err := Start(Config{Trace: filepath.Join(t.TempDir(), "no", "such", "dir", "t")}); err == nil {
+		t.Fatal("want error for uncreatable trace path")
+	}
+	if _, err := Start(Config{Pprof: filepath.Join(t.TempDir(), "no", "such", "dir", "p")}); err == nil {
+		t.Fatal("want error for uncreatable profile path")
+	}
+	stop, err := Start(Config{})
+	if err != nil {
+		t.Fatalf("profiling left running after failed Start: %v", err)
+	}
+	stop()
+}

@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestCoordinatorPingPong bounces a message between two shards with 5ms
+// lookahead each way and checks both orderings and final clocks.
+func TestCoordinatorPingPong(t *testing.T) {
+	c := NewCoordinator(1, 2)
+	c.SetLookahead(0, 1, 5*Millisecond)
+	c.SetLookahead(1, 0, 5*Millisecond)
+	var log []string
+	const hops = 10
+	var bounce ArgsFunc
+	bounce = func(a, b any) {
+		sh := a.(*Shard)
+		n := b.(*int)
+		log = append(log, fmt.Sprintf("%d@%v", sh.ID(), sh.Now()))
+		if *n++; *n >= hops {
+			return
+		}
+		peer := 1 - sh.ID()
+		sh.Post(peer, sh.Now()+5*Millisecond, bounce, c.Shard(peer), n)
+	}
+	n := 0
+	c.Shard(0).AtArgs(0, bounce, c.Shard(0), &n)
+	c.Run(100 * Millisecond)
+	if n != hops {
+		t.Fatalf("executed %d hops, want %d", n, hops)
+	}
+	for i, entry := range log {
+		want := fmt.Sprintf("%d@%v", i%2, Time(i*5)*Millisecond)
+		if entry != want {
+			t.Fatalf("hop %d = %q, want %q", i, entry, want)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if now := c.Shard(i).Now(); now != 100*Millisecond {
+			t.Fatalf("shard %d clock %v, want 100ms", i, now)
+		}
+	}
+}
+
+// TestCoordinatorIdleShardWakeup pins the transitive lower-bound rule: a
+// chain 0 -> 1 -> 2 where shard 1 starts idle must not let shard 2 run
+// into the future that shard 1 will soon occupy on shard 0's behalf.
+func TestCoordinatorIdleShardWakeup(t *testing.T) {
+	c := NewCoordinator(1, 3)
+	c.SetLookahead(0, 1, 1*Millisecond)
+	c.SetLookahead(1, 2, 1*Millisecond)
+	var arrived []Time
+	deliver2 := ArgsFunc(func(a, b any) {
+		arrived = append(arrived, c.Shard(2).Now())
+	})
+	relay1 := ArgsFunc(func(a, b any) {
+		c.Shard(1).Post(2, c.Shard(1).Now()+1*Millisecond, deliver2, nil, nil)
+	})
+	// Shard 2 has a dense local schedule; shard 1 is empty until shard 0
+	// relays through it.
+	for i := Time(1); i <= 20; i++ {
+		c.Shard(2).At(i*Millisecond, func() {})
+	}
+	c.Shard(0).AtArgs(3*Millisecond, func(a, b any) {
+		c.Shard(0).Post(1, 4*Millisecond, relay1, nil, nil)
+	}, nil, nil)
+	c.Run(20 * Millisecond)
+	if len(arrived) != 1 || arrived[0] != 5*Millisecond {
+		t.Fatalf("arrivals %v, want [5ms]", arrived)
+	}
+}
+
+// TestCoordinatorGlobalEvents checks that coordinator events fire with
+// all shard clocks quiesced to the event time, in registration order,
+// and before same-instant shard events.
+func TestCoordinatorGlobalEvents(t *testing.T) {
+	c := NewCoordinator(1, 2)
+	c.SetLookahead(0, 1, 1*Millisecond)
+	c.SetLookahead(1, 0, 1*Millisecond)
+	var order []string
+	c.Shard(0).At(10*Millisecond, func() { order = append(order, "shard0@10") })
+	c.GlobalAt(10*Millisecond, func() {
+		if n0, n1 := c.Shard(0).Now(), c.Shard(1).Now(); n0 != 10*Millisecond || n1 != 10*Millisecond {
+			t.Errorf("global fired with clocks %v/%v, want 10ms/10ms", n0, n1)
+		}
+		order = append(order, "globalA")
+	})
+	c.GlobalAt(10*Millisecond, func() { order = append(order, "globalB") })
+	c.GlobalAt(5*Millisecond, func() { order = append(order, "globalEarly") })
+	c.Run(20 * Millisecond)
+	want := []string{"globalEarly", "globalA", "globalB", "shard0@10"}
+	if len(order) != len(want) {
+		t.Fatalf("order %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestCoordinatorLookaheadValidation pins the safety contracts: no
+// non-positive lookahead, no post below the channel's lookahead.
+func TestCoordinatorLookaheadValidation(t *testing.T) {
+	c := NewCoordinator(1, 2)
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("zero lookahead", func() { c.SetLookahead(0, 1, 0) })
+	mustPanic("negative lookahead", func() { c.SetLookahead(0, 1, -Millisecond) })
+	mustPanic("self lookahead", func() { c.SetLookahead(1, 1, Millisecond) })
+
+	c.SetLookahead(0, 1, 5*Millisecond)
+	nop := ArgsFunc(func(a, b any) {})
+	c.Shard(0).AtArgs(0, func(a, b any) {
+		mustPanic("post below lookahead", func() {
+			c.Shard(0).Post(1, c.Shard(0).Now()+Millisecond, nop, nil, nil)
+		})
+	}, nil, nil)
+	c.Run(Millisecond)
+}
+
+// TestCoordinatorDeterminism runs the same two-shard workload twice and
+// compares execution traces exactly.
+func TestCoordinatorDeterminism(t *testing.T) {
+	run := func() []string {
+		c := NewCoordinator(7, 2)
+		c.SetLookahead(0, 1, 2*Millisecond)
+		c.SetLookahead(1, 0, 3*Millisecond)
+		// Traces are per shard: windows run concurrently, and a shared
+		// slice would both race and record scheduler-dependent order.
+		traces := [2][]string{}
+		var chat ArgsFunc
+		chat = func(a, b any) {
+			sh := a.(*Shard)
+			depth := b.(*int)
+			id := sh.ID()
+			traces[id] = append(traces[id], fmt.Sprintf("%d@%v#%d", id, sh.Now(), *depth))
+			if *depth <= 0 {
+				return
+			}
+			d := *depth - 1
+			peer := 1 - id
+			la := Time(2+id) * Millisecond // channel (id -> peer) lookahead
+			sh.Post(peer, sh.Now()+la, chat, sh.c.Shard(peer), &d)
+			sh.After(Millisecond, func() { traces[id] = append(traces[id], fmt.Sprintf("%d-local", id)) })
+		}
+		for i := 0; i < 3; i++ {
+			d := 4
+			c.Shard(i%2).AtArgs(Time(i)*Millisecond, chat, c.Shard(i%2), &d)
+		}
+		c.Run(60 * Millisecond)
+		return append(append([]string{}, traces[0]...), traces[1]...)
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace diverges at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}

@@ -330,6 +330,25 @@ func (s *Simulator) RunUntil(end Time) uint64 {
 	return s.executed - start
 }
 
+// RunBefore executes pending events with timestamps strictly before
+// limit, leaving the clock at the last executed event — the caller owns
+// final clock placement. This is the shard window primitive: windows are
+// half-open because an event exactly at the horizon may still be
+// preceded by a cross-shard arrival at the same instant.
+func (s *Simulator) RunBefore(limit Time) uint64 {
+	start := s.executed
+	s.halted = false
+	for len(s.heap) > 0 && !s.halted {
+		if s.heap[0].at >= limit {
+			break
+		}
+		ev := s.popHead()
+		s.now = ev.at
+		s.dispatch(ev)
+	}
+	return s.executed - start
+}
+
 // Run executes all events until the queue drains.
 func (s *Simulator) Run() uint64 {
 	start := s.executed

@@ -209,7 +209,7 @@ func advDeliver(a, b any) { a.(*Edge).head.Recv(b.(*packet.Packet)) }
 // or deferred and the stage owns what happens next).
 func (e *Edge) applyAttack(p *packet.Packet) bool {
 	a := e.attack
-	if !a.Target.matches(e.g.S.Now(), p, e.g.S.Seed()) {
+	if !a.Target.matches(e.home.Now(), p, e.home.Seed()) {
 		return true
 	}
 	if a.DropRate > 0 && e.advRng.Float64() < a.DropRate {
@@ -223,7 +223,7 @@ func (e *Edge) applyAttack(p *packet.Packet) bool {
 	}
 	if a.ExtraDelay > 0 {
 		e.AdvDelayed++
-		e.g.S.AfterArgs(a.ExtraDelay, advDeliver, e, p)
+		e.home.AfterArgs(a.ExtraDelay, advDeliver, e, p)
 		return false
 	}
 	return true

@@ -1,0 +1,187 @@
+// Graph partitioner: junction → shard assignment for sharded execution.
+//
+// The constraint that shapes everything here is lookahead: a shard-cut
+// edge's propagation delay bounds how far its destination shard may run
+// ahead, and a zero-delay edge offers no lookahead at all — so nodes
+// joined by zero-delay edges are contracted into one cluster first and
+// are never separated. Clusters are then spread over the shards by a
+// greedy min-cut-ish heuristic over edge counts: big clusters first,
+// each placed on the shard it has the most edges to, subject to a
+// balance cap so the heuristic cannot collapse everything onto one
+// shard. Manual overrides (Spec.ShardMap / the scenario "shard_map"
+// clause) pin a node — and therefore its whole zero-delay cluster — to a
+// shard; two pins that disagree inside one cluster are a contradiction
+// and are rejected, which is the programmatic form of "zero-delay edges
+// are not cut candidates".
+package topo
+
+import (
+	"fmt"
+	"sort"
+
+	"abc/internal/sim"
+)
+
+// PartEdge describes one directed edge to the partitioner: endpoints by
+// node id and the propagation delay that would become the channel
+// lookahead if the edge were cut.
+type PartEdge struct {
+	From, To int
+	Delay    sim.Time
+}
+
+// Partition assigns n nodes to shards and returns the node → shard map.
+// override pins individual nodes (and, transitively, their zero-delay
+// clusters). shards <= 1 yields the all-zero assignment.
+func Partition(n int, edges []PartEdge, shards int, override map[int]int) ([]int, error) {
+	assign := make([]int, n)
+	if shards <= 1 {
+		return assign, nil
+	}
+	for node, sh := range override {
+		if node < 0 || node >= n {
+			return nil, fmt.Errorf("topo: partition: override for unknown node %d", node)
+		}
+		if sh < 0 || sh >= shards {
+			return nil, fmt.Errorf("topo: partition: node %d pinned to shard %d of %d", node, sh, shards)
+		}
+	}
+
+	// Contract zero-delay edges: union-find over their endpoints.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range edges {
+		if e.From < 0 || e.From >= n || e.To < 0 || e.To >= n {
+			return nil, fmt.Errorf("topo: partition: edge %d → %d references unknown node", e.From, e.To)
+		}
+		if e.Delay <= 0 {
+			parent[find(e.From)] = find(e.To)
+		}
+	}
+
+	// Number clusters in first-seen node order so the result is a pure
+	// function of the input, then collect members and pins.
+	cluster := make([]int, n)
+	var members [][]int
+	seen := map[int]int{}
+	for i := 0; i < n; i++ {
+		root := find(i)
+		c, ok := seen[root]
+		if !ok {
+			c = len(members)
+			seen[root] = c
+			members = append(members, nil)
+		}
+		cluster[i] = c
+		members[c] = append(members[c], i)
+	}
+	pin := make([]int, len(members))
+	for c := range pin {
+		pin[c] = -1
+	}
+	// Iterate overrides in node order for deterministic error messages.
+	nodes := make([]int, 0, len(override))
+	for node := range override {
+		nodes = append(nodes, node)
+	}
+	sort.Ints(nodes)
+	pinnedBy := make([]int, len(members))
+	for _, node := range nodes {
+		c, sh := cluster[node], override[node]
+		switch {
+		case pin[c] < 0:
+			pin[c], pinnedBy[c] = sh, node
+		case pin[c] != sh:
+			return nil, fmt.Errorf(
+				"topo: partition: nodes %d and %d are joined by zero-delay edges (no lookahead, not a cut candidate) but pinned to shards %d and %d",
+				pinnedBy[c], node, pin[c], sh)
+		}
+	}
+
+	// Cut weights between clusters: number of positive-delay edges, both
+	// directions pooled — the quantity the greedy pass tries to keep
+	// internal to a shard.
+	w := make([]map[int]int, len(members))
+	for c := range w {
+		w[c] = map[int]int{}
+	}
+	for _, e := range edges {
+		cf, ct := cluster[e.From], cluster[e.To]
+		if cf != ct {
+			w[cf][ct]++
+			w[ct][cf]++
+		}
+	}
+
+	// Greedy placement: big clusters first (ties by lowest member id),
+	// each onto the shard it has the most edges to among shards with
+	// room, lowest index on ties. The cap keeps shards balanced; a
+	// cluster too big for every shard's remaining room falls back to the
+	// least-loaded shard.
+	order := make([]int, len(members))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := order[a], order[b]
+		if len(members[ca]) != len(members[cb]) {
+			return len(members[ca]) > len(members[cb])
+		}
+		return members[ca][0] < members[cb][0]
+	})
+	cap := (n + shards - 1) / shards
+	load := make([]int, shards)
+	shardOf := make([]int, len(members))
+	for c := range shardOf {
+		shardOf[c] = -1
+	}
+	for _, c := range order {
+		if pin[c] >= 0 {
+			shardOf[c] = pin[c]
+			load[pin[c]] += len(members[c])
+		}
+	}
+	for _, c := range order {
+		if shardOf[c] >= 0 {
+			continue
+		}
+		best, bestGain := -1, -1
+		for sh := 0; sh < shards; sh++ {
+			if load[sh]+len(members[c]) > cap {
+				continue
+			}
+			gain := 0
+			for other, cnt := range w[c] {
+				if shardOf[other] == sh {
+					gain += cnt
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = sh, gain
+			}
+		}
+		if best < 0 {
+			for sh := 0; sh < shards; sh++ {
+				if best < 0 || load[sh] < load[best] {
+					best = sh
+				}
+			}
+		}
+		shardOf[c] = best
+		load[best] += len(members[c])
+	}
+	for i := 0; i < n; i++ {
+		assign[i] = shardOf[cluster[i]]
+	}
+	return assign, nil
+}

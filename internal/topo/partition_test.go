@@ -1,0 +1,111 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+
+	"abc/internal/sim"
+)
+
+// TestPartitionZeroDelayNeverCut pins the lookahead-safety rule from two
+// sides: the automatic heuristic keeps zero-delay neighbors together,
+// and overrides that would force a zero-delay edge onto a shard cut are
+// rejected rather than honored.
+func TestPartitionZeroDelayNeverCut(t *testing.T) {
+	// 0 -0ms- 1 -5ms- 2 -0ms- 3: only the middle edge is a cut candidate.
+	edges := []PartEdge{
+		{From: 0, To: 1, Delay: 0},
+		{From: 1, To: 2, Delay: 5 * sim.Millisecond},
+		{From: 2, To: 3, Delay: 0},
+	}
+	assign, err := Partition(4, edges, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assign[0] != assign[1] || assign[2] != assign[3] {
+		t.Fatalf("zero-delay neighbors split across shards: %v", assign)
+	}
+	if assign[1] == assign[2] {
+		t.Fatalf("partition left a shard empty: %v", assign)
+	}
+
+	_, err = Partition(4, edges, 2, map[int]int{0: 0, 1: 1})
+	if err == nil || !strings.Contains(err.Error(), "zero-delay") {
+		t.Fatalf("override cutting a zero-delay edge not rejected: %v", err)
+	}
+	// The contraction is transitive: pinning the far ends of a zero-delay
+	// chain apart is just as impossible.
+	chain := []PartEdge{{0, 1, 0}, {1, 2, 0}}
+	_, err = Partition(3, chain, 2, map[int]int{0: 0, 2: 1})
+	if err == nil || !strings.Contains(err.Error(), "zero-delay") {
+		t.Fatalf("transitive zero-delay pin conflict not rejected: %v", err)
+	}
+}
+
+// TestPartitionOverridePins checks manual placement is honored and drags
+// the whole zero-delay cluster along.
+func TestPartitionOverridePins(t *testing.T) {
+	edges := []PartEdge{
+		{From: 0, To: 1, Delay: 0},
+		{From: 1, To: 2, Delay: 5 * sim.Millisecond},
+	}
+	assign, err := Partition(3, edges, 2, map[int]int{1: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assign[0] != 1 || assign[1] != 1 {
+		t.Fatalf("override on node 1 should pin its cluster {0,1} to shard 1: %v", assign)
+	}
+	if _, err := Partition(3, edges, 2, map[int]int{1: 5}); err == nil {
+		t.Fatal("out-of-range shard pin not rejected")
+	}
+	if _, err := Partition(3, edges, 2, map[int]int{9: 0}); err == nil {
+		t.Fatal("unknown node pin not rejected")
+	}
+}
+
+// TestPartitionBalanceAndAffinity: a ring of 4 two-node clusters over 4
+// shards must land one cluster per shard (the balance cap forbids
+// anything else), and a 2-shard split of the same ring keeps adjacent
+// clusters together when it can.
+func TestPartitionBalanceAndAffinity(t *testing.T) {
+	var edges []PartEdge
+	const d = 10 * sim.Millisecond
+	for c := 0; c < 4; c++ {
+		a, b := 2*c, 2*c+1
+		edges = append(edges, PartEdge{From: a, To: b, Delay: 0})
+		edges = append(edges, PartEdge{From: b, To: (a + 2) % 8, Delay: d})
+	}
+	assign, err := Partition(8, edges, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := map[int]int{}
+	for i := 0; i < 8; i += 2 {
+		if assign[i] != assign[i+1] {
+			t.Fatalf("cluster {%d,%d} split: %v", i, i+1, assign)
+		}
+		used[assign[i]]++
+	}
+	if len(used) != 4 {
+		t.Fatalf("want one cluster per shard, got %v (assign %v)", used, assign)
+	}
+	for sh, cnt := range used {
+		if cnt != 1 {
+			t.Fatalf("shard %d holds %d clusters: %v", sh, cnt, assign)
+		}
+	}
+}
+
+// TestPartitionSequentialTrivial: shards <= 1 is the all-zero map.
+func TestPartitionSequentialTrivial(t *testing.T) {
+	assign, err := Partition(3, []PartEdge{{0, 1, 0}}, 1, map[int]int{2: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sh := range assign {
+		if sh != 0 {
+			t.Fatalf("node %d on shard %d in sequential mode", i, sh)
+		}
+	}
+}

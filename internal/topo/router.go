@@ -69,6 +69,18 @@ func (r *Router) Reroute(flow int, ack bool, edges []int) error {
 	g := r.g
 	key := hopKey{flow: int32(flow), ack: ack}
 	rt := g.routes[key]
+	if g.Sharded() {
+		// The tail's form depends on the new last node's shard: rebuild
+		// it (a wire when terminal and last node are co-located, a
+		// cross-shard hop otherwise). Tail wires hold no state, so the
+		// rebuild does not disturb packets already in flight.
+		last := g.edges[edges[len(edges)-1]].To
+		tail, err := g.buildTail(&rt, last.shard)
+		if err != nil {
+			return fmt.Errorf("topo: reroute: flow %d %s route: %v", flow, dirName(ack), err)
+		}
+		rt.tail = tail
+	}
 	g.uninstall(key, rt.edges)
 	rt.edges = append([]int(nil), edges...)
 	g.install(key, rt.edges, rt.tail)

@@ -73,6 +73,8 @@ type Node struct {
 	ID   int
 	Name string
 	g    *Graph
+	// shard is the node's home shard; 0 on unsharded graphs.
+	shard int
 	// table is the forwarding table; Router mutates it mid-run.
 	table map[hopKey]hop
 	// Drops counts arrivals with no table entry (wiring bugs, or packets
@@ -122,11 +124,17 @@ type Edge struct {
 	AdvStripped int64
 
 	g *Graph
+	// home is the simulator the edge's elements schedule on: the From
+	// node's shard on sharded graphs, the graph's simulator otherwise.
+	home *sim.Simulator
 	// head is the first element of the edge's chain:
 	// impairments → link → delay wire → To.
 	head packet.Node
 	// wire is the propagation stage, kept so SetDelay can retune it.
 	wire *netem.Wire
+	// cross replaces the wire on shard-cut edges: the propagation delay
+	// is absorbed by the cross-shard handoff (see crossHop).
+	cross *crossHop
 	// impair exposes the impairment stage's drop counters.
 	impair *impairStats
 	// attack is the installed adversary stage (nil = honest edge); advRng
@@ -167,11 +175,20 @@ func (e *Edge) Down() bool { return e.down }
 // built with a positive propagation delay own a delay stage.
 func (e *Edge) DelayMutable() bool { return e.wire != nil }
 
+// CrossShard reports whether the edge's endpoints live on different
+// shards, making its delay the synchronization channel's lookahead.
+func (e *Edge) CrossShard() bool { return e.cross != nil }
+
 // SetDelay retunes the edge's propagation delay mid-run. Deliveries
 // already scheduled keep the old delay; subsequent packets use the new
 // one. Edges built with zero delay have no delay stage to retune (give
 // the edge a positive initial delay to make it mutable).
 func (e *Edge) SetDelay(d sim.Time) error {
+	if e.cross != nil {
+		// The delay of a shard-cut edge is its channel's lookahead; a
+		// smaller delay could deliver into the destination shard's past.
+		return fmt.Errorf("topo: edge %d crosses shards; its delay is the channel lookahead and cannot be retuned", e.ID)
+	}
 	if e.wire == nil {
 		return fmt.Errorf("topo: edge %d built with zero delay has no delay stage", e.ID)
 	}
@@ -201,16 +218,27 @@ type routeState struct {
 	origin int
 	// tail is the delivery element installed at the route's last node:
 	// the per-flow access-latency wire when the route has one, else the
-	// terminal itself. A reroute moves it to the new last node.
-	tail packet.Node
+	// terminal itself. A reroute moves it to the new last node. On
+	// sharded graphs the tail is rebuilt per install from terminal /
+	// tailDelay / termShard, because its form depends on which shard the
+	// route's last node lands on (wire vs cross-shard hop).
+	tail      packet.Node
+	terminal  packet.Node
+	tailDelay sim.Time
+	termShard int
 }
 
 // Graph is the topology under construction and, once flows are routed,
 // the running network.
 type Graph struct {
+	// S is the graph's simulator: the one simulator on sequential runs,
+	// shard 0's on sharded runs (use SimFor for per-node placement).
 	S     *sim.Simulator
-	nodes []*Node
-	edges []*Edge
+	coord *sim.Coordinator
+	// assign maps node id -> shard on sharded graphs (see Partition).
+	assign []int
+	nodes  []*Node
+	edges  []*Edge
 	// routes registers every installed route by (flow, direction) for
 	// mid-run mutation and conservation accounting.
 	routes map[hopKey]routeState
@@ -221,9 +249,49 @@ func New(s *sim.Simulator) *Graph {
 	return &Graph{S: s, routes: make(map[hopKey]routeState)}
 }
 
+// NewSharded returns an empty graph spread over the coordinator's
+// shards: node i of the graph lives on shard assign[i] (AddNode consumes
+// the assignment in creation order; see Partition for computing one).
+// Same-shard edges behave exactly as on a sequential graph; edges whose
+// endpoints land on different shards hand packets across via the
+// coordinator's mailboxes, with the edge's propagation delay as the
+// channel lookahead — which is why a shard-cut edge must have positive
+// delay.
+func NewSharded(c *sim.Coordinator, assign []int) *Graph {
+	return &Graph{S: c.Shard(0).Simulator, coord: c, assign: assign, routes: make(map[hopKey]routeState)}
+}
+
+// Sharded reports whether the graph spans multiple shard simulators.
+func (g *Graph) Sharded() bool { return g.coord != nil }
+
+// Coordinator returns the graph's shard coordinator (nil if unsharded).
+func (g *Graph) Coordinator() *sim.Coordinator { return g.coord }
+
+// ShardOf reports the shard a node lives on (0 on unsharded graphs).
+func (g *Graph) ShardOf(node int) int { return g.nodes[node].shard }
+
+// SimFor returns the simulator a node's components must schedule on.
+func (g *Graph) SimFor(node int) *sim.Simulator {
+	if g.coord == nil {
+		return g.S
+	}
+	return g.coord.Shard(g.nodes[node].shard).Simulator
+}
+
 // AddNode adds a junction and returns its id.
 func (g *Graph) AddNode(name string) int {
-	n := &Node{ID: len(g.nodes), Name: name, g: g, table: make(map[hopKey]hop)}
+	id := len(g.nodes)
+	shard := 0
+	if g.coord != nil {
+		if id >= len(g.assign) {
+			panic(fmt.Sprintf("topo: node %d exceeds the shard assignment (%d nodes partitioned)", id, len(g.assign)))
+		}
+		shard = g.assign[id]
+		if shard < 0 || shard >= g.coord.Shards() {
+			panic(fmt.Sprintf("topo: node %d assigned to shard %d of %d", id, shard, g.coord.Shards()))
+		}
+	}
+	n := &Node{ID: id, Name: name, g: g, shard: shard, table: make(map[hopKey]hop)}
 	g.nodes = append(g.nodes, n)
 	return n.ID
 }
@@ -247,9 +315,21 @@ func (g *Graph) AddEdge(name string, from, to int, delay sim.Time, imp Impairmen
 		return 0, fmt.Errorf("topo: AddEdge(%d → %d) references unknown node", from, to)
 	}
 	e := &Edge{ID: len(g.edges), Name: name, From: g.nodes[from], To: g.nodes[to], Delay: delay, g: g}
+	e.home = g.SimFor(from)
 	var tail packet.Node = e.To
-	if delay > 0 {
-		e.wire = netem.NewWire(g.S, delay, tail)
+	if fs, ts := g.nodes[from].shard, g.nodes[to].shard; fs != ts {
+		// Shard-cut edge: the propagation stage becomes the cross-shard
+		// handoff, with the delay as the channel's lookahead. Zero-delay
+		// edges cannot be cut — a message with no latency could land in
+		// the destination shard's past.
+		if delay <= 0 {
+			return 0, fmt.Errorf("topo: edge %q crosses shards %d → %d with zero delay; shard-cut edges need positive propagation delay", name, fs, ts)
+		}
+		g.coord.SetLookahead(fs, ts, delay)
+		e.cross = &crossHop{src: g.coord.Shard(fs), dst: ts, delay: delay, to: e.To}
+		tail = e.cross
+	} else if delay > 0 {
+		e.wire = netem.NewWire(e.home, delay, tail)
 		tail = e.wire
 	}
 	if mk != nil {
@@ -261,13 +341,33 @@ func (g *Graph) AddEdge(name string, from, to int, delay sim.Time, imp Impairmen
 		tail = l
 	}
 	if !imp.zero() {
-		head, stats := imp.build(g.S, e.rand("impair"), tail)
+		head, stats := imp.build(e.home, e.rand("impair"), tail)
 		tail = head
 		e.impair = stats
 	}
 	e.head = tail
 	g.edges = append(g.edges, e)
 	return e.ID, nil
+}
+
+// crossHop is the propagation stage of a shard-cut hop: instead of a
+// local delay wire it posts the packet into the destination shard's
+// mailbox, timestamped with the hop's propagation delay. Same-shard hops
+// never see one — they keep the direct synchronous path.
+type crossHop struct {
+	src   *sim.Shard
+	dst   int
+	delay sim.Time
+	to    packet.Node
+}
+
+// crossDeliver is the static delivery callback run on the destination
+// shard (no per-packet closure).
+func crossDeliver(a, b any) { a.(packet.Node).Recv(b.(*packet.Packet)) }
+
+// Recv implements packet.Node on the source shard.
+func (h *crossHop) Recv(p *packet.Packet) {
+	h.src.Post(h.dst, h.src.Now()+h.delay, crossDeliver, h.to, p)
 }
 
 // rand returns a fresh RNG for one of the edge's random stages, seeded
@@ -382,16 +482,44 @@ func (g *Graph) uninstall(key hopKey, edges []int) {
 // (behind its tailDelay) directly; such direct routes bypass the tables
 // and cannot be rerouted.
 func (g *Graph) RouteFlow(flow int, ack bool, edges []int, tailDelay sim.Time, terminal packet.Node) (packet.Node, error) {
+	if g.Sharded() {
+		return nil, fmt.Errorf("topo: flow %d: sharded graphs route with RouteFlowAt (the terminal's shard must be pinned)", flow)
+	}
+	return g.routeFlow(flow, ack, edges, tailDelay, terminal, 0, 0)
+}
+
+// RouteFlowAt is RouteFlow for sharded graphs. termShard pins the shard
+// the terminal element lives (and schedules) on; injShard names the
+// shard of the element that injects into the route and only matters for
+// direct routes (no edges), where the returned tail is entered from the
+// injector's shard rather than from a junction. When the route's last
+// node and the terminal share a shard the tail is the usual access-
+// latency wire; otherwise the tail becomes a cross-shard hop and
+// tailDelay must be positive, for the same reason a shard-cut edge needs
+// positive delay.
+func (g *Graph) RouteFlowAt(flow int, ack bool, edges []int, tailDelay sim.Time, terminal packet.Node, termShard, injShard int) (packet.Node, error) {
+	if !g.Sharded() {
+		return nil, fmt.Errorf("topo: flow %d: RouteFlowAt needs a sharded graph", flow)
+	}
+	if n := g.coord.Shards(); termShard < 0 || termShard >= n || injShard < 0 || injShard >= n {
+		return nil, fmt.Errorf("topo: flow %d: shard out of range", flow)
+	}
+	return g.routeFlow(flow, ack, edges, tailDelay, terminal, termShard, injShard)
+}
+
+func (g *Graph) routeFlow(flow int, ack bool, edges []int, tailDelay sim.Time, terminal packet.Node, termShard, injShard int) (packet.Node, error) {
 	key := hopKey{flow: int32(flow), ack: ack}
 	if _, dup := g.routes[key]; dup {
 		return nil, fmt.Errorf("topo: flow %d %s route installed twice", flow, dirName(ack))
 	}
-	var tail packet.Node = terminal
-	if tailDelay > 0 {
-		tail = netem.NewWire(g.S, tailDelay, terminal)
-	}
+	rt := routeState{terminal: terminal, tailDelay: tailDelay, termShard: termShard}
 	if len(edges) == 0 {
-		g.routes[key] = routeState{origin: -1, tail: tail}
+		tail, err := g.buildTail(&rt, injShard)
+		if err != nil {
+			return nil, fmt.Errorf("topo: flow %d %s route: %v", flow, dirName(ack), err)
+		}
+		rt.origin, rt.tail = -1, tail
+		g.routes[key] = rt
 		return tail, nil
 	}
 	if err := g.CheckPath(edges); err != nil {
@@ -400,10 +528,40 @@ func (g *Graph) RouteFlow(flow int, ack bool, edges []int, tailDelay sim.Time, t
 	if err := g.checkFree(key, edges); err != nil {
 		return nil, fmt.Errorf("topo: flow %d %v", flow, err)
 	}
+	last := g.edges[edges[len(edges)-1]].To
+	tail, err := g.buildTail(&rt, last.shard)
+	if err != nil {
+		return nil, fmt.Errorf("topo: flow %d %s route: %v", flow, dirName(ack), err)
+	}
+	rt.tail = tail
 	g.install(key, edges, tail)
 	origin := g.edges[edges[0]].From
-	g.routes[key] = routeState{edges: edges, origin: origin.ID, tail: tail}
+	rt.edges, rt.origin = edges, origin.ID
+	g.routes[key] = rt
 	return origin, nil
+}
+
+// buildTail constructs the delivery element installed at a route's last
+// node (or handed to a direct route's injector), given the shard that
+// element is entered from. Unsharded graphs build the classic wire; on
+// sharded graphs a tail whose terminal lives on another shard becomes a
+// cross-shard hop with tailDelay as its lookahead.
+func (g *Graph) buildTail(rt *routeState, fromShard int) (packet.Node, error) {
+	if !g.Sharded() || fromShard == rt.termShard {
+		s := g.S
+		if g.Sharded() {
+			s = g.coord.Shard(fromShard).Simulator
+		}
+		if rt.tailDelay > 0 {
+			return netem.NewWire(s, rt.tailDelay, rt.terminal), nil
+		}
+		return rt.terminal, nil
+	}
+	if rt.tailDelay <= 0 {
+		return nil, fmt.Errorf("terminal on shard %d entered from shard %d needs positive access latency", rt.termShard, fromShard)
+	}
+	g.coord.SetLookahead(fromShard, rt.termShard, rt.tailDelay)
+	return &crossHop{src: g.coord.Shard(fromShard), dst: rt.termShard, delay: rt.tailDelay, to: rt.terminal}, nil
 }
 
 // RouteOf reports the edge sequence currently installed for one
