@@ -518,6 +518,47 @@ func BenchmarkForwardHop(b *testing.B) {
 	}
 }
 
+// BenchmarkFIBLookup measures a mid-route junction's forwarding decision
+// under class aggregation: eight flows share one route, so the junction
+// holds a single FIB entry and the measured work is the class lookup
+// plus the next-hop gate. Must stay 0 allocs/op (bench_thresholds.txt) —
+// the aggregated table is the per-packet fast path for every
+// table-backed hop in the simulator.
+func BenchmarkFIBLookup(b *testing.B) {
+	s := sim.New(1)
+	g := topo.New(s)
+	a, m, c := g.AddNode("a"), g.AddNode("m"), g.AddNode("c")
+	// Pure edges (no link, no delay): the junction m's table lookup
+	// dominates the measured path.
+	e1, err := g.AddEdge("in", a, m, 0, topo.Impairments{}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e2, err := g.AddEdge("out", m, c, 0, topo.Impairments{}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sinks := make([]*packet.Sink, 8)
+	var entry packet.Node
+	for f := range sinks {
+		sinks[f] = &packet.Sink{}
+		entry, err = g.RouteFlow(f+1, false, []int{e1, e2}, 0, sinks[f])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	p := packet.NewData(8, 0, packet.MTU, 0)
+	defer p.Release()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		entry.Recv(p)
+	}
+	if sinks[7].Count != b.N {
+		b.Fatalf("delivered %d, want %d", sinks[7].Count, b.N)
+	}
+}
+
 // BenchmarkShardedRun measures the conservative-lookahead coordinator
 // end to end: the four-bottleneck ring at 1 shard (the plain sequential
 // simulator) vs 4 shards (per-shard event queues on worker goroutines

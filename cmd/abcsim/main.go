@@ -103,6 +103,8 @@ func experiments() []experiment {
 		{"lossy", "lossy-link robustness sweep (random + bursty loss)", runLossy},
 		{"handover", "mid-run base-station handover via forwarding-table reroute", runHandover},
 		{"flap", "flapping link: timed outages on the bottleneck edge", runFlap},
+		{"autoroute", "policy-driven failover/failback across a base-station outage", runAutoRoute},
+		{"flapstorm", "shortest-path routing under a flap storm with a sub-convergence blip", runFlapStorm},
 		{"targeted", "targeted attack on one flow: victim vs bystander degradation", runTargeted},
 		{"greedy", "greedy sender ignoring brakes: stolen bandwidth per scheme", runGreedy},
 		{"shortflows", "open-loop web-like short flows: FCT and slowdown per scheme", runShortFlows},
@@ -592,6 +594,53 @@ func runFlap() error {
 	return nil
 }
 
+func runAutoRoute() error {
+	out, err := exp.AutoRoute(schemeList(), dur(), *seed)
+	if err != nil {
+		return err
+	}
+	var names []string
+	for sch := range out {
+		names = append(names, sch)
+	}
+	sort.Strings(names)
+	for _, sch := range names {
+		fmt.Print(exp.FormatAutoRouteResult(sch, out[sch]))
+	}
+	for _, rc := range out[names[0]].RouteChanges {
+		printRouteChange(rc)
+	}
+	return nil
+}
+
+func runFlapStorm() error {
+	out, err := exp.FlapStorm(schemeList(), dur(), *seed)
+	if err != nil {
+		return err
+	}
+	var names []string
+	for sch := range out {
+		names = append(names, sch)
+	}
+	sort.Strings(names)
+	for _, sch := range names {
+		fmt.Print(exp.FormatFlapStormResult(sch, out[sch]))
+	}
+	for _, rc := range out[names[0]].RouteChanges {
+		printRouteChange(rc)
+	}
+	return nil
+}
+
+func printRouteChange(rc exp.RouteChangeResult) {
+	dir := "data"
+	if rc.Ack {
+		dir = "ack"
+	}
+	fmt.Printf("route @%7.0f ms  flow %d %-4s -> %s\n",
+		rc.AtMs, rc.Flow, dir, strings.Join(rc.Path, ">"))
+}
+
 func runTargeted() error {
 	out, err := exp.Targeted(schemeList(), dur(), *seed)
 	if err != nil {
@@ -754,6 +803,9 @@ func runScenarioFile(path string) error {
 	}
 	for _, ev := range res.Events {
 		fmt.Printf("event @%7.0f ms  %-10s %s\n", ev.AtMs, ev.Kind, ev.Target)
+	}
+	for _, rc := range res.RouteChanges {
+		printRouteChange(rc)
 	}
 	if res.LinkDownDrops > 0 {
 		fmt.Printf("link-down drops: %d\n", res.LinkDownDrops)

@@ -3,8 +3,12 @@
 // routing layer end to end. Handover migrates a flow between two base
 // stations (both the data and the ACK route move atomically, in-flight
 // packets on the abandoned path are counted losses); LinkFlap runs a
-// chain whose single cellular link suffers timed outages. Both have
-// declarative twins in examples/scenarios/ (handover.json, flap.json).
+// chain whose single cellular link suffers timed outages. AutoRoute and
+// FlapStorm are their route-computation counterparts: the events script
+// only link state, and the Routing policy (kfailover / shortest) moves
+// the routes itself — handover and flap recovery as emergent behavior.
+// All four have declarative twins in examples/scenarios/
+// (handover.json, flap.json, autoroute.json, flapstorm.json).
 package exp
 
 import (
@@ -228,6 +232,207 @@ func LinkFlap(schemes []string, dur sim.Time, seed int64) (map[string]FlapResult
 		out[sch] = results[i]
 	}
 	return out, nil
+}
+
+// AutoRouteResult is one scheme's outcome on the emergent-handover
+// scenario: no scripted reroutes — the k-failover policy moves the
+// routes itself when the serving cell's links go down, and moves them
+// back (make-before-break) on recovery.
+type AutoRouteResult struct {
+	// Flow summarizes the migrating flow over the whole run.
+	Flow metrics.Summary
+	// PreMbps / PostMbps are the flow's mean throughput before and after
+	// the outage instant (excluding warmup).
+	PreMbps, PostMbps float64
+	// OutageDrops counts packets that hit the downed links' gates during
+	// the policy's convergence window (Result.LinkDownDrops).
+	OutageDrops int64
+	// StrandedDrops counts packets stranded at junctions by the route
+	// changes (Result.Drops) — with the make-before-break drain window
+	// this stays at the stragglers the window doesn't cover.
+	StrandedDrops int64
+	// Retx is the sender's retransmission count.
+	Retx int64
+	// RouteChanges annotates every route the policy moved.
+	RouteChanges []RouteChangeResult
+}
+
+// autoRouteSpec is the handover topology without its scripted reroutes:
+// the cell1/up1 outage is scripted, the handover itself is emergent
+// (kfailover with one precomputed backup per route, 20 ms control-plane
+// convergence, 50 ms make-before-break drain).
+func autoRouteSpec(scheme string, outageAt, recoverAt, dur sim.Time, seed int64) Spec {
+	spec := handoverSpec(scheme, 0, dur, seed)
+	spec.Events = []EventSpec{
+		{At: outageAt, Kind: EventLinkDown, Edge: "cell1"},
+		{At: outageAt, Kind: EventLinkDown, Edge: "up1"},
+		{At: recoverAt, Kind: EventLinkUp, Edge: "cell1"},
+		{At: recoverAt, Kind: EventLinkUp, Edge: "up1"},
+	}
+	spec.Routing = &RoutingSpec{
+		Policy:           "kfailover",
+		K:                1,
+		RecomputeLatency: 20 * sim.Millisecond,
+		Drain:            50 * sim.Millisecond,
+	}
+	return spec
+}
+
+// AutoRoute runs each scheme through an *emergent* base-station
+// handover: at half the duration the serving cell's downlink and uplink
+// go dark, and the route-computation layer — not an event timeline —
+// fails the flow's data and ACK routes over to the precomputed backup
+// cell, draining the old paths make-before-break. At three quarters the
+// links recover and the policy moves the routes back. The reported
+// RouteChanges are part of the golden digest: the emergent timeline is
+// locked exactly like a scripted one.
+func AutoRoute(schemes []string, dur sim.Time, seed int64) (map[string]AutoRouteResult, error) {
+	if len(schemes) == 0 {
+		schemes = []string{"ABC", "Cubic"}
+	}
+	if dur <= 0 {
+		dur = 30 * sim.Second
+	}
+	outageAt, recoverAt := dur/2, dur-dur/4
+	results := make([]AutoRouteResult, len(schemes))
+	err := forEach(len(schemes), func(i int) error {
+		res, _, err := Run(autoRouteSpec(schemes[i], outageAt, recoverAt, dur, seed))
+		if err != nil {
+			return err
+		}
+		f0 := &res.Flows[0]
+		r := AutoRouteResult{
+			Flow: metrics.Summary{
+				Scheme:      schemes[i],
+				Utilization: res.Utilization,
+				TputMbps:    f0.TputMbps,
+				MeanMs:      f0.Delay.Mean(),
+				P95Ms:       f0.Delay.P95(),
+			},
+			OutageDrops:   res.LinkDownDrops,
+			StrandedDrops: res.Drops,
+			Retx:          f0.Retx,
+			RouteChanges:  res.RouteChanges,
+		}
+		r.PreMbps, r.PostMbps = splitMean(f0.Tput, outageAt, res.Spec.Warmup)
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]AutoRouteResult, len(schemes))
+	for i, sch := range schemes {
+		out[sch] = results[i]
+	}
+	return out, nil
+}
+
+// FlapStormResult is one scheme's outcome on the flap-storm scenario.
+type FlapStormResult struct {
+	// Flow summarizes the flow over the whole run, outages included.
+	Flow metrics.Summary
+	// OutageDrops counts packets dropped at downed links' gates
+	// (Result.LinkDownDrops); StrandedDrops the packets stranded at
+	// junctions by emergent reroutes (Result.Drops).
+	OutageDrops, StrandedDrops int64
+	// Lost / Retx are the sender's loss-detection and retransmission
+	// counts.
+	Lost, Retx int64
+	// RouteChanges annotates every route the policy moved. Flaps shorter
+	// than the convergence window are absorbed and appear only as outage
+	// drops, not route changes.
+	RouteChanges []RouteChangeResult
+}
+
+// FlapStorm runs each scheme over a two-path mesh whose primary link
+// suffers a storm of outages — two long enough that the shortest-path
+// policy fails over to the slower backup path and back, and one shorter
+// than the 30 ms convergence window, which the coalescing recompute
+// absorbs entirely (the route must not move for it). Scripted events
+// supply only the link state; every route change is emergent.
+func FlapStorm(schemes []string, dur sim.Time, seed int64) (map[string]FlapStormResult, error) {
+	if len(schemes) == 0 {
+		schemes = []string{"ABC", "Cubic"}
+	}
+	if dur <= 0 {
+		dur = 30 * sim.Second
+	}
+	const outage = 300 * sim.Millisecond
+	const blip = 20 * sim.Millisecond // under the 30 ms convergence window
+	results := make([]FlapStormResult, len(schemes))
+	err := forEach(len(schemes), func(i int) error {
+		spec := Spec{
+			Seed:     seed,
+			Duration: dur,
+			RTT:      80 * sim.Millisecond,
+			Sample:   100 * sim.Millisecond,
+			Nodes:    []string{"src", "m1", "m2", "dst"},
+			Edges: []EdgeSpec{
+				{Name: "pA", From: "src", To: "m1",
+					Link: LinkSpec{Rate: netem.ConstRate(12e6), Delay: 2 * sim.Millisecond, Qdisc: QdiscSpec{Kind: "auto"}}},
+				{Name: "pB", From: "m1", To: "dst",
+					Link: LinkSpec{Kind: "wire", Delay: 2 * sim.Millisecond}},
+				{Name: "qA", From: "src", To: "m2",
+					Link: LinkSpec{Rate: netem.ConstRate(10e6), Delay: 8 * sim.Millisecond, Qdisc: QdiscSpec{Kind: "auto"}}},
+				{Name: "qB", From: "m2", To: "dst",
+					Link: LinkSpec{Kind: "wire", Delay: 8 * sim.Millisecond}},
+			},
+			Flows: []FlowSpec{{Scheme: schemes[i], Path: []string{"pA", "pB"}}},
+			Events: []EventSpec{
+				{At: dur / 4, Kind: EventLinkDown, Edge: "pA"},
+				{At: dur/4 + outage, Kind: EventLinkUp, Edge: "pA"},
+				{At: dur / 2, Kind: EventLinkDown, Edge: "pA"},
+				{At: dur/2 + blip, Kind: EventLinkUp, Edge: "pA"},
+				{At: dur - dur/4, Kind: EventLinkDown, Edge: "pA"},
+				{At: dur - dur/4 + outage, Kind: EventLinkUp, Edge: "pA"},
+			},
+			Routing: &RoutingSpec{
+				Policy:           "shortest",
+				RecomputeLatency: 30 * sim.Millisecond,
+			},
+		}
+		res, _, err := Run(spec)
+		if err != nil {
+			return err
+		}
+		f0 := &res.Flows[0]
+		results[i] = FlapStormResult{
+			Flow: metrics.Summary{
+				Scheme:      schemes[i],
+				Utilization: res.Utilization,
+				TputMbps:    f0.TputMbps,
+				MeanMs:      f0.Delay.Mean(),
+				P95Ms:       f0.Delay.P95(),
+			},
+			OutageDrops:   res.LinkDownDrops,
+			StrandedDrops: res.Drops,
+			Lost:          f0.Lost,
+			Retx:          f0.Retx,
+			RouteChanges:  res.RouteChanges,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]FlapStormResult, len(schemes))
+	for i, sch := range schemes {
+		out[sch] = results[i]
+	}
+	return out, nil
+}
+
+// FormatAutoRouteResult renders one scheme's emergent-handover row.
+func FormatAutoRouteResult(scheme string, r AutoRouteResult) string {
+	return fmt.Sprintf("%-14s tput=%6.2f Mbit/s (pre %5.2f, post %5.2f)  p95=%6.1f ms  route changes=%d  outage drops=%d  stranded=%d  retx=%d\n",
+		scheme, r.Flow.TputMbps, r.PreMbps, r.PostMbps, r.Flow.P95Ms, len(r.RouteChanges), r.OutageDrops, r.StrandedDrops, r.Retx)
+}
+
+// FormatFlapStormResult renders one scheme's flap-storm row.
+func FormatFlapStormResult(scheme string, r FlapStormResult) string {
+	return fmt.Sprintf("%-14s tput=%6.2f Mbit/s  p95=%6.1f ms  route changes=%d  outage drops=%d  stranded=%d  lost=%d  retx=%d\n",
+		scheme, r.Flow.TputMbps, r.Flow.P95Ms, len(r.RouteChanges), r.OutageDrops, r.StrandedDrops, r.Lost, r.Retx)
 }
 
 // FormatHandoverResult renders one scheme's handover row.

@@ -93,6 +93,12 @@ func randomTimeline(rng *rand.Rand, stop sim.Time) []EventSpec {
 // is accounted for exactly once — delivered, dropped by a qdisc, dropped
 // at a downed link, or dropped unrouted at a junction. An imbalance in
 // either direction (silent loss, duplication) fails the equality.
+//
+// Every second iteration layers the route-computation policy on top of
+// the scripted timeline (emergent reroutes riding the same flap storm,
+// with a randomized convergence latency), and every fourth iteration
+// additionally makes those emergent changes make-before-break — the
+// drain overrides must deliver or strand-and-count, never duplicate.
 func TestRoutingConservationRandomTimelines(t *testing.T) {
 	iters := 1000
 	if testing.Short() {
@@ -105,6 +111,15 @@ func TestRoutingConservationRandomTimelines(t *testing.T) {
 		const stop = 1200 * sim.Millisecond
 		spec := conservationSpec(seed, stop, 3*sim.Second)
 		spec.Events = randomTimeline(rng, stop)
+		if i%2 == 1 {
+			spec.Routing = &RoutingSpec{
+				Policy:           "shortest",
+				RecomputeLatency: sim.FromSeconds(0.005 + 0.045*rng.Float64()),
+			}
+			if i%4 == 3 {
+				spec.Routing.Drain = sim.FromSeconds(0.01 + 0.09*rng.Float64())
+			}
+		}
 		res, _, err := Run(spec)
 		if err != nil {
 			t.Fatalf("iter %d: %v", i, err)

@@ -71,6 +71,8 @@ func goldenCases() []goldenCase {
 		{"marked-uplink", func() (any, error) { return MarkedUplink([]string{"ABC", "Cubic"}, 2, short, 1) }},
 		{"handover", func() (any, error) { return Handover([]string{"ABC", "Cubic"}, short, 1) }},
 		{"flap", func() (any, error) { return LinkFlap([]string{"ABC", "Cubic"}, short, 1) }},
+		{"autoroute", func() (any, error) { return AutoRoute([]string{"ABC", "Cubic"}, short, 1) }},
+		{"flapstorm", func() (any, error) { return FlapStorm([]string{"ABC", "Cubic"}, short, 1) }},
 		{"targeted", func() (any, error) { return Targeted([]string{"ABC", "Cubic"}, short, 1) }},
 		{"greedy", func() (any, error) { return Greedy([]string{"ABC", "XCP"}, short, 1) }},
 		{"app-shortflows", func() (any, error) { return ShortFlows([]string{"ABC", "Cubic"}, "", short, 1) }},
@@ -187,6 +189,7 @@ func TestGoldenParallelModes(t *testing.T) {
 		"fig9-bars": true, "mesh-shared-junction": true, "marked-uplink": true,
 		"app-shortflows": true, "app-video": true, "app-rpc": true,
 		"handover": true, "flap": true, "targeted": true, "greedy": true,
+		"autoroute": true, "flapstorm": true,
 	}
 	defer func(p int) { Parallelism = p }(Parallelism)
 	for _, c := range goldenCases() {

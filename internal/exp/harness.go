@@ -271,11 +271,19 @@ type Spec struct {
 	// by the automatic partitioner around the pins.
 	ShardMap map[string]int
 	// Sample enables time-series collection at this period (0 = off).
+	// Negative values are a Spec error, not "off".
 	Sample sim.Time
-	// Probe, when set with Sample > 0, is called once per sample period
-	// with the partially built result, letting experiments record
-	// custom series (e.g. Fig. 6's wabc/wcubic windows).
+	// Probe, when set, is called once per sample period with the
+	// partially built result, letting experiments record custom series
+	// (e.g. Fig. 6's wabc/wcubic windows). Setting Probe without Sample
+	// is a Spec error — the probe would never fire.
 	Probe func(now sim.Time, r *Result)
+	// Routing enables the route-computation layer: a policy watches link
+	// state (link_down / link_up / set_delay) and recomputes managed
+	// flows' routes through the same Router machinery scripted reroute
+	// events use, making handover and flap recovery emergent behavior.
+	// Sequential-only (rejected at Shards > 1).
+	Routing *RoutingSpec
 }
 
 // FlowResult reports one flow's measurements over [Warmup, Duration].
@@ -341,6 +349,11 @@ type Result struct {
 	// Events annotates each executed Spec.Events entry in execution
 	// order.
 	Events []EventResult
+	// RouteChanges annotates every route the Spec.Routing policy
+	// switched, in execution order — the emergent counterpart of the
+	// scripted Events annotations, and what golden digests lock for the
+	// autoroute/flapstorm drivers.
+	RouteChanges []RouteChangeResult
 	// Graph is the compiled topology, available to Probe callbacks and
 	// post-run inspection (edge stats, custom traffic injection).
 	Graph *topo.Graph
@@ -567,6 +580,18 @@ func Run(spec Spec) (*Result, *metrics.DelayRecorder, error) {
 	if spec.Warmup <= 0 {
 		spec.Warmup = 4 * sim.Second
 	}
+	// Misconfigurations that used to no-op silently are Spec errors: a
+	// probe that never fires and a sampling period that would arm timers
+	// in the past are both wiring bugs, not requests for "off".
+	if spec.Sample < 0 {
+		return nil, nil, fmt.Errorf("exp: negative Sample %v", spec.Sample)
+	}
+	if spec.Probe != nil && spec.Sample <= 0 {
+		return nil, nil, fmt.Errorf("exp: Probe set without Sample; the probe would never fire (set Sample to the probe period)")
+	}
+	if err := validateRouting(&spec); err != nil {
+		return nil, nil, err
+	}
 	if len(spec.Nodes) > 0 || len(spec.Edges) > 0 {
 		return runMesh(spec)
 	}
@@ -668,6 +693,9 @@ func Run(spec Spec) (*Result, *metrics.DelayRecorder, error) {
 		edgeID[fmt.Sprintf("rev%d", i)] = id
 	}
 	if err := scheduleEvents(s, g, &spec, res, edgeID); err != nil {
+		return nil, nil, err
+	}
+	if err := startRouting(g, &spec, res); err != nil {
 		return nil, nil, err
 	}
 

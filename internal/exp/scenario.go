@@ -110,6 +110,26 @@
 // abandons drain to the next junction and are counted as drops there
 // (the conservation contract — no duplication, no silent loss).
 //
+// Instead of (or alongside) scripted reroutes, a "routing" clause puts
+// flows under policy-driven route computation: the policy watches link
+// state (link_down / link_up / set_delay) and recomputes routes itself,
+// making handover and flap recovery emergent:
+//
+//	"routing": {"policy": "shortest", "recompute_ms": 10}
+//	"routing": {"policy": "kfailover", "k": 2, "drain_ms": 20,
+//	            "flows": [0]}
+//
+// Policies: "shortest" (delay-weighted shortest path over the up edges,
+// the default) and "kfailover" (k edge-disjoint backups precomputed per
+// route, first fully-up candidate wins; "k" defaults to 2 and is only
+// meaningful here — setting it with "shortest" is an error).
+// recompute_ms models control-plane convergence (default 10); a
+// positive drain_ms makes changes make-before-break (the old path keeps
+// draining for that window); "flows" restricts management to the listed
+// flow indices (default: all flows — each flow's data route plus its
+// ACK route when the latter is table-backed). Routing is
+// sequential-only (rejected with shards > 1).
+//
 // Adversaries come in three declarable forms. A targeted attack is an
 // "attack" clause on any link or edge (wire edges included), or an
 // "attack" / "clear_attack" event installing, retuning or removing one
@@ -537,6 +557,16 @@ type ScenarioEvent struct {
 	Attack *ScenarioAttack `json:"attack,omitempty"`
 }
 
+// ScenarioRouting is the JSON routing clause: policy-driven route
+// computation for the scenario's flows.
+type ScenarioRouting struct {
+	Policy      string  `json:"policy,omitempty"`
+	K           int     `json:"k,omitempty"`
+	RecomputeMs float64 `json:"recompute_ms,omitempty"`
+	DrainMs     float64 `json:"drain_ms,omitempty"`
+	Flows       []int   `json:"flows,omitempty"`
+}
+
 // Scenario is a complete declarative scenario file: either a chain
 // (links / reverse_links) or a mesh (nodes / edges).
 type Scenario struct {
@@ -562,6 +592,8 @@ type Scenario struct {
 	Workloads []ScenarioWorkload `json:"workloads,omitempty"`
 	// Events mutate the topology mid-run on the simulation clock.
 	Events []ScenarioEvent `json:"events,omitempty"`
+	// Routing enables policy-driven route computation.
+	Routing *ScenarioRouting `json:"routing,omitempty"`
 
 	// dir is the directory the scenario was loaded from; relative file
 	// references (replay logs) resolve against it. Empty for scenarios
@@ -711,6 +743,12 @@ func (sc *Scenario) Compile() (Spec, error) {
 	}
 	if sc.Shards < 0 {
 		return Spec{}, fmt.Errorf("scenario: negative shards")
+	}
+	if sc.SampleMs < 0 {
+		return Spec{}, fmt.Errorf("scenario: negative sample_ms")
+	}
+	if sc.DurationS < 0 || sc.WarmupS < 0 || sc.RTTms < 0 {
+		return Spec{}, fmt.Errorf("scenario: negative duration_s/warmup_s/rtt_ms")
 	}
 	if len(sc.ShardMap) > 0 && sc.Shards <= 1 {
 		return Spec{}, fmt.Errorf("scenario: shard_map needs shards > 1")
@@ -914,6 +952,27 @@ func (sc *Scenario) Compile() (Spec, error) {
 			Delay:    ms(se.DelayMs),
 			Attack:   attack,
 		})
+	}
+	if sc.Routing != nil {
+		sr := sc.Routing
+		if sr.RecomputeMs < 0 {
+			return Spec{}, fmt.Errorf("scenario: routing: negative recompute_ms")
+		}
+		if sr.DrainMs < 0 {
+			return Spec{}, fmt.Errorf("scenario: routing: negative drain_ms")
+		}
+		spec.Routing = &RoutingSpec{
+			Policy:           sr.Policy,
+			K:                sr.K,
+			RecomputeLatency: ms(sr.RecomputeMs),
+			Drain:            ms(sr.DrainMs),
+			Flows:            sr.Flows,
+		}
+		// Fail the remaining clause checks (policy name, K misuse, flow
+		// indices) at compile time, not first run.
+		if err := validateRouting(&spec); err != nil {
+			return Spec{}, err
+		}
 	}
 	return spec, nil
 }

@@ -52,6 +52,9 @@ func checkShardable(spec *Spec) error {
 	if spec.Sample > 0 || spec.Probe != nil {
 		return fmt.Errorf("exp: Shards > 1 does not support Sample/Probe time series; run with Shards 1")
 	}
+	if spec.Routing != nil {
+		return fmt.Errorf("exp: Shards > 1 does not support Routing (route recomputation mutates tables across shards); run with Shards 1")
+	}
 	return nil
 }
 

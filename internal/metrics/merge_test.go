@@ -67,6 +67,76 @@ func TestDelayRecorderMerge(t *testing.T) {
 	}
 }
 
+// TestMergeMixedEpsilonAdoptsLooserBound: merging sketches built with
+// different epsilon bounds must adopt the looser of the two and keep the
+// merged quantiles within the summed rank error versus the exact order
+// statistics. (The regression: merge used to compress the source's wide
+// bands against the *destination's* epsilon, silently voiding the rank
+// guarantee when the destination was the tighter sketch.)
+func TestMergeMixedEpsilonAdoptsLooserBound(t *testing.T) {
+	const (
+		n        = 40_000
+		tightEps = defaultEpsilon // 0.0005
+		looseEps = 0.02
+	)
+	for _, dir := range []string{"loose-into-tight", "tight-into-loose"} {
+		rng := rand.New(rand.NewSource(9))
+		samples := make([]float64, n)
+		tight := &gkSketch{eps: tightEps}
+		loose := &gkSketch{eps: looseEps}
+		for i := range samples {
+			v := rng.ExpFloat64() * 15
+			if rng.Float64() < 0.1 {
+				v += 300 * rng.Float64()
+			}
+			samples[i] = v
+			if i%2 == 0 {
+				tight.Add(v)
+			} else {
+				loose.Add(v)
+			}
+		}
+		dst, src := tight, loose
+		if dir == "tight-into-loose" {
+			dst, src = loose, tight
+		}
+		dst.merge(src)
+		if got := dst.epsilon(); got != looseEps {
+			t.Fatalf("%s: merged epsilon %v, want looser bound %v", dir, got, looseEps)
+		}
+		if dst.bufLimit != 0 && dst.bufLimit != dst.bufCap() {
+			t.Fatalf("%s: stale insert-buffer cap %d (epsilon now %v wants %d)",
+				dir, dst.bufLimit, dst.epsilon(), dst.bufCap())
+		}
+		if dst.Count() != n {
+			t.Fatalf("%s: merged count %d != %d", dir, dst.Count(), n)
+		}
+		sorted := append([]float64(nil), samples...)
+		sort.Float64s(sorted)
+		// Allowed rank error: one epsilon per constituent sketch (the
+		// mergeable-summary bound) plus the query's own margin at the
+		// merged — looser — epsilon.
+		slack := int(math.Ceil((tightEps+looseEps)*n)) + int(math.Ceil(looseEps*n)) + 1
+		for _, p := range []float64{25, 50, 90, 95, 99} {
+			rank := int(math.Ceil(p / 100 * n))
+			got := dst.Query(int64(rank))
+			lo, hi := clampIdx(rank-1-slack, n), clampIdx(rank-1+slack, n)
+			if got < sorted[lo] || got > sorted[hi] {
+				t.Fatalf("%s p%g: merged %v outside rank band [%v, %v] (slack %d ranks)",
+					dir, p, got, sorted[lo], sorted[hi], slack)
+			}
+		}
+		// The merged sketch must stay usable as a stream: further Adds
+		// flush against the adopted bound without violating it.
+		for i := 0; i < 2*dst.bufCap(); i++ {
+			dst.Add(sorted[n/2])
+		}
+		if dst.Count() != int64(n+2*dst.bufCap()) {
+			t.Fatalf("%s: post-merge Adds lost samples", dir)
+		}
+	}
+}
+
 // TestDelayRecorderMergeExact: Exact recorders merge into an Exact
 // recorder with bit-identical percentiles.
 func TestDelayRecorderMergeExact(t *testing.T) {

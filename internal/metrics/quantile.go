@@ -203,11 +203,21 @@ func (s *gkSketch) Max() float64 {
 // account for), so the merged error is bounded by the sum of the two
 // sketches' epsilons — the standard mergeable-summary bound. o is
 // flushed but otherwise unchanged.
+//
+// When the two sketches were built with different epsilons the merged
+// summary adopts the looser bound: the source's (g, delta) bands are
+// only as tight as its own epsilon allows, so compressing them against a
+// tighter destination budget would claim a rank guarantee the tuples
+// cannot support.
 func (s *gkSketch) merge(o *gkSketch) {
 	s.flush()
 	o.flush()
 	if o.n == 0 {
 		return
+	}
+	if o.epsilon() > s.epsilon() {
+		s.eps = o.epsilon()
+		s.bufLimit = 0 // recompute the insert-buffer cap for the new bound
 	}
 	if s.n == 0 {
 		s.n = o.n

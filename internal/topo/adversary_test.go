@@ -187,9 +187,8 @@ func TestExtraDelayReorders(t *testing.T) {
 	for f := 1; f <= 2; f++ {
 		f := f
 		sink := packet.NodeFunc(func(p *packet.Packet) { order = append(order, f); p.Release() })
-		// Rebind sinks to record global arrival order.
-		g.routes[hopKey{flow: int32(f), ack: false}] = routeState{edges: []int{e.ID}, origin: e.From.ID, tail: sink}
-		e.To.table[hopKey{flow: int32(f), ack: false}] = hop{edge: -1, terminal: sink}
+		// Rebind delivery tails to record global arrival order.
+		g.setFlowTail(f, false, sink)
 	}
 	entry.Recv(packet.NewData(1, 0, packet.MTU, 0)) // victim, deferred 5ms
 	entry.Recv(packet.NewData(2, 0, packet.MTU, 0)) // bystander, immediate

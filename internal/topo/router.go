@@ -15,7 +15,11 @@
 // test asserts over randomized event timelines.
 package topo
 
-import "fmt"
+import (
+	"fmt"
+
+	"abc/internal/sim"
+)
 
 // Router mutates a running graph's forwarding tables. Obtain one with
 // Graph.Router; all methods must be called from simulator context (event
@@ -44,6 +48,9 @@ func (r *Router) CheckReroute(flow int, ack bool, edges []int) error {
 	if rt.origin < 0 {
 		return fmt.Errorf("topo: reroute: flow %d %s route is a direct wire (no junctions to re-decide)", flow, dirName(ack))
 	}
+	if rt.fan {
+		return fmt.Errorf("topo: reroute: flow %d %s route is a fan-out (fan-out routes cannot be rerouted)", flow, dirName(ack))
+	}
 	if len(edges) == 0 {
 		return fmt.Errorf("topo: reroute: flow %d: empty route", flow)
 	}
@@ -58,11 +65,35 @@ func (r *Router) CheckReroute(flow int, ack bool, edges []int) error {
 }
 
 // Reroute atomically swaps one direction of a flow's route onto a new
-// edge sequence: the old route's table entries are removed and the new
-// ones installed in a single synchronous step, with the route's terminal
-// (and its access-latency tail) re-attached at the new route's last
-// node. See the package comment for what happens to packets in flight.
+// edge sequence: the flow detaches from its old FIB class (the last flow
+// off a class removes its table entries) and attaches to the class for
+// the new sequence, all in a single synchronous step, with the route's
+// terminal (and its access-latency tail) re-attached at the new route's
+// last node. See the package comment for what happens to packets in
+// flight.
 func (r *Router) Reroute(flow int, ack bool, edges []int) error {
+	return r.reroute(flow, ack, edges, 0)
+}
+
+// RerouteDraining is the make-before-break Reroute: new packets take the
+// new route immediately, but for the drain window the junctions of the
+// old route that are off the new one keep forwarding this flow's
+// in-flight packets along the old path — all the way to the receiver —
+// through per-flow override entries. When the window closes the
+// overrides are removed and any stragglers are counted as unrouted drops
+// at their next junction, so the conservation contract (delivered + drop
+// counters = sent) holds throughout. Sequential graphs only.
+func (r *Router) RerouteDraining(flow int, ack bool, edges []int, drain sim.Time) error {
+	if r.g.Sharded() {
+		return fmt.Errorf("topo: reroute: flow %d: draining reroutes are not supported on sharded graphs", flow)
+	}
+	if drain <= 0 {
+		return fmt.Errorf("topo: reroute: flow %d: drain window must be positive", flow)
+	}
+	return r.reroute(flow, ack, edges, drain)
+}
+
+func (r *Router) reroute(flow int, ack bool, edges []int, drain sim.Time) error {
 	if err := r.CheckReroute(flow, ack, edges); err != nil {
 		return err
 	}
@@ -80,10 +111,73 @@ func (r *Router) Reroute(flow int, ack bool, edges []int) error {
 			return fmt.Errorf("topo: reroute: flow %d %s route: %v", flow, dirName(ack), err)
 		}
 		rt.tail = tail
+		g.setFlowTail(flow, ack, tail)
 	}
-	g.uninstall(key, rt.edges)
+	// A newer reroute supersedes any overrides still draining from the
+	// previous one; stragglers on that abandoned path fall back to the
+	// ordinary counted-drop contract.
+	clearOverrides(key, &rt)
+	old := rt.edges
 	rt.edges = append([]int(nil), edges...)
-	g.install(key, rt.edges, rt.tail)
+	if drain > 0 {
+		installOverrides(g, key, &rt, old)
+	}
+	g.detachClass(rt.class)
+	rt.class = g.attachClass(ack, rt.edges)
+	g.setFlowClass(flow, ack, rt.class)
 	g.routes[key] = rt
+	if drain > 0 {
+		gen := rt.overGen
+		g.S.After(drain, func() {
+			cur, ok := g.routes[key]
+			if !ok || cur.overGen != gen {
+				return // a newer reroute already replaced these overrides
+			}
+			clearOverrides(key, &cur)
+			g.routes[key] = cur
+		})
+	}
 	return nil
+}
+
+// installOverrides writes the make-before-break exceptions: every node
+// of the old route that is not on the new one keeps its old decision for
+// this flow, so in-flight packets drain to the receiver instead of being
+// dropped at the first off-route junction. Nodes shared with the new
+// route need no override — the class entry already forwards toward the
+// receiver. The route's origin is on both routes by construction, so new
+// packets are never diverted.
+func installOverrides(g *Graph, key hopKey, rt *routeState, old []int) {
+	onNew := make(map[*Node]bool, len(rt.edges)+1)
+	onNew[g.edges[rt.edges[0]].From] = true
+	for _, eid := range rt.edges {
+		onNew[g.edges[eid].To] = true
+	}
+	for i, eid := range old {
+		n := g.edges[eid].To
+		if onNew[n] {
+			continue
+		}
+		h := hop{edge: -1} // end of the old route: the flow's own tail
+		if i < len(old)-1 {
+			h = hop{edge: int32(old[i+1])}
+		}
+		if n.override == nil {
+			n.override = make(map[hopKey]hop)
+		}
+		n.override[key] = h
+		rt.overNodes = append(rt.overNodes, n)
+	}
+	rt.overGen++
+}
+
+// clearOverrides removes a route's draining overrides, if any.
+func clearOverrides(key hopKey, rt *routeState) {
+	for _, n := range rt.overNodes {
+		delete(n.override, key)
+		if len(n.override) == 0 {
+			n.override = nil
+		}
+	}
+	rt.overNodes = nil
 }

@@ -51,40 +51,72 @@ type Link interface {
 // construction). A nil factory makes the edge a pure propagation hop.
 type LinkFactory func(dst packet.Node) (Link, error)
 
-// hopKey addresses one direction of one flow in a forwarding table: a
-// flow's data packets and its ACKs are routed independently, so a data
-// route and an ACK route may share junctions.
+// hopKey addresses one direction of one flow: a flow's data packets and
+// its ACKs are routed independently, so a data route and an ACK route
+// may share junctions. Forwarding tables are keyed by FIB class, not by
+// hopKey — the key survives in the route registry and in the per-flow
+// override maps (make-before-break draining).
 type hopKey struct {
 	flow int32
 	ack  bool
 }
 
-// hop is one forwarding-table entry: the next edge of the route, or the
-// terminal delivery element when edge is negative.
+// hop is one forwarding-table entry. Exactly one of its shapes applies:
+// edge >= 0 forwards onto that edge; fan (edge < 0) duplicates the
+// packet onto every listed edge (multicast fan-out); terminal (edge < 0,
+// fan nil) delivers to that element; all-zero (edge < 0, fan and
+// terminal nil) delivers through the arriving flow's own access tail —
+// the sentinel that lets flows with different receivers and RTTs share
+// one aggregated class entry.
 type hop struct {
 	edge     int32
 	terminal packet.Node
+	fan      []int32
 }
 
-// Node is a junction: packets arriving here are forwarded by a
-// (flow, direction) table lookup to the next edge of that flow's route,
-// or delivered to the route's terminal.
+// Node is a junction: packets arriving here are forwarded by a FIB class
+// lookup — flows whose route (direction and exact edge sequence) is
+// identical share a single table entry — to the next edge of the class's
+// route, or delivered through the flow's own tail at the route's end.
 type Node struct {
 	ID   int
 	Name string
 	g    *Graph
 	// shard is the node's home shard; 0 on unsharded graphs.
 	shard int
-	// table is the forwarding table; Router mutates it mid-run.
-	table map[hopKey]hop
+	// table is the forwarding table, keyed by FIB class id; Router
+	// mutates it mid-run.
+	table map[int32]hop
+	// override holds per-flow exceptions consulted before the class
+	// table; nil in steady state. Make-before-break reroutes install the
+	// old route's hops here for the drain window, so in-flight packets
+	// keep draining to the receiver while new packets take the new path.
+	override map[hopKey]hop
 	// Drops counts arrivals with no table entry (wiring bugs, or packets
 	// stranded on an abandoned route after a mid-run reroute).
 	Drops int64
 }
 
-// Recv implements packet.Node: one forwarding decision.
+// Recv implements packet.Node: one forwarding decision. The fast path is
+// a single map lookup — the per-flow class resolution is a slice index —
+// and allocation-free (BenchmarkFIBLookup pins 0 allocs/op).
 func (n *Node) Recv(p *packet.Packet) {
-	h, ok := n.table[hopKey{flow: int32(p.Flow), ack: p.IsAck}]
+	g := n.g
+	dir := 0
+	if p.IsAck {
+		dir = 1
+	}
+	if n.override != nil {
+		if h, ok := n.override[hopKey{flow: int32(p.Flow), ack: p.IsAck}]; ok {
+			n.forward(h, dir, p)
+			return
+		}
+	}
+	cls := int32(-1)
+	if byFlow := g.classOf[dir]; p.Flow >= 0 && p.Flow < len(byFlow) {
+		cls = byFlow[p.Flow]
+	}
+	h, ok := n.table[cls]
 	if !ok {
 		// No route for this (flow, direction) here: the node is the last
 		// holder. Count the drop so both wiring bugs and reroute-stranded
@@ -93,11 +125,32 @@ func (n *Node) Recv(p *packet.Packet) {
 		p.Release()
 		return
 	}
+	n.forward(h, dir, p)
+}
+
+// forward executes one resolved table entry (see hop for the shapes).
+func (n *Node) forward(h hop, dir int, p *packet.Packet) {
 	if h.edge >= 0 {
 		n.g.edges[h.edge].Recv(p)
 		return
 	}
-	h.terminal.Recv(p)
+	if h.fan != nil {
+		// Multicast fan-out: duplicate onto every branch. Copies are
+		// fresh free-list packets; the original rides the first branch,
+		// sent last so the copies never read a consumed packet.
+		for _, e := range h.fan[1:] {
+			q := packet.Get()
+			*q = *p
+			n.g.edges[e].Recv(q)
+		}
+		n.g.edges[h.fan[0]].Recv(p)
+		return
+	}
+	if h.terminal != nil {
+		h.terminal.Recv(p)
+		return
+	}
+	n.g.tails[dir][p.Flow].Recv(p)
 }
 
 // Edge is one directed hop between two nodes.
@@ -165,8 +218,15 @@ func (e *Edge) Recv(p *packet.Packet) {
 // SetDown takes the edge down (true) or back up (false). While down,
 // packets arriving at the edge are dropped and counted in DownDrops;
 // packets already queued or in flight on the edge still drain — an
-// outage severs the hop, it does not vaporize its buffer.
-func (e *Edge) SetDown(down bool) { e.down = down }
+// outage severs the hop, it does not vaporize its buffer. State changes
+// notify the graph's link-state watchers (OnLinkChange).
+func (e *Edge) SetDown(down bool) {
+	changed := e.down != down
+	e.down = down
+	if changed {
+		e.g.notifyLinkChange(e)
+	}
+}
 
 // Down reports whether the edge is administratively down.
 func (e *Edge) Down() bool { return e.down }
@@ -197,7 +257,19 @@ func (e *Edge) SetDelay(d sim.Time) error {
 	}
 	e.Delay = d
 	e.wire.Delay = d
+	e.g.notifyLinkChange(e)
 	return nil
+}
+
+// OnLinkChange subscribes fn to link-state changes: it is called from
+// SetDown (on actual up/down transitions) and successful SetDelay, with
+// the affected edge. Route-computation policies hang off this hook.
+func (g *Graph) OnLinkChange(fn func(*Edge)) { g.watchers = append(g.watchers, fn) }
+
+func (g *Graph) notifyLinkChange(e *Edge) {
+	for _, w := range g.watchers {
+		w(e)
+	}
 }
 
 // ImpairDrops reports packets dropped by this edge's impairment stage.
@@ -216,9 +288,15 @@ type routeState struct {
 	// edge's tail), or -1 for direct routes (no edges: the terminal is
 	// wired straight to the producer and nothing is reroutable).
 	origin int
-	// tail is the delivery element installed at the route's last node:
-	// the per-flow access-latency wire when the route has one, else the
-	// terminal itself. A reroute moves it to the new last node. On
+	// class is the FIB class the route's table entries are aggregated
+	// under, or -1 for direct routes (which never touch tables).
+	class int32
+	// fan marks multicast fan-out routes (RouteFanout); they own a
+	// dedicated class and cannot be rerouted.
+	fan bool
+	// tail is the delivery element the route's last node hands packets
+	// to: the per-flow access-latency wire when the route has one, else
+	// the terminal itself. A reroute moves it to the new last node. On
 	// sharded graphs the tail is rebuilt per install from terminal /
 	// tailDelay / termShard, because its form depends on which shard the
 	// route's last node lands on (wire vs cross-shard hop).
@@ -226,6 +304,27 @@ type routeState struct {
 	terminal  packet.Node
 	tailDelay sim.Time
 	termShard int
+	// overNodes lists the junctions currently holding a make-before-
+	// break override for this route's key; overGen guards the scheduled
+	// cleanup against a newer reroute having replaced the overrides.
+	overNodes []*Node
+	overGen   int
+}
+
+// fibClass is one aggregated forwarding class: every flow whose route
+// (direction plus exact edge sequence) is identical shares the class's
+// table entries, so table size scales with the number of distinct routes
+// rather than the number of flows. Delivery at the route's end goes
+// through the arriving flow's own tail (Graph.tails), which is what lets
+// flows with different receivers and access latencies share a class.
+type fibClass struct {
+	ack   bool
+	edges []int
+	// refs counts the flows attached to the class; the last detach
+	// uninstalls its table entries and recycles the id.
+	refs int
+	// fan marks a multicast fan-out class (never shared, never rerouted).
+	fan bool
 }
 
 // Graph is the topology under construction and, once flows are routed,
@@ -242,11 +341,27 @@ type Graph struct {
 	// routes registers every installed route by (flow, direction) for
 	// mid-run mutation and conservation accounting.
 	routes map[hopKey]routeState
+	// classes is the FIB class registry; classByRoute deduplicates
+	// classes by (direction, exact edge sequence) and freeClasses
+	// recycles ids of fully-detached classes.
+	classes      []fibClass
+	classByRoute map[string]int32
+	freeClasses  []int32
+	// classOf resolves a flow to its FIB class per direction (index 0
+	// data, 1 ACK; -1 = unrouted). Slices, not maps: the per-packet
+	// lookup is a bounds-checked index.
+	classOf [2][]int32
+	// tails holds each flow's delivery element per direction — what a
+	// class's end-of-route sentinel dereferences to.
+	tails [2][]packet.Node
+	// watchers are the link-state subscribers (route-computation
+	// policies): every SetDown / successful SetDelay notifies them.
+	watchers []func(*Edge)
 }
 
 // New returns an empty graph on the simulator.
 func New(s *sim.Simulator) *Graph {
-	return &Graph{S: s, routes: make(map[hopKey]routeState)}
+	return &Graph{S: s, routes: make(map[hopKey]routeState), classByRoute: make(map[string]int32)}
 }
 
 // NewSharded returns an empty graph spread over the coordinator's
@@ -258,7 +373,8 @@ func New(s *sim.Simulator) *Graph {
 // channel lookahead — which is why a shard-cut edge must have positive
 // delay.
 func NewSharded(c *sim.Coordinator, assign []int) *Graph {
-	return &Graph{S: c.Shard(0).Simulator, coord: c, assign: assign, routes: make(map[hopKey]routeState)}
+	return &Graph{S: c.Shard(0).Simulator, coord: c, assign: assign,
+		routes: make(map[hopKey]routeState), classByRoute: make(map[string]int32)}
 }
 
 // Sharded reports whether the graph spans multiple shard simulators.
@@ -291,7 +407,7 @@ func (g *Graph) AddNode(name string) int {
 			panic(fmt.Sprintf("topo: node %d assigned to shard %d of %d", id, shard, g.coord.Shards()))
 		}
 	}
-	n := &Node{ID: id, Name: name, g: g, shard: shard, table: make(map[hopKey]hop)}
+	n := &Node{ID: id, Name: name, g: g, shard: shard, table: make(map[int32]hop)}
 	g.nodes = append(g.nodes, n)
 	return n.ID
 }
@@ -425,46 +541,109 @@ func (g *Graph) CheckPath(edges []int) error {
 	return nil
 }
 
-// checkFree verifies no node along the route (origin included) already
-// holds a table entry for key.
-func (g *Graph) checkFree(key hopKey, edges []int) error {
-	check := func(n *Node) error {
-		if _, dup := n.table[key]; dup {
-			return fmt.Errorf("already routed at node %q", n.Name)
-		}
-		return nil
+// classKey canonicalizes a (direction, edge sequence) pair for the class
+// dedup map. Only route installs and reroutes pay for it, never the
+// per-packet path.
+func classKey(ack bool, edges []int) string {
+	b := make([]byte, 0, 1+4*len(edges))
+	if ack {
+		b = append(b, 1)
 	}
-	if err := check(g.edges[edges[0]].From); err != nil {
-		return err
+	for _, e := range edges {
+		b = append(b, byte(e), byte(e>>8), byte(e>>16), byte(e>>24))
 	}
-	for _, id := range edges {
-		if err := check(g.edges[id].To); err != nil {
-			return err
-		}
-	}
-	return nil
+	return string(b)
 }
 
-// install writes the route's table entries: the origin forwards onto the
-// first edge, each intermediate node onto the next edge, and the last
-// node delivers to tail.
-func (g *Graph) install(key hopKey, edges []int, tail packet.Node) {
-	g.edges[edges[0]].From.table[key] = hop{edge: int32(edges[0])}
-	for i, id := range edges {
-		next := hop{edge: -1, terminal: tail}
+// newClassID returns a recycled or fresh class id with the given state.
+func (g *Graph) newClassID(c fibClass) int32 {
+	if n := len(g.freeClasses); n > 0 {
+		id := g.freeClasses[n-1]
+		g.freeClasses = g.freeClasses[:n-1]
+		g.classes[id] = c
+		return id
+	}
+	g.classes = append(g.classes, c)
+	return int32(len(g.classes) - 1)
+}
+
+// attachClass binds one more flow to the class for (ack, edges),
+// creating the class — and installing its table entries — when this is
+// the first flow routed over that exact sequence.
+func (g *Graph) attachClass(ack bool, edges []int) int32 {
+	key := classKey(ack, edges)
+	if id, ok := g.classByRoute[key]; ok {
+		g.classes[id].refs++
+		return id
+	}
+	id := g.newClassID(fibClass{ack: ack, edges: append([]int(nil), edges...), refs: 1})
+	g.classByRoute[key] = id
+	g.installClass(id, edges)
+	return id
+}
+
+// detachClass unbinds one flow from a class; the last detach removes the
+// class's table entries and recycles its id.
+func (g *Graph) detachClass(id int32) {
+	c := &g.classes[id]
+	c.refs--
+	if c.refs > 0 {
+		return
+	}
+	if !c.fan {
+		g.uninstallClass(id, c.edges)
+		delete(g.classByRoute, classKey(c.ack, c.edges))
+	}
+	g.classes[id] = fibClass{}
+	g.freeClasses = append(g.freeClasses, id)
+}
+
+// installClass writes the class's table entries: the origin forwards
+// onto the first edge, each intermediate node onto the next edge, and
+// the last node carries the end-of-route sentinel (delivery through the
+// arriving flow's own tail).
+func (g *Graph) installClass(id int32, edges []int) {
+	g.edges[edges[0]].From.table[id] = hop{edge: int32(edges[0])}
+	for i, eid := range edges {
+		next := hop{edge: -1}
 		if i < len(edges)-1 {
 			next = hop{edge: int32(edges[i+1])}
 		}
-		g.edges[id].To.table[key] = next
+		g.edges[eid].To.table[id] = next
 	}
 }
 
-// uninstall removes the route's table entries.
-func (g *Graph) uninstall(key hopKey, edges []int) {
-	delete(g.edges[edges[0]].From.table, key)
-	for _, id := range edges {
-		delete(g.edges[id].To.table, key)
+// uninstallClass removes the class's table entries.
+func (g *Graph) uninstallClass(id int32, edges []int) {
+	delete(g.edges[edges[0]].From.table, id)
+	for _, eid := range edges {
+		delete(g.edges[eid].To.table, id)
 	}
+}
+
+// setFlowClass points one direction of a flow at a class (-1 detaches),
+// growing the per-direction resolution slice as flow ids appear.
+func (g *Graph) setFlowClass(flow int, ack bool, id int32) {
+	dir := 0
+	if ack {
+		dir = 1
+	}
+	for len(g.classOf[dir]) <= flow {
+		g.classOf[dir] = append(g.classOf[dir], -1)
+	}
+	g.classOf[dir][flow] = id
+}
+
+// setFlowTail records a flow's delivery element for one direction.
+func (g *Graph) setFlowTail(flow int, ack bool, tail packet.Node) {
+	dir := 0
+	if ack {
+		dir = 1
+	}
+	for len(g.tails[dir]) <= flow {
+		g.tails[dir] = append(g.tails[dir], nil)
+	}
+	g.tails[dir][flow] = tail
 }
 
 // RouteFlow installs one direction of a flow's route along the given
@@ -512,7 +691,7 @@ func (g *Graph) routeFlow(flow int, ack bool, edges []int, tailDelay sim.Time, t
 	if _, dup := g.routes[key]; dup {
 		return nil, fmt.Errorf("topo: flow %d %s route installed twice", flow, dirName(ack))
 	}
-	rt := routeState{terminal: terminal, tailDelay: tailDelay, termShard: termShard}
+	rt := routeState{terminal: terminal, tailDelay: tailDelay, termShard: termShard, class: -1}
 	if len(edges) == 0 {
 		tail, err := g.buildTail(&rt, injShard)
 		if err != nil {
@@ -525,18 +704,88 @@ func (g *Graph) routeFlow(flow int, ack bool, edges []int, tailDelay sim.Time, t
 	if err := g.CheckPath(edges); err != nil {
 		return nil, fmt.Errorf("topo: flow %d route %v", flow, err)
 	}
-	if err := g.checkFree(key, edges); err != nil {
-		return nil, fmt.Errorf("topo: flow %d %v", flow, err)
-	}
 	last := g.edges[edges[len(edges)-1]].To
 	tail, err := g.buildTail(&rt, last.shard)
 	if err != nil {
 		return nil, fmt.Errorf("topo: flow %d %s route: %v", flow, dirName(ack), err)
 	}
 	rt.tail = tail
-	g.install(key, edges, tail)
+	g.setFlowTail(flow, ack, tail)
+	rt.class = g.attachClass(ack, edges)
+	g.setFlowClass(flow, ack, rt.class)
 	origin := g.edges[edges[0]].From
 	rt.edges, rt.origin = edges, origin.ID
+	g.routes[key] = rt
+	return origin, nil
+}
+
+// RouteFanout installs a multicast-style fan-out route for one direction
+// of a flow: the shared origin duplicates every packet onto each
+// branch's first edge, the branches forward independently, and branch i
+// delivers to terminals[i] behind a tailDelay access wire. Branches must
+// all start at the same junction and be node-disjoint beyond it — each
+// junction keeps exactly one decision per class. Fan-out routes own a
+// dedicated (never aggregated) class, cannot be rerouted, and are
+// sequential-only.
+func (g *Graph) RouteFanout(flow int, ack bool, branches [][]int, tailDelay sim.Time, terminals []packet.Node) (packet.Node, error) {
+	if g.Sharded() {
+		return nil, fmt.Errorf("topo: flow %d: fan-out routes are not supported on sharded graphs", flow)
+	}
+	key := hopKey{flow: int32(flow), ack: ack}
+	if _, dup := g.routes[key]; dup {
+		return nil, fmt.Errorf("topo: flow %d %s route installed twice", flow, dirName(ack))
+	}
+	if len(branches) < 2 {
+		return nil, fmt.Errorf("topo: flow %d: fan-out needs at least two branches (RouteFlow installs single routes)", flow)
+	}
+	if len(terminals) != len(branches) {
+		return nil, fmt.Errorf("topo: flow %d: %d branches but %d terminals", flow, len(branches), len(terminals))
+	}
+	seen := make(map[*Node]int)
+	var origin *Node
+	for bi, br := range branches {
+		if len(br) == 0 {
+			return nil, fmt.Errorf("topo: flow %d: fan-out branch %d is empty", flow, bi)
+		}
+		if err := g.CheckPath(br); err != nil {
+			return nil, fmt.Errorf("topo: flow %d branch %d %v", flow, bi, err)
+		}
+		from := g.edges[br[0]].From
+		if origin == nil {
+			origin = from
+		} else if from != origin {
+			return nil, fmt.Errorf("topo: flow %d: branch %d starts at %q, branch 0 at %q — fan-out branches share one origin",
+				flow, bi, from.Name, origin.Name)
+		}
+		for _, eid := range br {
+			to := g.edges[eid].To
+			if prev, dup := seen[to]; dup {
+				return nil, fmt.Errorf("topo: flow %d: branches %d and %d both traverse node %q — fan-out branches must be node-disjoint",
+					flow, prev, bi, to.Name)
+			}
+			seen[to] = bi
+		}
+	}
+	rt := routeState{origin: origin.ID, fan: true, tailDelay: tailDelay}
+	id := g.newClassID(fibClass{ack: ack, refs: 1, fan: true})
+	fan := make([]int32, len(branches))
+	for bi, br := range branches {
+		fan[bi] = int32(br[0])
+		var tail packet.Node = terminals[bi]
+		if tailDelay > 0 {
+			tail = netem.NewWire(g.S, tailDelay, terminals[bi])
+		}
+		for i, eid := range br {
+			next := hop{edge: -1, terminal: tail}
+			if i < len(br)-1 {
+				next = hop{edge: int32(br[i+1])}
+			}
+			g.edges[eid].To.table[id] = next
+		}
+	}
+	origin.table[id] = hop{edge: -1, fan: fan}
+	rt.class = id
+	g.setFlowClass(flow, ack, id)
 	g.routes[key] = rt
 	return origin, nil
 }

@@ -19,7 +19,7 @@ trap 'rm -f "$tmp"' EXIT
 count="${BENCH_COUNT:-5x}"
 
 go test -run '^$' \
-    -bench 'BenchmarkSimCore$|BenchmarkPacketChurn$|BenchmarkForwardHop$|BenchmarkWorkloadChurn$|BenchmarkShardedRun$' \
+    -bench 'BenchmarkSimCore$|BenchmarkPacketChurn$|BenchmarkForwardHop$|BenchmarkFIBLookup$|BenchmarkWorkloadChurn$|BenchmarkShardedRun$' \
     -benchmem -benchtime "$count" . >"$tmp"
 go test -run '^$' -bench 'BenchmarkSweepScalar$|BenchmarkSweepGrid$' \
     -benchmem -benchtime "$count" ./internal/fluid/ >>"$tmp"
