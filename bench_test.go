@@ -15,6 +15,7 @@ import (
 	"abc/internal/app"
 	"abc/internal/exp"
 	"abc/internal/netem"
+	"abc/internal/obs"
 	"abc/internal/packet"
 	"abc/internal/sim"
 	"abc/internal/topo"
@@ -515,6 +516,43 @@ func BenchmarkForwardHop(b *testing.B) {
 	}
 	if sink.Count != b.N {
 		b.Fatalf("delivered %d, want %d", sink.Count, b.N)
+	}
+}
+
+// BenchmarkTracedHop is BenchmarkForwardHop with the flight recorder
+// attached at an active mask: the same forwarding decision now also
+// emits a hop event into the ring. Enabled tracing must stay 0
+// allocs/op too (bench_thresholds.txt) — the recorder preallocates its
+// ring and Emit writes in place — so the only cost of tracing is the
+// mask check plus the ring store, never the garbage collector.
+func BenchmarkTracedHop(b *testing.B) {
+	s := sim.New(1)
+	g := topo.New(s)
+	rec := obs.NewRecorder(1<<16, obs.CatHop|obs.CatPacket)
+	g.SetRecorder(rec)
+	a, c := g.AddNode("a"), g.AddNode("b")
+	id, err := g.AddEdge("hop", a, c, 0, topo.Impairments{}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sink := &packet.Sink{}
+	entry, err := g.RouteFlow(1, false, []int{id}, 0, sink)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := packet.NewData(1, 0, packet.MTU, 0)
+	defer p.Release()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		entry.Recv(p)
+	}
+	b.StopTimer()
+	if sink.Count != b.N {
+		b.Fatalf("delivered %d, want %d", sink.Count, b.N)
+	}
+	if rec.Total() < uint64(b.N) {
+		b.Fatalf("recorded %d events, want >= %d — tracing was not active", rec.Total(), b.N)
 	}
 }
 

@@ -7,17 +7,20 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"abc/internal/exp"
+	"abc/internal/obs"
 	"abc/internal/prof"
 	"abc/internal/sim"
 )
 
 var (
-	seed     = flag.Int64("seed", 1, "simulation seed")
-	fast     = flag.Bool("fast", false, "shorter runs (CI-sized)")
-	pprofOut = flag.String("pprof", "", "profile the sweep: CPU to <prefix>.cpu.pprof, heap to <prefix>.heap.pprof")
-	rtTrace  = flag.String("runtime-trace", "", "write a runtime execution trace (go tool trace) to this file")
+	seed        = flag.Int64("seed", 1, "simulation seed")
+	fast        = flag.Bool("fast", false, "shorter runs (CI-sized)")
+	pprofOut    = flag.String("pprof", "", "profile the sweep: CPU to <prefix>.cpu.pprof, heap to <prefix>.heap.pprof")
+	rtTrace     = flag.String("runtime-trace", "", "write a runtime execution trace (go tool trace) to this file")
+	metricsAddr = flag.String("metrics", "", "serve live sweep metrics on this address (e.g. 127.0.0.1:9090 or :0) and print progress to stderr")
 )
 
 func main() {
@@ -26,6 +29,16 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "abcreport:", err)
 		os.Exit(1)
+	}
+	if *metricsAddr != "" {
+		addr, err := obs.Serve(*metricsAddr, obs.Default())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "abcreport:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[obs] abcreport: serving metrics on http://%s/metrics\n", addr)
+		exp.EnableMetrics(obs.Default(), sim.Second)
+		defer obs.StartProgress(os.Stderr, obs.Default(), 5*time.Second)()
 	}
 	err = run()
 	if perr := stop(); err == nil {

@@ -46,7 +46,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "abcsim:", err)
 		os.Exit(1)
 	}
+	obsDone, err := setupObs("abcsim")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "abcsim:", err)
+		os.Exit(1)
+	}
 	err = run()
+	if oerr := obsDone(); err == nil {
+		err = oerr
+	}
 	if perr := stop(); err == nil {
 		err = perr
 	}

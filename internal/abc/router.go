@@ -11,6 +11,7 @@ package abc
 import (
 	"math/rand"
 
+	"abc/internal/obs"
 	"abc/internal/packet"
 	"abc/internal/qdisc"
 	"abc/internal/sim"
@@ -144,7 +145,19 @@ type Router struct {
 	// draw happens only on brake-bound packets, so an honest router
 	// (LieFraction 0) consumes nothing from the stream.
 	rng *rand.Rand
+
+	// rec/obsSrc feed mark-issuance events to the flight recorder
+	// (obs.Sink, wired through the owning link); nil rec = off.
+	rec    *obs.Recorder
+	obsSrc int32
 }
+
+// SetObs implements obs.Sink: every Algorithm-1 marking decision emits a
+// CatMark event under the given source id (the owning edge).
+func (r *Router) SetObs(rec *obs.Recorder, src int32) { r.rec, r.obsSrc = rec, src }
+
+// Token returns the current Algorithm-1 token-bucket level (metrics).
+func (r *Router) Token() float64 { return r.token }
 
 // NewRouter returns an ABC router with the given configuration.
 func NewRouter(cfg RouterConfig) *Router {
@@ -277,20 +290,33 @@ func (r *Router) Dequeue(now sim.Time) *packet.Packet {
 
 	f := r.AccelFraction(now)
 	r.token = minf(r.token+f, r.Cfg.TokenLimit)
+	trace := r.rec.Enabled(obs.CatMark)
 	if p.ECN == packet.Accel {
 		if r.token > 1 {
 			r.token--
 			if p.IsAck {
 				r.EchoAccelKept++
+				if trace {
+					r.rec.Emit(int64(now), obs.EvEchoKept, r.obsSrc, int32(p.Flow), 0, 0)
+				}
 			} else {
 				r.AccelMarked++
+				if trace {
+					r.rec.Emit(int64(now), obs.EvAccel, r.obsSrc, int32(p.Flow), 0, 0)
+				}
 			}
 		} else {
 			p.ECN = packet.Brake
 			if p.IsAck {
 				r.EchoDemoted++
+				if trace {
+					r.rec.Emit(int64(now), obs.EvEchoDemoted, r.obsSrc, int32(p.Flow), 0, 0)
+				}
 			} else {
 				r.BrakeMarked++
+				if trace {
+					r.rec.Emit(int64(now), obs.EvBrake, r.obsSrc, int32(p.Flow), 0, 0)
+				}
 			}
 		}
 	}
@@ -302,6 +328,9 @@ func (r *Router) Dequeue(now sim.Time) *packet.Packet {
 		r.rng.Float64() < r.Cfg.LieFraction {
 		p.ECN = packet.Accel
 		r.LiePromoted++
+		if trace {
+			r.rec.Emit(int64(now), obs.EvLiePromoted, r.obsSrc, int32(p.Flow), 0, 0)
+		}
 	}
 	return p
 }

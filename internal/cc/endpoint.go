@@ -12,6 +12,7 @@ package cc
 import (
 	"math"
 
+	"abc/internal/obs"
 	"abc/internal/packet"
 	"abc/internal/sim"
 )
@@ -181,7 +182,17 @@ type Endpoint struct {
 	// paceFn is the bound pacing callback, created once so re-arming the
 	// pacer does not allocate a method-value closure per packet.
 	paceFn func()
+
+	// rec/obsSrc feed per-ACK congestion-control state (EvCwnd) to the
+	// flight recorder (obs.Sink); nil rec = off.
+	rec    *obs.Recorder
+	obsSrc int32
 }
+
+// SetObs implements obs.Sink: every processed ACK emits an EvCwnd event
+// (A = cwnd in 1/1024 packets, B = pacing rate in bits/sec, 0 when
+// ACK-clocked) under the given source id.
+func (e *Endpoint) SetObs(rec *obs.Recorder, src int32) { e.rec, e.obsSrc = rec, src }
 
 // NewEndpoint wires a sender for the flow. Call Start to begin.
 func NewEndpoint(s *sim.Simulator, flow int, out packet.Node, alg Algorithm) *Endpoint {
@@ -498,6 +509,15 @@ func (e *Endpoint) Recv(p *packet.Packet) {
 
 	info.Inflight = len(e.inflight)
 	e.Alg.OnAck(now, e, info)
+	if e.rec.Enabled(obs.CatCC) {
+		var bps int64
+		if pr, ok := e.Alg.(Pacer); ok {
+			if v, use := pr.PacingRate(now); use {
+				bps = int64(v)
+			}
+		}
+		e.rec.Emit(int64(now), obs.EvCwnd, e.obsSrc, int32(e.Flow), int64(e.Alg.CwndPkts()*1024), bps)
+	}
 
 	if p.EchoCE && p.Seq >= e.recoveryUntil {
 		if h, ok := e.Alg.(CEHandler); !ok || !h.HandlesCE() {

@@ -117,7 +117,9 @@ func Targeted(schemes []string, dur sim.Time, seed int64) (map[string]TargetedRe
 		dur = 30 * sim.Second
 	}
 	results := make([]TargetedResult, len(schemes))
-	err := forEach(len(schemes), func(i int) error {
+	err := forEachCell(len(schemes), func(i int) string {
+		return fmt.Sprintf("targeted scheme=%s seed=%d", schemes[i], seed)
+	}, func(i int) error {
 		honest, _, err := Run(targetedSpec(schemes[i], dur, seed))
 		if err != nil {
 			return err
@@ -193,7 +195,9 @@ func Greedy(schemes []string, dur sim.Time, seed int64) (map[string]GreedyResult
 		dur = 30 * sim.Second
 	}
 	results := make([]GreedyResult, len(schemes))
-	err := forEach(len(schemes), func(i int) error {
+	err := forEachCell(len(schemes), func(i int) string {
+		return fmt.Sprintf("greedy scheme=%s seed=%d", schemes[i], seed)
+	}, func(i int) error {
 		honest, _, err := Run(targetedSpec(schemes[i], dur, seed))
 		if err != nil {
 			return err

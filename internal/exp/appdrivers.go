@@ -9,6 +9,8 @@
 package exp
 
 import (
+	"fmt"
+
 	"abc/internal/app"
 	"abc/internal/metrics"
 	"abc/internal/sim"
@@ -21,10 +23,16 @@ var AppSchemes = []string{"ABC", "Cubic", "BBR", "XCP"}
 
 // appTrace resolves the drivers' cellular trace ("" = Verizon1).
 func appTrace(name string) (*trace.Trace, error) {
+	return trace.NamedCellular(appTraceName(name))
+}
+
+// appTraceName resolves the display name of the drivers' trace ("" =
+// Verizon1), for cell labels.
+func appTraceName(name string) string {
 	if name == "" {
-		name = "Verizon1"
+		return "Verizon1"
 	}
-	return trace.NamedCellular(name)
+	return name
 }
 
 // ShortFlowsResult is one scheme's row of the short-flows experiment.
@@ -55,7 +63,9 @@ func ShortFlows(schemes []string, traceName string, dur sim.Time, seed int64) ([
 		return nil, err
 	}
 	out := make([]ShortFlowsResult, len(schemes))
-	err = forEach(len(schemes), func(i int) error {
+	err = forEachCell(len(schemes), func(i int) string {
+		return fmt.Sprintf("shortflows trace=%s scheme=%s seed=%d", appTraceName(traceName), schemes[i], seed)
+	}, func(i int) error {
 		scheme := schemes[i]
 		spec := Spec{
 			Seed:     seed,
@@ -116,7 +126,9 @@ func VideoExp(schemes []string, traceName string, dur sim.Time, seed int64) ([]V
 		return nil, err
 	}
 	out := make([]VideoResult, len(schemes))
-	err = forEach(len(schemes), func(i int) error {
+	err = forEachCell(len(schemes), func(i int) string {
+		return fmt.Sprintf("video trace=%s scheme=%s seed=%d", appTraceName(traceName), schemes[i], seed)
+	}, func(i int) error {
 		scheme := schemes[i]
 		spec := Spec{
 			Seed:     seed,
@@ -175,7 +187,9 @@ func RPCExp(schemes []string, traceName string, dur sim.Time, seed int64) ([]RPC
 		return nil, err
 	}
 	out := make([]RPCResult, len(schemes))
-	err = forEach(len(schemes), func(i int) error {
+	err = forEachCell(len(schemes), func(i int) string {
+		return fmt.Sprintf("rpc trace=%s scheme=%s seed=%d", appTraceName(traceName), schemes[i], seed)
+	}, func(i int) error {
 		scheme := schemes[i]
 		pool := &metrics.DelayRecorder{}
 		flows := []FlowSpec{{Scheme: scheme}}

@@ -54,7 +54,9 @@ func Fig1Timeseries(seed int64) ([]TimeseriesRun, error) {
 	tr := LTETrace()
 	schemes := []string{"Cubic", "Verus", "Cubic+Codel", "ABC"}
 	out := make([]TimeseriesRun, len(schemes))
-	err := forEach(len(schemes), func(i int) error {
+	err := forEachCell(len(schemes), func(i int) string {
+		return fmt.Sprintf("fig1 trace=LTE scheme=%s seed=%d", schemes[i], seed)
+	}, func(i int) error {
 		sch := schemes[i]
 		res, pooled, err := Run(Spec{
 			Seed:     seed,
@@ -157,7 +159,9 @@ func Fig8Scatter(kind ScatterKind, schemes []string, dur sim.Time, seed int64) (
 		links = []LinkSpec{{Trace: up}, {Trace: down}}
 	}
 	out := make([]metrics.Summary, len(schemes))
-	err := forEach(len(schemes), func(i int) error {
+	err := forEachCell(len(schemes), func(i int) string {
+		return fmt.Sprintf("fig8 kind=%d scheme=%s seed=%d", kind, schemes[i], seed)
+	}, func(i int) error {
 		sch := schemes[i]
 		ls := make([]LinkSpec, len(links))
 		copy(ls, links)
@@ -231,7 +235,10 @@ func Fig9Bars(schemes, traces []string, dur sim.Time, seed int64) (*BarsResult, 
 		trs[i] = tr
 	}
 	sums := make([]metrics.Summary, len(traces)*len(schemes))
-	err := forEach(len(sums), func(i int) error {
+	err := forEachCell(len(sums), func(i int) string {
+		ti, si := i/len(schemes), i%len(schemes)
+		return fmt.Sprintf("bars trace=%s scheme=%s seed=%d", traces[ti], schemes[si], seed)
+	}, func(i int) error {
 		ti, si := i/len(schemes), i%len(schemes)
 		s, err := RunSingle(schemes[si], trs[ti], 100*sim.Millisecond, dur, seed)
 		sums[i] = s
@@ -284,7 +291,10 @@ func Fig18RTTSweep(schemes []string, dur sim.Time, seed int64) (map[int]map[stri
 	tr := trace.MustNamedCellular("Verizon1")
 	rtts := []int{20, 50, 100, 200}
 	sums := make([]metrics.Summary, len(rtts)*len(schemes))
-	err := forEach(len(sums), func(i int) error {
+	err := forEachCell(len(sums), func(i int) string {
+		ri, si := i/len(schemes), i%len(schemes)
+		return fmt.Sprintf("fig18 rtt=%dms scheme=%s seed=%d", rtts[ri], schemes[si], seed)
+	}, func(i int) error {
 		ri, si := i/len(schemes), i%len(schemes)
 		rtt := sim.Time(rtts[ri]) * sim.Millisecond
 		sch := schemes[si]

@@ -93,7 +93,9 @@ func Handover(schemes []string, dur sim.Time, seed int64) (map[string]HandoverRe
 	}
 	handoverAt := dur / 2
 	results := make([]HandoverResult, len(schemes))
-	err := forEach(len(schemes), func(i int) error {
+	err := forEachCell(len(schemes), func(i int) string {
+		return fmt.Sprintf("handover scheme=%s seed=%d", schemes[i], seed)
+	}, func(i int) error {
 		spec := handoverSpec(schemes[i], handoverAt, dur, seed)
 		res, _, err := Run(spec)
 		if err != nil {
@@ -187,7 +189,9 @@ func LinkFlap(schemes []string, dur sim.Time, seed int64) (map[string]FlapResult
 	}
 	const outage = 500 * sim.Millisecond
 	results := make([]FlapResult, len(schemes))
-	err := forEach(len(schemes), func(i int) error {
+	err := forEachCell(len(schemes), func(i int) string {
+		return fmt.Sprintf("linkflap scheme=%s seed=%d", schemes[i], seed)
+	}, func(i int) error {
 		spec := Spec{
 			Seed:     seed,
 			Duration: dur,
@@ -295,7 +299,9 @@ func AutoRoute(schemes []string, dur sim.Time, seed int64) (map[string]AutoRoute
 	}
 	outageAt, recoverAt := dur/2, dur-dur/4
 	results := make([]AutoRouteResult, len(schemes))
-	err := forEach(len(schemes), func(i int) error {
+	err := forEachCell(len(schemes), func(i int) string {
+		return fmt.Sprintf("autoroute scheme=%s seed=%d", schemes[i], seed)
+	}, func(i int) error {
 		res, _, err := Run(autoRouteSpec(schemes[i], outageAt, recoverAt, dur, seed))
 		if err != nil {
 			return err
@@ -361,7 +367,9 @@ func FlapStorm(schemes []string, dur sim.Time, seed int64) (map[string]FlapStorm
 	const outage = 300 * sim.Millisecond
 	const blip = 20 * sim.Millisecond // under the 30 ms convergence window
 	results := make([]FlapStormResult, len(schemes))
-	err := forEach(len(schemes), func(i int) error {
+	err := forEachCell(len(schemes), func(i int) string {
+		return fmt.Sprintf("flapstorm scheme=%s seed=%d", schemes[i], seed)
+	}, func(i int) error {
 		spec := Spec{
 			Seed:     seed,
 			Duration: dur,

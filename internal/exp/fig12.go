@@ -7,6 +7,7 @@
 package exp
 
 import (
+	"fmt"
 	"math"
 
 	"abc/internal/cc"
@@ -63,7 +64,10 @@ func Fig12WeightPolicy(policy string, cfg Fig12Config) ([]Fig12Point, error) {
 	// concatenated rate vectors match a sequential sweep byte for byte.
 	type cellOut struct{ abc, cubic []float64 }
 	cells := make([]cellOut, len(cfg.Loads)*cfg.Runs)
-	err := forEach(len(cells), func(i int) error {
+	err := forEachCell(len(cells), func(i int) string {
+		li, run := i/cfg.Runs, i%cfg.Runs
+		return fmt.Sprintf("fig12 policy=%s load=%g run=%d seed=%d", policy, cfg.Loads[li], run, cfg.Seed+int64(run)*97)
+	}, func(i int) error {
 		li, run := i/cfg.Runs, i%cfg.Runs
 		a, c, err := fig12Run(policy, cfg.Loads[li], cfg.Duration, cfg.Seed+int64(run)*97)
 		cells[i] = cellOut{abc: a, cubic: c}
@@ -124,6 +128,7 @@ func fig12Run(policy string, load float64, dur sim.Time, seed int64) (abcT, cubi
 	// Two-node graph: the bottleneck edge carries data left to right, a
 	// pure-delay edge carries ACKs back.
 	g := topo.New(s)
+	attachObs(g)
 	lhs, rhs := g.AddNode("lhs"), g.AddNode("rhs")
 	dataEdge, err := g.AddEdge("data", lhs, rhs, 50*sim.Millisecond, topo.Impairments{},
 		func(dst packet.Node) (topo.Link, error) {
@@ -145,6 +150,9 @@ func fig12Run(policy string, load float64, dur sim.Time, seed int64) (abcT, cubi
 			return nil, nil, aerr
 		}
 		ep := cc.NewEndpoint(s, id, nil, alg)
+		if rec := g.Recorder(); rec != nil {
+			ep.SetObs(rec, int32(id))
+		}
 		ackEntry, aerr := g.RouteFlow(id, true, []int{ackEdge}, 0, ep)
 		if aerr != nil {
 			return nil, nil, aerr

@@ -5,6 +5,8 @@
 package exp
 
 import (
+	"fmt"
+
 	"abc/internal/metrics"
 	"abc/internal/sim"
 	"abc/internal/trace"
@@ -28,7 +30,9 @@ func Fig17SquareWave(schemes []string, seed int64) ([]Fig17Run, error) {
 	}
 	tr := trace.SquareWave("fig17", 12e6, 24e6, 500*sim.Millisecond)
 	out := make([]Fig17Run, len(schemes))
-	err := forEach(len(schemes), func(i int) error {
+	err := forEachCell(len(schemes), func(i int) string {
+		return fmt.Sprintf("fig17 trace=squarewave scheme=%s seed=%d", schemes[i], seed)
+	}, func(i int) error {
 		sch := schemes[i]
 		res, pooled, err := Run(Spec{
 			Seed:     seed,

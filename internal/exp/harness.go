@@ -645,6 +645,7 @@ func Run(spec Spec) (*Result, *metrics.DelayRecorder, error) {
 	}
 	s := g.S
 	res.Graph = g
+	attachObs(g)
 	fwdEdges, fwdQdiscs, err := buildChain(g, &spec, spec.Links, Forward, spans, wspans)
 	if err != nil {
 		return nil, nil, err
@@ -818,6 +819,9 @@ func wireFlows(g *topo.Graph, spec *Spec, res *Result, pooled *metrics.DelayReco
 		}
 
 		ep := cc.NewEndpoint(epSim, i, nil, alg)
+		if r := g.Recorder(); r != nil {
+			ep.SetObs(r, int32(i))
+		}
 		ep.Src = fs.Source
 		if fs.App != nil {
 			if fs.Source != nil {
@@ -926,10 +930,15 @@ func runAndMeasure(g *topo.Graph, spec *Spec, res *Result, pooled *metrics.Delay
 		})
 	}
 
+	sampler := scheduleMetrics(g, spec, res)
+
 	if c := g.Coordinator(); c != nil {
 		c.Run(spec.Duration)
 	} else {
 		s.RunUntil(spec.Duration)
+	}
+	if sampler != nil {
+		sampler.sample(spec.Duration)
 	}
 
 	// Per-flow throughput over each flow's measured window.

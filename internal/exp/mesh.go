@@ -49,6 +49,7 @@ func runMesh(spec Spec) (*Result, *metrics.DelayRecorder, error) {
 	}
 	s := g.S
 	res.Graph = g
+	attachObs(g)
 
 	nodeID := make(map[string]int, len(spec.Nodes))
 	for _, name := range spec.Nodes {

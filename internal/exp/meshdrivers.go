@@ -82,7 +82,9 @@ func MeshSharedJunction(schemes []string, dur sim.Time, seed int64) (map[string]
 		dur = 30 * sim.Second
 	}
 	results := make([]MeshResult, len(schemes))
-	err := forEach(len(schemes), func(i int) error {
+	err := forEachCell(len(schemes), func(i int) string {
+		return fmt.Sprintf("mesh-junction scheme=%s seed=%d", schemes[i], seed)
+	}, func(i int) error {
 		spec := meshJunctionSpec(schemes[i], dur, seed)
 		res, _, err := Run(spec)
 		if err != nil {
@@ -149,7 +151,9 @@ func MarkedUplink(schemes []string, uplinkMbps float64, dur sim.Time, seed int64
 	}
 	down := trace.MustNamedCellular("Verizon1")
 	results := make([]MarkedUplinkResult, len(schemes))
-	err := forEach(len(schemes), func(i int) error {
+	err := forEachCell(len(schemes), func(i int) string {
+		return fmt.Sprintf("marked-uplink scheme=%s seed=%d", schemes[i], seed)
+	}, func(i int) error {
 		sch := schemes[i]
 		res, _, err := Run(Spec{
 			Seed:     seed,

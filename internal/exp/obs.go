@@ -1,0 +1,210 @@
+// Observability wiring for the harness: process-wide switches that
+// attach a flight recorder and a metrics registry to every scenario the
+// harness runs. Both are off by default and both are passive with
+// respect to golden digests in their default state — tracing never
+// schedules simulator events at all, and metric sampling (which does
+// schedule a sampler) only activates when EnableMetrics was called.
+package exp
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"abc/internal/abc"
+	"abc/internal/obs"
+	"abc/internal/qdisc"
+	"abc/internal/sim"
+	"abc/internal/topo"
+)
+
+var (
+	// traceRec is the recorder every new scenario graph attaches
+	// (EnableTracing); nil = tracing off.
+	traceRec atomic.Pointer[obs.Recorder]
+	// metReg / metPeriodNs configure run-metrics sampling
+	// (EnableMetrics); nil registry = metrics off.
+	metReg      atomic.Pointer[obs.Registry]
+	metPeriodNs atomic.Int64
+)
+
+// EnableTracing attaches a flight recorder to every scenario the
+// harness runs from now on: the topology graph, its links and qdiscs,
+// every flow endpoint and (on sharded runs) the coordinator emit trace
+// events into it, filtered by the recorder's category mask. Pass nil to
+// turn tracing back off. Safe to call concurrently with running sweeps;
+// cells read the switch once at cell start.
+func EnableTracing(r *obs.Recorder) { traceRec.Store(r) }
+
+// TracingRecorder returns the recorder installed by EnableTracing (nil
+// when tracing is off).
+func TracingRecorder() *obs.Recorder { return traceRec.Load() }
+
+// EnableMetrics publishes live run metrics into reg, sampled every
+// period of virtual time: per-edge queue depth/bytes (plus ABC tokens
+// and mark counts on ABC bottlenecks), per-flow cwnd/pacing-rate (plus
+// ReverseBrakes for ABC senders), graph-wide drop counters, shard
+// synchronization counters, and the well-known obs.MetricSimSeconds /
+// obs.MetricSimEvents read by the progress line. Unlike tracing, the
+// sampler schedules real simulator events, so runs with metrics enabled
+// are NOT digest-comparable to runs without; gauges show the most
+// recent sample from whichever sweep cell sampled last, while counters
+// aggregate across cells. Pass a nil registry to turn metrics off.
+func EnableMetrics(reg *obs.Registry, period sim.Time) {
+	if period <= 0 {
+		period = sim.Second
+	}
+	metPeriodNs.Store(int64(period))
+	metReg.Store(reg)
+}
+
+// attachObs hands the process-wide recorder, if any, to a freshly built
+// scenario graph. Called by both spec compilers right after graph
+// construction, before any edges exist (AddEdge wires links as they
+// appear).
+func attachObs(g *topo.Graph) {
+	if r := traceRec.Load(); r != nil {
+		g.SetRecorder(r)
+	}
+}
+
+// namedQdisc pairs an addressable edge name with its built discipline
+// for metric labels.
+type namedQdisc struct {
+	name string
+	q    qdisc.Qdisc
+}
+
+// runSampler captures everything one scenario publishes per sample into
+// the metrics registry. Handles are resolved once at construction so
+// the per-sample work is atomic stores plus a few map-free loops.
+type runSampler struct {
+	reg    *obs.Registry
+	g      *topo.Graph
+	res    *Result
+	qdiscs []namedQdisc
+	// prevEvents tracks the executed-event count already published, so
+	// obs.MetricSimEvents aggregates correctly across parallel cells.
+	prevEvents uint64
+}
+
+// newRunSampler builds the sampler for one scenario, or nil when
+// metrics are off. It must be called after the result's qdisc lists are
+// populated (post buildChain / mesh edge compilation).
+func newRunSampler(g *topo.Graph, res *Result) *runSampler {
+	reg := metReg.Load()
+	if reg == nil {
+		return nil
+	}
+	rs := &runSampler{reg: reg, g: g, res: res}
+	if res.EdgeQdiscs != nil {
+		for name, q := range res.EdgeQdiscs {
+			rs.qdiscs = append(rs.qdiscs, namedQdisc{name: name, q: q})
+		}
+	} else {
+		for i, q := range res.Qdiscs {
+			rs.qdiscs = append(rs.qdiscs, namedQdisc{name: fmt.Sprintf("fwd%d", i), q: q})
+		}
+		for i, q := range res.ReverseQdiscs {
+			rs.qdiscs = append(rs.qdiscs, namedQdisc{name: fmt.Sprintf("rev%d", i), q: q})
+		}
+	}
+	reg.Help("abc_queue_pkts", "Instantaneous bottleneck queue depth in packets.")
+	reg.Help("abc_queue_bytes", "Instantaneous bottleneck queue depth in bytes.")
+	reg.Help("abc_tokens", "ABC router token-bucket level (Algorithm 1).")
+	reg.Help("abc_marks_total", "ABC marking decisions by kind.")
+	reg.Help("abc_qdisc_drops_total", "Packets rejected by the bottleneck discipline.")
+	reg.Help("abc_flow_cwnd_pkts", "Congestion window in packets.")
+	reg.Help("abc_flow_rate_bps", "Pacing rate in bits/sec (0 = ACK-clocked).")
+	reg.Help("abc_flow_reverse_brakes", "Brakes the ABC sender consumed off the reverse path.")
+	reg.Help("abc_drops_total", "Packets dropped, by cause.")
+	reg.Help("abc_shard_rounds_total", "Conservative-sync windows executed by the coordinator.")
+	reg.Help("abc_shard_events_total", "Events executed per shard.")
+	reg.Help("abc_shard_horizon_lag_seconds", "How far each shard's horizon trails the furthest shard.")
+	return rs
+}
+
+// sample publishes one snapshot at virtual time now.
+func (rs *runSampler) sample(now sim.Time) {
+	reg, g := rs.reg, rs.g
+	reg.Gauge(obs.MetricSimSeconds).Set(now.Seconds())
+
+	var events uint64
+	if c := g.Coordinator(); c != nil {
+		for i := 0; i < c.Shards(); i++ {
+			ex := c.Shard(i).Executed()
+			events += ex
+			reg.Counter(fmt.Sprintf(`abc_shard_events_total{shard="%d"}`, i)).Store(int64(ex))
+			reg.Gauge(fmt.Sprintf(`abc_shard_horizon_lag_seconds{shard="%d"}`, i)).Set(c.HorizonLag(i).Seconds())
+		}
+		reg.Counter("abc_shard_rounds_total").Store(int64(c.Rounds()))
+	} else {
+		events = g.S.Executed()
+	}
+	reg.Counter(obs.MetricSimEvents).Add(int64(events - rs.prevEvents))
+	rs.prevEvents = events
+
+	for _, nq := range rs.qdiscs {
+		reg.Gauge(`abc_queue_pkts{edge="` + nq.name + `"}`).Set(float64(nq.q.Len()))
+		reg.Gauge(`abc_queue_bytes{edge="` + nq.name + `"}`).Set(float64(nq.q.Bytes()))
+		if r, ok := nq.q.(*abc.Router); ok {
+			reg.Gauge(`abc_tokens{edge="` + nq.name + `"}`).Set(r.Token())
+			reg.Counter(`abc_marks_total{edge="` + nq.name + `",kind="accel"}`).Store(r.AccelMarked)
+			reg.Counter(`abc_marks_total{edge="` + nq.name + `",kind="brake"}`).Store(r.BrakeMarked)
+			reg.Counter(`abc_marks_total{edge="` + nq.name + `",kind="echo_demoted"}`).Store(r.EchoDemoted)
+			reg.Counter(`abc_qdisc_drops_total{edge="` + nq.name + `"}`).Store(r.Stats.DroppedPackets)
+		}
+	}
+
+	for i := range rs.res.Flows {
+		fr := &rs.res.Flows[i]
+		label := fmt.Sprintf(`{flow="%d"}`, i)
+		reg.Gauge("abc_flow_cwnd_pkts" + label).Set(fr.Algorithm.CwndPkts())
+		var bps float64
+		if pr, ok := fr.Algorithm.(interface {
+			PacingRate(now sim.Time) (float64, bool)
+		}); ok {
+			if v, use := pr.PacingRate(now); use {
+				bps = v
+			}
+		}
+		reg.Gauge("abc_flow_rate_bps" + label).Set(bps)
+		if s, ok := fr.Algorithm.(*abc.Sender); ok {
+			reg.Gauge("abc_flow_reverse_brakes" + label).Set(float64(s.ReverseBrakes))
+		}
+	}
+
+	reg.Counter(`abc_drops_total{cause="unrouted"}`).Store(g.UnroutedDrops())
+	reg.Counter(`abc_drops_total{cause="impair"}`).Store(g.ImpairDrops())
+	reg.Counter(`abc_drops_total{cause="link_down"}`).Store(g.DownDrops())
+	reg.Counter(`abc_drops_total{cause="adversary"}`).Store(g.AdversaryDrops())
+}
+
+// scheduleMetrics arms the run's metric sampler, when metrics are
+// enabled: a periodic simulator event on sequential runs, pre-scheduled
+// coordinator barriers on sharded ones (GlobalAt must be registered
+// before Run). Must be called before the simulation starts. It returns
+// the sampler so the runner can publish one final snapshot after the
+// run (nil when metrics are off).
+func scheduleMetrics(g *topo.Graph, spec *Spec, res *Result) *runSampler {
+	rs := newRunSampler(g, res)
+	if rs == nil {
+		return nil
+	}
+	period := sim.Time(metPeriodNs.Load())
+	if c := g.Coordinator(); c != nil {
+		for t := period; t <= spec.Duration; t += period {
+			at := t
+			c.GlobalAt(at, func() { rs.sample(at) })
+		}
+		return rs
+	}
+	s := g.S
+	s.Every(period, func() bool {
+		if s.Now() > spec.Duration {
+			return false
+		}
+		rs.sample(s.Now())
+		return true
+	})
+	return rs
+}

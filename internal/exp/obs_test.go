@@ -1,0 +1,153 @@
+package exp
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"strings"
+	"testing"
+
+	"abc/internal/netem"
+	"abc/internal/obs"
+	"abc/internal/sim"
+)
+
+// TestGoldenTracingInvariance re-runs the full golden corpus with the
+// flight recorder attached at full category mask and requires every
+// digest to stay byte-identical to the committed corpus: tracing must be
+// purely passive — no scheduled events, no RNG draws, no state the
+// simulation can observe. The final assertion that events were actually
+// captured keeps the test from passing vacuously if the wiring breaks.
+func TestGoldenTracingInvariance(t *testing.T) {
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("no golden corpus (%v)", err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("corrupt %s: %v", goldenPath, err)
+	}
+	rec := obs.NewRecorder(1<<16, obs.CatAll)
+	EnableTracing(rec)
+	defer EnableTracing(nil)
+	for _, c := range goldenCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			v, err := c.run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, _, err := goldenDigest(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if w, ok := want[c.name]; ok && w != d {
+				t.Errorf("digest changed with tracing enabled:\n got %s\nwant %s\ntracing must not perturb the simulation", d, w)
+			}
+		})
+	}
+	if rec.Total() == 0 {
+		t.Fatal("full-mask recorder captured no events across the corpus — trace wiring is dead")
+	}
+}
+
+// TestForEachCellPanic asserts a panicking cell is converted into an
+// error naming the cell instead of killing the sweep. The worker pool
+// keeps draining after the panic (every cell runs); the sequential path
+// keeps its fail-fast contract and stops at the failing cell.
+func TestForEachCellPanic(t *testing.T) {
+	defer func(p int) { Parallelism = p }(Parallelism)
+	for _, par := range []int{1, 4} {
+		Parallelism = par
+		ran := make([]bool, 3)
+		err := forEachCell(3, func(i int) string {
+			return []string{"a", "b", "c"}[i]
+		}, func(i int) error {
+			ran[i] = true
+			if i == 1 {
+				panic("boom")
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("par=%d: panic swallowed", par)
+		}
+		for _, frag := range []string{"cell b", "panicked", "boom"} {
+			if !strings.Contains(err.Error(), frag) {
+				t.Errorf("par=%d: error %q missing %q", par, err, frag)
+			}
+		}
+		if par > 1 {
+			for i, r := range ran {
+				if !r {
+					t.Errorf("par=%d: cell %d did not run after sibling panic", par, i)
+				}
+			}
+		}
+	}
+}
+
+// TestForEachCellErrorLabel asserts plain errors come back wrapped with
+// the cell's identity and still unwrap to the original.
+func TestForEachCellErrorLabel(t *testing.T) {
+	sentinel := errors.New("cell exploded")
+	err := forEachCell(2, func(i int) string {
+		return []string{"scheme=ABC seed=7", "scheme=Cubic seed=7"}[i]
+	}, func(i int) error {
+		if i == 1 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("wrapped error lost the original: %v", err)
+	}
+	if !strings.Contains(err.Error(), "cell scheme=Cubic seed=7") {
+		t.Fatalf("error %q missing cell identity", err)
+	}
+}
+
+// TestMetricsSampling runs a small scenario with live metrics enabled
+// and checks the registry ends up with the advertised families: per-edge
+// queue and token gauges, per-flow cwnd, and the sim-progress pair read
+// by the progress line.
+func TestMetricsSampling(t *testing.T) {
+	reg := obs.NewRegistry()
+	EnableMetrics(reg, 200*sim.Millisecond)
+	defer EnableMetrics(nil, 0)
+	_, _, err := Run(Spec{
+		Seed:     1,
+		Duration: 2 * sim.Second,
+		Warmup:   500 * sim.Millisecond,
+		RTT:      50 * sim.Millisecond,
+		Links:    []LinkSpec{{Rate: netem.ConstRate(10e6), Qdisc: QdiscSpec{Kind: "abc"}}},
+		Flows:    []FlowSpec{{Scheme: "ABC"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	have := map[string]obs.Sample{}
+	for _, s := range reg.Snapshot() {
+		have[s.Name] = s
+	}
+	for _, name := range []string{
+		`abc_queue_pkts{edge="fwd0"}`,
+		`abc_queue_bytes{edge="fwd0"}`,
+		`abc_tokens{edge="fwd0"}`,
+		`abc_marks_total{edge="fwd0",kind="accel"}`,
+		`abc_flow_cwnd_pkts{flow="0"}`,
+		`abc_flow_reverse_brakes{flow="0"}`,
+		obs.MetricSimSeconds,
+		obs.MetricSimEvents,
+	} {
+		if _, ok := have[name]; !ok {
+			t.Errorf("registry missing %s after a metered run", name)
+		}
+	}
+	if s := have[obs.MetricSimSeconds]; s.Value != 2 {
+		t.Errorf("final %s = %g, want 2 (the run duration)", obs.MetricSimSeconds, s.Value)
+	}
+	if s := have[obs.MetricSimEvents]; s.Value <= 0 {
+		t.Errorf("%s = %g, want > 0", obs.MetricSimEvents, s.Value)
+	}
+}

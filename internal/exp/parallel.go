@@ -6,9 +6,13 @@
 package exp
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"abc/internal/obs"
 )
 
 // Parallelism bounds the number of experiment cells running concurrently
@@ -41,10 +45,43 @@ func workers(n int) int {
 // forEach runs fn(i) for every i in [0, n) across the worker pool and
 // returns the lowest-index error (so error reporting is deterministic
 // too). fn must write its result into a caller-provided slot indexed by
-// i and must not touch other slots.
-func forEach(n int, fn func(i int) error) error {
+// i and must not touch other slots. Drivers that can name their cells
+// should use forEachCell so failures carry the cell's identity.
+func forEach(n int, fn func(i int) error) error { return forEachCell(n, nil, fn) }
+
+// forEachCell is forEach with a cell-naming hook: label(i) renders cell
+// i's sweep coordinates ("trace=Verizon scheme=abc seed=42") into every
+// error and panic report, so a failure inside a 300-cell fan-out is
+// attributable without re-running the sweep sequentially. A panicking
+// cell no longer kills the process: the panic is converted into that
+// cell's error (with its stack) and the remaining cells complete. When
+// live metrics are enabled, the obs cell counters
+// (obs.MetricCellsTotal/Done/Failed) track sweep progress for the
+// /metrics endpoint and the progress line.
+func forEachCell(n int, label func(i int) string, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
+	}
+	reg := metReg.Load()
+	if reg != nil {
+		reg.Counter(obs.MetricCellsTotal).Add(int64(n))
+	}
+	run := func(i int) (err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("cell panicked: %v\n%s", p, debug.Stack())
+			}
+			if err != nil && label != nil {
+				err = fmt.Errorf("cell %s: %w", label(i), err)
+			}
+			if reg != nil {
+				reg.Counter(obs.MetricCellsDone).Inc()
+				if err != nil {
+					reg.Counter(obs.MetricCellsFailed).Inc()
+				}
+			}
+		}()
+		return fn(i)
 	}
 	if w := workers(n); w > 1 {
 		var next atomic.Int64
@@ -59,7 +96,7 @@ func forEach(n int, fn func(i int) error) error {
 					if i >= n {
 						return
 					}
-					errs[i] = fn(i)
+					errs[i] = run(i)
 				}
 			}()
 		}
@@ -72,7 +109,7 @@ func forEach(n int, fn func(i int) error) error {
 		return nil
 	}
 	for i := 0; i < n; i++ {
-		if err := fn(i); err != nil {
+		if err := run(i); err != nil {
 			return err
 		}
 	}

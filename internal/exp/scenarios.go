@@ -9,6 +9,8 @@
 package exp
 
 import (
+	"fmt"
+
 	"abc/internal/cc"
 	"abc/internal/metrics"
 	"abc/internal/netem"
@@ -49,7 +51,9 @@ func UplinkCongestedACK(schemes []string, uplinkMbps float64, dur sim.Time, seed
 	}
 	down := trace.MustNamedCellular("Verizon1")
 	results := make([]UplinkResult, len(schemes))
-	err := forEach(len(schemes), func(i int) error {
+	err := forEachCell(len(schemes), func(i int) string {
+		return fmt.Sprintf("uplink trace=Verizon1 scheme=%s seed=%d", schemes[i], seed)
+	}, func(i int) error {
 		sch := schemes[i]
 		res, _, err := Run(Spec{
 			Seed:     seed,
@@ -174,7 +178,10 @@ func LossyLink(schemes []string, lossRates []float64, bursty bool, dur sim.Time,
 		lossRates = []float64{0, 0.001, 0.01, 0.05}
 	}
 	out := make([]LossyPoint, len(schemes)*len(lossRates))
-	err := forEach(len(out), func(i int) error {
+	err := forEachCell(len(out), func(i int) string {
+		si, li := i/len(lossRates), i%len(lossRates)
+		return fmt.Sprintf("lossy scheme=%s loss=%g bursty=%t seed=%d", schemes[si], lossRates[li], bursty, seed)
+	}, func(i int) error {
 		si, li := i/len(lossRates), i%len(lossRates)
 		sch, loss := schemes[si], lossRates[li]
 		imp := topo.Impairments{LossRate: loss}

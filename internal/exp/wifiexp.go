@@ -275,7 +275,9 @@ func RunWiFi(ws WiFiScheme, nUsers int, mcs func(now sim.Time) int, dur sim.Time
 // schemes on the varying Wi-Fi link.
 func Fig10WiFi(nUsers int, mcs func(now sim.Time) int, dur sim.Time, seed int64) ([]metrics.Summary, error) {
 	out := make([]metrics.Summary, len(Fig10SchemeSet))
-	err := forEach(len(Fig10SchemeSet), func(i int) error {
+	err := forEachCell(len(Fig10SchemeSet), func(i int) string {
+		return fmt.Sprintf("fig10 wifi users=%d scheme=%s seed=%d", nUsers, Fig10SchemeSet[i], seed)
+	}, func(i int) error {
 		s, err := RunWiFi(Fig10SchemeSet[i], nUsers, mcs, dur, seed)
 		out[i] = s
 		return err

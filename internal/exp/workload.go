@@ -249,6 +249,9 @@ func (r *workloadRunner) spawn(now sim.Time) {
 		rtt = r.spec.RTT
 	}
 	ep := cc.NewEndpoint(r.s, id, nil, alg)
+	if rec := r.g.Recorder(); rec != nil {
+		ep.SetObs(rec, int32(id))
+	}
 	ackEntry, err := r.g.RouteFlow(id, true, r.route.ack, rtt/2, ep)
 	if err != nil {
 		r.fail(err)

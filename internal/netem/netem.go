@@ -11,6 +11,7 @@
 package netem
 
 import (
+	"abc/internal/obs"
 	"abc/internal/packet"
 	"abc/internal/qdisc"
 	"abc/internal/sim"
@@ -62,6 +63,10 @@ type TraceLink struct {
 	// next delivery does not allocate a method-value closure per packet.
 	oppFn func()
 
+	// rec/obsSrc feed the flight recorder (obs.Sink); nil rec = off.
+	rec    *obs.Recorder
+	obsSrc int32
+
 	running   bool
 	delivered int64 // bytes
 	startedAt sim.Time
@@ -84,6 +89,17 @@ func NewTraceLink(s *sim.Simulator, tr *trace.Trace, q qdisc.Qdisc, dst packet.N
 // Trace returns the underlying trace.
 func (l *TraceLink) Trace() *trace.Trace { return l.tr }
 
+// SetObs implements obs.Sink: the link records enqueue/dequeue/drop
+// events under the given source id and forwards the recorder to its
+// qdisc when that also implements obs.Sink (the ABC router's mark
+// events).
+func (l *TraceLink) SetObs(rec *obs.Recorder, src int32) {
+	l.rec, l.obsSrc = rec, src
+	if s, ok := l.Q.(obs.Sink); ok {
+		s.SetObs(rec, src)
+	}
+}
+
 // CapacityBps reports the link capacity estimate at time now.
 func (l *TraceLink) CapacityBps(now sim.Time) float64 {
 	if l.Lookahead > 0 {
@@ -104,8 +120,14 @@ func (l *TraceLink) DeliveredBytes() int64 { return l.delivered }
 func (l *TraceLink) Recv(p *packet.Packet) {
 	now := l.S.Now()
 	if !l.Q.Enqueue(now, p) {
+		if l.rec.Enabled(obs.CatPacket) {
+			l.rec.Emit(int64(now), obs.EvQdiscDrop, l.obsSrc, int32(p.Flow), 0, 0)
+		}
 		p.Release() // dropped by the discipline
 		return
+	}
+	if l.rec.Enabled(obs.CatPacket) {
+		l.rec.Emit(int64(now), obs.EvEnqueue, l.obsSrc, int32(p.Flow), int64(l.Q.Len()), int64(l.Q.Bytes()))
 	}
 	if !l.running {
 		l.running = true
@@ -145,6 +167,9 @@ func (l *TraceLink) opportunity() {
 			budget -= p.Size
 		}
 		p.QueueDelay += now - p.EnqueuedAt
+		if l.rec.Enabled(obs.CatPacket) {
+			l.rec.Emit(int64(now), obs.EvDequeue, l.obsSrc, int32(p.Flow), int64(now-p.EnqueuedAt), int64(l.Q.Len()))
+		}
 		if l.OnDeliver != nil {
 			l.OnDeliver(now, p)
 		}
@@ -173,6 +198,18 @@ type RateLink struct {
 
 	busy      bool
 	delivered int64
+
+	// rec/obsSrc feed the flight recorder (obs.Sink); nil rec = off.
+	rec    *obs.Recorder
+	obsSrc int32
+}
+
+// SetObs implements obs.Sink (see TraceLink.SetObs).
+func (l *RateLink) SetObs(rec *obs.Recorder, src int32) {
+	l.rec, l.obsSrc = rec, src
+	if s, ok := l.Q.(obs.Sink); ok {
+		s.SetObs(rec, src)
+	}
 }
 
 // NewRateLink wires a rate-driven link. Capacity-aware qdiscs receive the
@@ -189,7 +226,13 @@ func NewRateLink(s *sim.Simulator, rate RateFunc, q qdisc.Qdisc, dst packet.Node
 // SetRate replaces the link's rate function mid-run. The transmission in
 // progress finishes at the rate it started with; subsequent packets (and
 // capacity-aware qdiscs) see the new rate.
-func (l *RateLink) SetRate(rate RateFunc) { l.Rate = rate }
+func (l *RateLink) SetRate(rate RateFunc) {
+	l.Rate = rate
+	if l.rec.Enabled(obs.CatLink) {
+		now := l.S.Now()
+		l.rec.Emit(int64(now), obs.EvSetRate, l.obsSrc, -1, int64(rate(now)), 0)
+	}
+}
 
 // ConstRate returns a RateFunc for a fixed bits/sec capacity.
 func ConstRate(bps float64) RateFunc { return func(sim.Time) float64 { return bps } }
@@ -201,8 +244,14 @@ func (l *RateLink) DeliveredBytes() int64 { return l.delivered }
 func (l *RateLink) Recv(p *packet.Packet) {
 	now := l.S.Now()
 	if !l.Q.Enqueue(now, p) {
+		if l.rec.Enabled(obs.CatPacket) {
+			l.rec.Emit(int64(now), obs.EvQdiscDrop, l.obsSrc, int32(p.Flow), 0, 0)
+		}
 		p.Release()
 		return
+	}
+	if l.rec.Enabled(obs.CatPacket) {
+		l.rec.Emit(int64(now), obs.EvEnqueue, l.obsSrc, int32(p.Flow), int64(l.Q.Len()), int64(l.Q.Bytes()))
 	}
 	if !l.busy {
 		l.startNext()
@@ -223,6 +272,9 @@ func (l *RateLink) startNext() {
 	}
 	l.busy = true
 	p.QueueDelay += now - p.EnqueuedAt
+	if l.rec.Enabled(obs.CatPacket) {
+		l.rec.Emit(int64(now), obs.EvDequeue, l.obsSrc, int32(p.Flow), int64(now-p.EnqueuedAt), int64(l.Q.Len()))
+	}
 	rate := l.Rate(now)
 	if rate <= 0 {
 		// Zero-rate interval: poll again shortly rather than divide by

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Well-known metric names read by the progress line. Publishers (the
+// exp harness, the binaries) use these constants so the progress
+// goroutine and the exposition endpoint agree.
+const (
+	MetricSimSeconds  = "abc_run_sim_seconds"      // gauge: virtual time simulated so far
+	MetricSimEvents   = "abc_sim_events_total"     // counter: simulator events executed
+	MetricCellsTotal  = "abc_harness_cells_total"  // counter: sweep cells scheduled
+	MetricCellsDone   = "abc_harness_cells_done"   // counter: sweep cells finished
+	MetricCellsFailed = "abc_harness_cells_failed" // counter: sweep cells that returned an error or panicked
+)
+
+// Handler returns an http.Handler exposing reg at /metrics (and at /,
+// for curl convenience) in Prometheus text format.
+func Handler(reg *Registry) http.Handler {
+	h := func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WriteProm(w)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", h)
+	mux.HandleFunc("/", h)
+	return mux
+}
+
+// Serve starts an HTTP server for reg on addr in a background
+// goroutine and returns the bound address (useful with ":0"). The
+// server lives for the remainder of the process; runs are short-lived
+// batch jobs, so there is no shutdown plumbing.
+func Serve(addr string, reg *Registry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(reg)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// StartProgress starts a goroutine that writes a one-line progress
+// summary to w every period: sim-time vs wall-time, events/sec since
+// the previous line, and sweep cells done. Returns a stop function
+// that halts the ticker (already-started writes may still land).
+func StartProgress(w io.Writer, reg *Registry, period time.Duration) (stop func()) {
+	var stopped atomic.Bool
+	start := time.Now()
+	go func() {
+		tick := time.NewTicker(period)
+		defer tick.Stop()
+		var lastEvents int64
+		lastWall := start
+		for range tick.C {
+			if stopped.Load() {
+				return
+			}
+			now := time.Now()
+			events := int64(reg.Counter(MetricSimEvents).Value())
+			rate := float64(events-lastEvents) / now.Sub(lastWall).Seconds()
+			lastEvents, lastWall = events, now
+			simSec := reg.Gauge(MetricSimSeconds).Value()
+			total := reg.Counter(MetricCellsTotal).Value()
+			done := reg.Counter(MetricCellsDone).Value()
+			failed := reg.Counter(MetricCellsFailed).Value()
+			line := fmt.Sprintf("[obs] wall=%s sim=%.3fs events=%d (%.0f/s)",
+				now.Sub(start).Truncate(time.Millisecond), simSec, events, rate)
+			if total > 0 {
+				line += fmt.Sprintf(" cells=%d/%d", done, total)
+				if failed > 0 {
+					line += fmt.Sprintf(" failed=%d", failed)
+				}
+			}
+			fmt.Fprintln(w, line)
+		}
+	}()
+	return func() { stopped.Store(true) }
+}

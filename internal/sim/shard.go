@@ -25,6 +25,8 @@ import (
 	"math"
 	"sort"
 	"sync"
+
+	"abc/internal/obs"
 )
 
 // timeInf is a sentinel "no pending event" timestamp.
@@ -84,6 +86,12 @@ type Coordinator struct {
 	work []chan Time
 	wg   sync.WaitGroup
 
+	// rec, when set, receives one EvHorizon event per shard per window
+	// (the lookahead observability feed); rounds counts synchronization
+	// windows executed, for the null-message-overhead metrics.
+	rec    *obs.Recorder
+	rounds uint64
+
 	// per-round scratch, reused to keep the steady state allocation-free
 	nb      []Time
 	out     []Time
@@ -115,6 +123,32 @@ func NewCoordinator(seed int64, n int) *Coordinator {
 
 // Shards returns the number of shards.
 func (c *Coordinator) Shards() int { return c.n }
+
+// SetTrace attaches a flight recorder: each synchronization window emits
+// one EvHorizon event per shard (T = the shard's horizon, Src = shard,
+// A = the shard's null-message lower bound, B = the window index).
+// Tracing is passive — it never changes window boundaries or event
+// order. Nil detaches.
+func (c *Coordinator) SetTrace(rec *obs.Recorder) { c.rec = rec }
+
+// Rounds reports how many synchronization windows Run has executed —
+// the conservative algorithm's null-message overhead (each round is one
+// lower-bound fixpoint plus a barrier).
+func (c *Coordinator) Rounds() uint64 { return c.rounds }
+
+// HorizonLag reports, for shard i, how far its most recent horizon
+// trailed the round's furthest horizon — 0 when the shard runs at the
+// front, large when tight lookahead holds it back. Valid between
+// windows (coordinator goroutine / GlobalAt callbacks).
+func (c *Coordinator) HorizonLag(i int) Time {
+	max := c.horizon[0]
+	for _, h := range c.horizon[1:] {
+		if h > max {
+			max = h
+		}
+	}
+	return max - c.horizon[i]
+}
 
 // Shard returns shard i.
 func (c *Coordinator) Shard(i int) *Shard { return c.shards[i] }
@@ -325,6 +359,12 @@ func (c *Coordinator) Run(end Time) uint64 {
 			}
 			c.horizon[i] = h
 		}
+		if c.rec.Enabled(obs.CatShard) {
+			for i := range c.shards {
+				c.rec.Emit(int64(c.horizon[i]), obs.EvHorizon, int32(i), -1, int64(c.nb[i]), int64(c.rounds))
+			}
+		}
+		c.rounds++
 		active := 0
 		for i := range c.shards {
 			if c.nb[i] < c.horizon[i] {

@@ -19,6 +19,7 @@ package topo
 import (
 	"fmt"
 
+	"abc/internal/obs"
 	"abc/internal/packet"
 	"abc/internal/sim"
 )
@@ -192,6 +193,13 @@ func (e *Edge) SetAttack(a *Attack) {
 	if a != nil && e.advRng == nil {
 		e.advRng = e.rand("attack")
 	}
+	if e.g.rec.Enabled(obs.CatAttack) {
+		k := obs.EvAttackOff
+		if a != nil {
+			k = obs.EvAttackOn
+		}
+		e.g.rec.Emit(int64(e.home.Now()), k, int32(e.ID), -1, 0, 0)
+	}
 	e.attack = a
 }
 
@@ -214,15 +222,24 @@ func (e *Edge) applyAttack(p *packet.Packet) bool {
 	}
 	if a.DropRate > 0 && e.advRng.Float64() < a.DropRate {
 		e.AdvDrops++
+		if e.g.rec.Enabled(obs.CatAttack) {
+			e.g.rec.Emit(int64(e.home.Now()), obs.EvAttackDrop, int32(e.ID), int32(p.Flow), 0, 0)
+		}
 		p.Release()
 		return false
 	}
 	if a.StripMarks && p.ECN == packet.Accel {
 		p.ECN = packet.Brake
 		e.AdvStripped++
+		if e.g.rec.Enabled(obs.CatAttack) {
+			e.g.rec.Emit(int64(e.home.Now()), obs.EvAttackStrip, int32(e.ID), int32(p.Flow), 0, 0)
+		}
 	}
 	if a.ExtraDelay > 0 {
 		e.AdvDelayed++
+		if e.g.rec.Enabled(obs.CatAttack) {
+			e.g.rec.Emit(int64(e.home.Now()), obs.EvAttackDelay, int32(e.ID), int32(p.Flow), int64(a.ExtraDelay), 0)
+		}
 		e.home.AfterArgs(a.ExtraDelay, advDeliver, e, p)
 		return false
 	}

@@ -18,6 +18,7 @@ package topo
 import (
 	"fmt"
 
+	"abc/internal/obs"
 	"abc/internal/sim"
 )
 
@@ -126,6 +127,13 @@ func (r *Router) reroute(flow int, ack bool, edges []int, drain sim.Time) error 
 	rt.class = g.attachClass(ack, rt.edges)
 	g.setFlowClass(flow, ack, rt.class)
 	g.routes[key] = rt
+	if g.rec.Enabled(obs.CatRoute) {
+		var draining int64
+		if drain > 0 {
+			draining = 1
+		}
+		g.rec.Emit(int64(g.S.Now()), obs.EvReroute, rt.class, int32(flow), draining, int64(len(edges)))
+	}
 	if drain > 0 {
 		gen := rt.overGen
 		g.S.After(drain, func() {

@@ -34,6 +34,7 @@ import (
 	"math/rand"
 
 	"abc/internal/netem"
+	"abc/internal/obs"
 	"abc/internal/packet"
 	"abc/internal/sim"
 )
@@ -122,6 +123,9 @@ func (n *Node) Recv(p *packet.Packet) {
 		// holder. Count the drop so both wiring bugs and reroute-stranded
 		// packets are visible.
 		n.Drops++
+		if g.rec.Enabled(obs.CatPacket) {
+			g.rec.Emit(n.nowNS(), obs.EvUnroutedDrop, int32(n.ID), int32(p.Flow), 0, 0)
+		}
 		p.Release()
 		return
 	}
@@ -130,6 +134,9 @@ func (n *Node) Recv(p *packet.Packet) {
 
 // forward executes one resolved table entry (see hop for the shapes).
 func (n *Node) forward(h hop, dir int, p *packet.Packet) {
+	if n.g.rec.Enabled(obs.CatHop) {
+		n.g.rec.Emit(n.nowNS(), obs.EvHop, int32(n.ID), int32(p.Flow), int64(h.edge), 0)
+	}
 	if h.edge >= 0 {
 		n.g.edges[h.edge].Recv(p)
 		return
@@ -206,6 +213,9 @@ type Edge struct {
 func (e *Edge) Recv(p *packet.Packet) {
 	if e.down {
 		e.DownDrops++
+		if e.g.rec.Enabled(obs.CatPacket) {
+			e.g.rec.Emit(int64(e.home.Now()), obs.EvDownDrop, int32(e.ID), int32(p.Flow), 0, 0)
+		}
 		p.Release()
 		return
 	}
@@ -224,6 +234,13 @@ func (e *Edge) SetDown(down bool) {
 	changed := e.down != down
 	e.down = down
 	if changed {
+		if e.g.rec.Enabled(obs.CatLink) {
+			k := obs.EvLinkUp
+			if down {
+				k = obs.EvLinkDown
+			}
+			e.g.rec.Emit(int64(e.home.Now()), k, int32(e.ID), -1, 0, 0)
+		}
 		e.g.notifyLinkChange(e)
 	}
 }
@@ -257,6 +274,9 @@ func (e *Edge) SetDelay(d sim.Time) error {
 	}
 	e.Delay = d
 	e.wire.Delay = d
+	if e.g.rec.Enabled(obs.CatLink) {
+		e.g.rec.Emit(int64(e.home.Now()), obs.EvSetDelay, int32(e.ID), -1, int64(d), 0)
+	}
 	e.g.notifyLinkChange(e)
 	return nil
 }
@@ -357,6 +377,48 @@ type Graph struct {
 	// watchers are the link-state subscribers (route-computation
 	// policies): every SetDown / successful SetDelay notifies them.
 	watchers []func(*Edge)
+	// rec is the attached flight recorder (nil = tracing off). All trace
+	// points guard on rec.Enabled, which is nil-safe, so the disabled
+	// path costs one pointer test on the per-packet paths.
+	rec *obs.Recorder
+}
+
+// SetRecorder attaches a flight recorder to the graph: junctions, edges
+// and the shard coordinator emit trace events into it, and every link
+// (and its qdisc) that implements obs.Sink is wired with its edge id as
+// the event source. Edges added after the call are wired by AddEdge.
+// Tracing is passive — it never schedules events, draws randomness or
+// mutates simulation state — so enabling it cannot change a run.
+func (g *Graph) SetRecorder(rec *obs.Recorder) {
+	g.rec = rec
+	if g.coord != nil {
+		g.coord.SetTrace(rec)
+	}
+	for _, e := range g.edges {
+		e.wireObs()
+	}
+}
+
+// Recorder returns the attached flight recorder (nil when tracing is
+// off).
+func (g *Graph) Recorder() *obs.Recorder { return g.rec }
+
+// wireObs hands the graph recorder to the edge's link if it can carry
+// one (netem links forward it to their qdisc).
+func (e *Edge) wireObs() {
+	if s, ok := e.Link.(obs.Sink); ok {
+		s.SetObs(e.g.rec, int32(e.ID))
+	}
+}
+
+// nowNS resolves the node's home-shard clock; only trace points pay for
+// it, inside an Enabled guard.
+func (n *Node) nowNS() int64 {
+	g := n.g
+	if g.coord == nil {
+		return int64(g.S.Now())
+	}
+	return int64(g.coord.Shard(n.shard).Simulator.Now())
 }
 
 // New returns an empty graph on the simulator.
@@ -463,6 +525,9 @@ func (g *Graph) AddEdge(name string, from, to int, delay sim.Time, imp Impairmen
 	}
 	e.head = tail
 	g.edges = append(g.edges, e)
+	if g.rec != nil {
+		e.wireObs()
+	}
 	return e.ID, nil
 }
 
@@ -574,12 +639,21 @@ func (g *Graph) attachClass(ack bool, edges []int) int32 {
 	key := classKey(ack, edges)
 	if id, ok := g.classByRoute[key]; ok {
 		g.classes[id].refs++
+		g.traceClass(obs.EvClassAttach, id, g.classes[id].refs)
 		return id
 	}
 	id := g.newClassID(fibClass{ack: ack, edges: append([]int(nil), edges...), refs: 1})
 	g.classByRoute[key] = id
 	g.installClass(id, edges)
+	g.traceClass(obs.EvClassAttach, id, 1)
 	return id
+}
+
+// traceClass emits a route-class refcount event (attach/detach).
+func (g *Graph) traceClass(k obs.Kind, id int32, refs int) {
+	if g.rec.Enabled(obs.CatRoute) {
+		g.rec.Emit(int64(g.S.Now()), k, id, -1, int64(refs), 0)
+	}
 }
 
 // detachClass unbinds one flow from a class; the last detach removes the
@@ -587,6 +661,7 @@ func (g *Graph) attachClass(ack bool, edges []int) int32 {
 func (g *Graph) detachClass(id int32) {
 	c := &g.classes[id]
 	c.refs--
+	g.traceClass(obs.EvClassDetach, id, c.refs)
 	if c.refs > 0 {
 		return
 	}

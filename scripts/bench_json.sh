@@ -19,10 +19,12 @@ trap 'rm -f "$tmp"' EXIT
 count="${BENCH_COUNT:-5x}"
 
 go test -run '^$' \
-    -bench 'BenchmarkSimCore$|BenchmarkPacketChurn$|BenchmarkForwardHop$|BenchmarkFIBLookup$|BenchmarkWorkloadChurn$|BenchmarkShardedRun$' \
+    -bench 'BenchmarkSimCore$|BenchmarkPacketChurn$|BenchmarkForwardHop$|BenchmarkTracedHop$|BenchmarkFIBLookup$|BenchmarkWorkloadChurn$|BenchmarkShardedRun$' \
     -benchmem -benchtime "$count" . >"$tmp"
 go test -run '^$' -bench 'BenchmarkSweepScalar$|BenchmarkSweepGrid$' \
     -benchmem -benchtime "$count" ./internal/fluid/ >>"$tmp"
+go test -run '^$' -bench 'BenchmarkEmit$|BenchmarkEmitDisabled$|BenchmarkCounterAdd$' \
+    -benchmem -benchtime "$count" ./internal/obs/ >>"$tmp"
 
 gover="$(go env GOVERSION)"
 cores="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)"
