@@ -623,6 +623,47 @@ func BenchmarkShardedRun(b *testing.B) {
 	}
 }
 
+// BenchmarkHybridBackground measures the hybrid fluid/packet mode's
+// headline property: simulation cost is constant in the background user
+// count. Each sub-benchmark runs the same packet-level foreground (one
+// backlogged ABC flow on a rate link), with a fluid "const" aggregate
+// standing in for 0, a thousand, or a million background users. The
+// fluid aggregate is a fixed-step rate process, so wall time and
+// allocs/op must stay near-flat from users=0 to users=1000000 — the
+// ceilings in bench_thresholds.txt enforce the alloc side, and the
+// acceptance bar is users=1000000 within 2x of users=0.
+func BenchmarkHybridBackground(b *testing.B) {
+	for _, users := range []int{0, 1_000, 1_000_000} {
+		b.Run("users="+itoa(users), func(b *testing.B) {
+			spec := exp.Spec{
+				Seed:     1,
+				Duration: 5 * sim.Second,
+				Links: []exp.LinkSpec{{
+					Rate:  netem.ConstRate(60e6),
+					Qdisc: exp.QdiscSpec{Kind: "abc", Buffer: 250},
+				}},
+				Flows: []exp.FlowSpec{{Scheme: "ABC"}},
+			}
+			if users > 0 {
+				spec.Background = []exp.BackgroundSpec{{
+					Edge: "fwd0", Kind: "const", Flows: users,
+					RateMbps: float64(users) * 48 / 1e6,
+				}}
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, _, err := exp.Run(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Flows[0].TputMbps <= 0 {
+					b.Fatal("foreground starved")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkWorkloadChurn measures the dynamic-flow machinery: one run of
 // an open-loop workload churning ~160 short flows through a rate link
 // (spawn → route → transfer → complete → tear down). The committed

@@ -17,6 +17,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"abc/internal/app"
 	"abc/internal/cc"
@@ -119,6 +120,7 @@ func experiments() []experiment {
 		{"video", "ABR video client: bitrate/rebuffer/switch QoE per scheme", runVideo},
 		{"rpc", "request-response RPC clients vs a bulk flow: per-call FCT", runRPC},
 		{"sharded", "sharded-execution ring at 1/2/4 shards: per-flow results must match", runSharded},
+		{"hybrid", "fluid background scaling 0 -> 1M users vs packet-level ABR/RPC foreground", runHybrid},
 		{"schemes", "registered schemes and qdisc kinds", runSchemes},
 	}
 }
@@ -721,6 +723,24 @@ func runRPC() error {
 	return nil
 }
 
+func runHybrid() error {
+	fmt.Printf("%10s %10s %8s %10s %10s %10s %9s %10s\n",
+		"Users", "BgMbps", "BgShare", "VideoKbps", "RPC mean", "RPC p95", "q p95(ms)", "wall")
+	for _, users := range exp.HybridScales {
+		t0 := time.Now()
+		cells, err := exp.Hybrid("", []int{users}, dur(), *seed)
+		if err != nil {
+			return err
+		}
+		c := cells[0]
+		fmt.Printf("%10d %10.3f %7.1f%% %10.0f %7.0f ms %7.0f ms %9.0f %10v\n",
+			c.Users, c.BgOfferedMbps, c.BgMeanShare*100, c.VideoQoE.MeanKbps,
+			c.RPCFCT.MeanMs, c.RPCFCT.P95Ms, c.QDelayP95,
+			time.Since(t0).Round(time.Millisecond))
+	}
+	return nil
+}
+
 func runSharded() error {
 	var base *exp.ShardedMeshResult
 	for _, shards := range []int{1, 2, 4} {
@@ -801,6 +821,10 @@ func runScenarioFile(path string) error {
 		w := &res.Workloads[i]
 		fmt.Printf("workload %d: %v  (spawned=%d completed=%d active=%d rejected=%d)\n",
 			i, w.Stats(), w.Spawned, w.Completed, w.Active, w.Rejected)
+	}
+	for _, bg := range res.Backgrounds {
+		fmt.Printf("background %s (%s, %d flows): offered %.1f MB, served %.1f MB, dropped %.1f MB, mean share %.1f%%\n",
+			bg.Edge, bg.Kind, bg.Flows, bg.OfferedMB, bg.ServedMB, bg.DroppedMB, bg.MeanShare*100)
 	}
 	if res.Utilization > 0 {
 		fmt.Printf("utilization: %.1f%%\n", res.Utilization*100)

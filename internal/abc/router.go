@@ -146,6 +146,11 @@ type Router struct {
 	// (LieFraction 0) consumes nothing from the stream.
 	rng *rand.Rand
 
+	// bg is the fluid background aggregate coupled into this router's
+	// link: its backlog counts toward x(t) and its service rate toward
+	// the rate AccelFraction normalizes against.
+	bg qdisc.Background
+
 	// rec/obsSrc feed mark-issuance events to the flight recorder
 	// (obs.Sink, wired through the owning link); nil rec = off.
 	rec    *obs.Recorder
@@ -184,11 +189,25 @@ func NewRouter(cfg RouterConfig) *Router {
 // installs its µ(t) estimate (trace rate, Wi-Fi estimator, or PK oracle).
 func (r *Router) SetCapacityProvider(f func(now sim.Time) float64) { r.capacity = f }
 
+// SetBackground implements qdisc.BackgroundAware: the router accounts
+// for the fluid aggregate as if its virtual packets were really in the
+// queue, so accel/brake marks pace foreground flows against the total
+// (packet + fluid) load.
+func (r *Router) SetBackground(bg qdisc.Background) { r.bg = bg }
+
 // Enqueue implements qdisc.Qdisc.
 func (r *Router) Enqueue(now sim.Time, p *packet.Packet) bool {
-	if r.Cfg.Limit > 0 && r.Len() >= r.Cfg.Limit {
-		r.Stats.DroppedPackets++
-		return false
+	if r.Cfg.Limit > 0 {
+		occupied := r.Len()
+		if r.bg != nil {
+			// The buffer is shared: fluid backlog occupies slots exactly
+			// as real background packets would.
+			occupied += int(r.bg.QueueBytes(now) / packet.MTU)
+		}
+		if occupied >= r.Cfg.Limit {
+			r.Stats.DroppedPackets++
+			return false
+		}
 	}
 	p.EnqueuedAt = now
 	r.q = append(r.q, p)
@@ -210,13 +229,17 @@ func (r *Router) mu(now sim.Time) float64 {
 // x(t) = queued bytes / µ(t).
 func (r *Router) QueueDelay(now sim.Time) sim.Time {
 	mu := r.mu(now)
+	queued := float64(r.bytes)
+	if r.bg != nil {
+		queued += r.bg.QueueBytes(now)
+	}
 	if mu <= 0 {
-		if r.bytes > 0 {
+		if queued > 0 {
 			return r.Cfg.Delta // outage with a standing queue: saturate
 		}
 		return 0
 	}
-	return sim.FromSeconds(float64(r.bytes) * 8 / mu)
+	return sim.FromSeconds(queued * 8 / mu)
 }
 
 // TargetRate computes tr(t) of Eq. 1 in bits/sec.
@@ -245,6 +268,12 @@ func (r *Router) AccelFraction(now sim.Time) float64 {
 		ref = r.enqMeter.bps(now)
 	default:
 		ref = r.deqMeter.bps(now)
+	}
+	if r.bg != nil {
+		// The fluid aggregate's service is part of the total rate the
+		// feedback normalizes against — with N real background flows
+		// their packets would be in this meter.
+		ref += r.bg.ServedBps(now)
 	}
 	if ref <= 0 {
 		// No measured traffic in the window: fully open the link so an
@@ -288,6 +317,11 @@ func (r *Router) Dequeue(now sim.Time) *packet.Packet {
 	r.Stats.DequeuedPackets++
 	r.Stats.DequeuedBytes += int64(p.Size)
 
+	// No token credit for the aggregate's virtual dequeues: with N real
+	// background flows each of their packets would accrue f AND consume
+	// a kept accelerate with probability f — net zero for the bucket the
+	// foreground draws from. (Their service still enters AccelFraction's
+	// denominator, which is where the background reduces f.)
 	f := r.AccelFraction(now)
 	r.token = minf(r.token+f, r.Cfg.TokenLimit)
 	trace := r.rec.Enabled(obs.CatMark)

@@ -1,0 +1,156 @@
+// Fluid background wiring: Spec.Background attaches fluid.Coupler
+// aggregates to named edges, turning "millions of users behind this
+// bottleneck" into a constant-cost clause instead of millions of packet
+// events. Foreground flows stay packet-level and see the residual
+// service rate and the fluid-inflated queuing delay (abc.Router marks
+// against the total load). See DESIGN.md "Hybrid fluid/packet".
+package exp
+
+import (
+	"fmt"
+
+	"abc/internal/fluid"
+	"abc/internal/netem"
+	"abc/internal/qdisc"
+	"abc/internal/sim"
+	"abc/internal/topo"
+)
+
+// BackgroundSpec attaches one fluid aggregate to one edge.
+type BackgroundSpec struct {
+	// Edge names the hosting edge: a mesh EdgeSpec.Name, or a chain
+	// link "fwd<i>" / "rev<i>". Trace and rate links only — wires and
+	// Wi-Fi links reject backgrounds at wiring time.
+	Edge string
+	// Kind is the rate process: "const", "aimd" or "onoff" (fluid
+	// package aggregate kinds).
+	Kind string
+	// Flows is N, the number of virtual background flows. Required for
+	// "aimd" (it drives the Eq.-13 drift term); descriptive otherwise.
+	Flows int
+	// RateMbps is the aggregate offered rate for "const"/"onoff";
+	// "aimd" derives its rate from Eq. 13 and rejects it.
+	RateMbps float64
+	// Ramp linearly scales the offered rate from zero over this window
+	// after Start.
+	Ramp sim.Time
+	// On/Off define the "onoff" diurnal square schedule.
+	On, Off sim.Time
+	// Start/Stop bound the aggregate's activity (Stop 0 = whole run).
+	Start, Stop sim.Time
+	// Step overrides the fixed coupling step (default 10 ms).
+	Step sim.Time
+	// RTT is the "aimd" ensemble round-trip delay; defaults to the
+	// spec's RTT.
+	RTT sim.Time
+}
+
+// config lowers the spec to the fluid package's configuration.
+func (bs *BackgroundSpec) config(spec *Spec) fluid.AggregateConfig {
+	rtt := bs.RTT
+	if rtt <= 0 {
+		rtt = spec.RTT
+	}
+	return fluid.AggregateConfig{
+		Kind:    bs.Kind,
+		Flows:   bs.Flows,
+		RateBps: bs.RateMbps * 1e6,
+		OnFor:   bs.On,
+		OffFor:  bs.Off,
+		Ramp:    bs.Ramp,
+		Start:   bs.Start,
+		Stop:    bs.Stop,
+		Step:    bs.Step,
+		RTT:     rtt,
+	}
+}
+
+// BackgroundResult reports one fluid aggregate's run.
+type BackgroundResult struct {
+	Edge  string
+	Kind  string
+	Flows int
+	// OfferedMB / ServedMB / DroppedMB are megabytes offered by the
+	// rate process, actually served by the link, and shed when the
+	// fluid backlog overflowed its buffer cap.
+	OfferedMB float64
+	ServedMB  float64
+	DroppedMB float64
+	// MeanShare is the time-averaged fraction of link service the
+	// aggregate consumed.
+	MeanShare float64
+	// FinalQueueBytes is the fluid backlog left when the run ended.
+	FinalQueueBytes float64
+}
+
+// bgRunner pairs a spec entry with its running coupler.
+type bgRunner struct {
+	spec    *BackgroundSpec
+	coupler *fluid.Coupler
+}
+
+// startBackgrounds validates Spec.Background against the compiled
+// topology and arms one coupler per entry on its edge's home simulator.
+// Every bad form is a loud error: unknown edge, duplicate edge, link
+// models without background-aware service loops, and bad aggregate
+// parameters (via fluid's validation).
+func startBackgrounds(g *topo.Graph, spec *Spec, res *Result, edgeID map[string]int) error {
+	if len(spec.Background) == 0 {
+		return nil
+	}
+	seen := make(map[string]bool, len(spec.Background))
+	for i := range spec.Background {
+		bs := &spec.Background[i]
+		if bs.Edge == "" {
+			return fmt.Errorf("exp: background[%d]: missing edge name", i)
+		}
+		if seen[bs.Edge] {
+			return fmt.Errorf("exp: background[%d]: edge %q already carries an aggregate", i, bs.Edge)
+		}
+		seen[bs.Edge] = true
+		id, ok := edgeID[bs.Edge]
+		if !ok {
+			return fmt.Errorf("exp: background[%d]: unknown edge %q", i, bs.Edge)
+		}
+		e := g.Edge(id)
+		// The coupler reads capacity and packet backlog from the live
+		// link, so mid-run set_rate events stay visible to the fluid.
+		var capf func(now sim.Time) float64
+		var qd qdisc.Qdisc
+		switch l := e.Link.(type) {
+		case *netem.TraceLink:
+			capf, qd = l.CapacityBps, l.Q
+		case *netem.RateLink:
+			capf, qd = func(now sim.Time) float64 { return l.Rate(now) }, l.Q
+		default:
+			return fmt.Errorf("exp: background[%d]: edge %q: link model %T cannot host a fluid background (trace and rate links only)", i, bs.Edge, e.Link)
+		}
+		c, err := fluid.NewCoupler(bs.config(spec), capf, qd.Bytes)
+		if err != nil {
+			return fmt.Errorf("exp: background[%d] (edge %q): %w", i, bs.Edge, err)
+		}
+		if err := e.SetBackground(c); err != nil {
+			return fmt.Errorf("exp: background[%d]: %w", i, err)
+		}
+		c.Start(e.Home(), spec.Duration)
+		res.bg = append(res.bg, &bgRunner{spec: bs, coupler: c})
+	}
+	return nil
+}
+
+// collectBackgrounds fills Result.Backgrounds after the clock stops.
+func collectBackgrounds(res *Result) {
+	for _, r := range res.bg {
+		st := r.coupler.Stats()
+		res.Backgrounds = append(res.Backgrounds, BackgroundResult{
+			Edge:            r.spec.Edge,
+			Kind:            r.spec.Kind,
+			Flows:           r.spec.Flows,
+			OfferedMB:       st.ArrivedBytes / 1e6,
+			ServedMB:        st.ServedBytes / 1e6,
+			DroppedMB:       st.DroppedBytes / 1e6,
+			MeanShare:       st.MeanShare,
+			FinalQueueBytes: st.FinalQueueBytes,
+		})
+	}
+}

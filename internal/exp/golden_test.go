@@ -78,6 +78,7 @@ func goldenCases() []goldenCase {
 		{"app-shortflows", func() (any, error) { return ShortFlows([]string{"ABC", "Cubic"}, "", short, 1) }},
 		{"app-video", func() (any, error) { return VideoExp([]string{"ABC", "Cubic"}, "", short, 1) }},
 		{"app-rpc", func() (any, error) { return RPCExp([]string{"ABC", "Cubic"}, "", short, 1) }},
+		{"hybrid", func() (any, error) { return Hybrid("", nil, short, 1) }},
 		// The three sharded-mesh entries digest the same result with the
 		// shard count masked, so the corpus itself asserts the sharded
 		// runtime's digest invariance: all three lines must stay equal.
@@ -189,7 +190,7 @@ func TestGoldenParallelModes(t *testing.T) {
 		"fig9-bars": true, "mesh-shared-junction": true, "marked-uplink": true,
 		"app-shortflows": true, "app-video": true, "app-rpc": true,
 		"handover": true, "flap": true, "targeted": true, "greedy": true,
-		"autoroute": true, "flapstorm": true,
+		"autoroute": true, "flapstorm": true, "hybrid": true,
 	}
 	defer func(p int) { Parallelism = p }(Parallelism)
 	for _, c := range goldenCases() {

@@ -284,6 +284,14 @@ type Spec struct {
 	// events use, making handover and flap recovery emergent behavior.
 	// Sequential-only (rejected at Shards > 1).
 	Routing *RoutingSpec
+	// Background attaches fluid background aggregates to named edges
+	// (mesh edge names, or chain links "fwd<i>" / "rev<i>"): each is a
+	// deterministic fixed-step rate process standing in for many
+	// virtual flows, draining link capacity and contributing queue
+	// occupancy at constant cost regardless of the flow count. Couplers
+	// step on each edge's home simulator, so backgrounds compose with
+	// Shards.
+	Background []BackgroundSpec
 }
 
 // FlowResult reports one flow's measurements over [Warmup, Duration].
@@ -357,10 +365,18 @@ type Result struct {
 	// Graph is the compiled topology, available to Probe callbacks and
 	// post-run inspection (edge stats, custom traffic injection).
 	Graph *topo.Graph
+	// Backgrounds reports each fluid aggregate in Spec.Background order:
+	// bytes offered/served/dropped and the mean service share it took
+	// from its edge.
+	Backgrounds []BackgroundResult
 
 	// adv classifies flows into victim/bystander/attacker and collects
 	// the per-class workload FCTs behind Adversary; nil for honest specs.
 	adv *advCollector
+
+	// bg holds the running couplers so runAndMeasure can collect their
+	// stats after the clock stops.
+	bg []*bgRunner
 }
 
 // AggTputMbps sums flow throughputs.
@@ -699,6 +715,9 @@ func Run(spec Spec) (*Result, *metrics.DelayRecorder, error) {
 	if err := startRouting(g, &spec, res); err != nil {
 		return nil, nil, err
 	}
+	if err := startBackgrounds(g, &spec, res, edgeID); err != nil {
+		return nil, nil, err
+	}
 
 	runAndMeasure(g, &spec, res, pooled, res.Qdiscs[0], capacityFn(&spec.Links[0]))
 	if err := finishWorkloads(runners); err != nil {
@@ -973,6 +992,7 @@ func runAndMeasure(g *topo.Graph, spec *Spec, res *Result, pooled *metrics.Delay
 	res.AdvDrops = g.AdversaryDrops()
 	res.AdvDelayed = g.AdversaryDelayed()
 	res.AdvStripped = g.AdversaryStripped()
+	collectBackgrounds(res)
 	if res.adv != nil {
 		res.Adversary = res.adv.report(spec, res)
 	}

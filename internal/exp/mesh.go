@@ -160,6 +160,9 @@ func runMesh(spec Spec) (*Result, *metrics.DelayRecorder, error) {
 	if err := scheduleEvents(s, g, &spec, res, edgeID); err != nil {
 		return nil, nil, err
 	}
+	if err := startBackgrounds(g, &spec, res, edgeID); err != nil {
+		return nil, nil, err
+	}
 	if err := startRouting(g, &spec, res); err != nil {
 		return nil, nil, err
 	}

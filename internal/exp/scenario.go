@@ -149,6 +149,26 @@
 // victim/bystander/attacker throughput, p95 delay, FCT, QoE and Jain
 // fairness splits.
 //
+// A "background" clause attaches fluid background aggregates to named
+// edges (mesh edge names, or chain links "fwd<i>" / "rev<i>"): each is
+// a deterministic fixed-step rate process standing in for many virtual
+// flows — it drains link capacity and contributes queue occupancy at
+// constant cost regardless of the flow count, while the scenario's
+// packet-level flows see the residual service rate and the
+// fluid-inflated queuing delay. Kinds: "const" (fixed aggregate
+// rate_mbps, optional ramp_s), "aimd" (a TCP-like ensemble of "flows"
+// virtual AIMD flows driven by the Eq.-13 machinery; rtt_ms sets the
+// ensemble RTT), and "onoff" (rate_mbps gated by an on_s/off_s diurnal
+// square schedule). start_s/stop_s bound activity, step_ms overrides
+// the 10 ms coupling step. Trace and rate links only; unknown edges,
+// unknown kinds, non-positive rates and malformed schedules are
+// compile-time errors:
+//
+//	"background": [
+//	  {"edge": "fwd0", "kind": "onoff", "flows": 1000000,
+//	   "rate_mbps": 48, "on_s": 6, "off_s": 4, "ramp_s": 2}
+//	]
+//
 // A top-level "shards" count splits the simulation into that many
 // parallel event queues synchronized by conservative lookahead (runs
 // are deterministic for a fixed seed and shard count), and "shard_map"
@@ -168,6 +188,7 @@ import (
 
 	"abc/internal/app"
 	"abc/internal/cc"
+	"abc/internal/fluid"
 	"abc/internal/metrics"
 	"abc/internal/netem"
 	"abc/internal/sim"
@@ -567,6 +588,25 @@ type ScenarioRouting struct {
 	Flows       []int   `json:"flows,omitempty"`
 }
 
+// ScenarioBackground is one entry of the "background" clause: a fluid
+// aggregate standing in for many virtual flows on a named edge. Kinds:
+// "const" (fixed rate_mbps), "aimd" (flows virtual AIMD flows, rate
+// derived from Eq. 13; rtt_ms sets the ensemble RTT) and "onoff"
+// (rate_mbps gated by an on_s/off_s square schedule).
+type ScenarioBackground struct {
+	Edge     string  `json:"edge"`
+	Kind     string  `json:"kind"`
+	Flows    int     `json:"flows,omitempty"`
+	RateMbps float64 `json:"rate_mbps,omitempty"`
+	RampS    float64 `json:"ramp_s,omitempty"`
+	OnS      float64 `json:"on_s,omitempty"`
+	OffS     float64 `json:"off_s,omitempty"`
+	StartS   float64 `json:"start_s,omitempty"`
+	StopS    float64 `json:"stop_s,omitempty"`
+	StepMs   float64 `json:"step_ms,omitempty"`
+	RTTms    float64 `json:"rtt_ms,omitempty"`
+}
+
 // Scenario is a complete declarative scenario file: either a chain
 // (links / reverse_links) or a mesh (nodes / edges).
 type Scenario struct {
@@ -594,6 +634,8 @@ type Scenario struct {
 	Events []ScenarioEvent `json:"events,omitempty"`
 	// Routing enables policy-driven route computation.
 	Routing *ScenarioRouting `json:"routing,omitempty"`
+	// Background attaches fluid aggregates to named edges.
+	Background []ScenarioBackground `json:"background,omitempty"`
 
 	// dir is the directory the scenario was loaded from; relative file
 	// references (replay logs) resolve against it. Empty for scenarios
@@ -972,6 +1014,54 @@ func (sc *Scenario) Compile() (Spec, error) {
 		// indices) at compile time, not first run.
 		if err := validateRouting(&spec); err != nil {
 			return Spec{}, err
+		}
+	}
+	if len(sc.Background) > 0 {
+		// Edge names are known at compile time: mesh edge names, or the
+		// chain links "fwd<i>"/"rev<i>".
+		known := make(map[string]bool, len(sc.Links)+len(sc.ReverseLinks)+len(sc.Edges))
+		for i := range sc.Links {
+			known[fmt.Sprintf("fwd%d", i)] = true
+		}
+		for i := range sc.ReverseLinks {
+			known[fmt.Sprintf("rev%d", i)] = true
+		}
+		for i := range sc.Edges {
+			known[sc.Edges[i].Name] = true
+		}
+		seen := make(map[string]bool, len(sc.Background))
+		for i := range sc.Background {
+			sb := &sc.Background[i]
+			where := fmt.Sprintf("scenario: background[%d]", i)
+			if sb.Edge == "" {
+				return Spec{}, fmt.Errorf("%s: missing edge", where)
+			}
+			if !known[sb.Edge] {
+				return Spec{}, fmt.Errorf("%s: unknown edge %q", where, sb.Edge)
+			}
+			if seen[sb.Edge] {
+				return Spec{}, fmt.Errorf("%s: edge %q already carries an aggregate", where, sb.Edge)
+			}
+			seen[sb.Edge] = true
+			bs := BackgroundSpec{
+				Edge:     sb.Edge,
+				Kind:     sb.Kind,
+				Flows:    sb.Flows,
+				RateMbps: sb.RateMbps,
+				Ramp:     sim.FromSeconds(sb.RampS),
+				On:       sim.FromSeconds(sb.OnS),
+				Off:      sim.FromSeconds(sb.OffS),
+				Start:    sim.FromSeconds(sb.StartS),
+				Stop:     sim.FromSeconds(sb.StopS),
+				Step:     ms(sb.StepMs),
+				RTT:      ms(sb.RTTms),
+			}
+			// Validate the aggregate parameters (kind, rate, schedule) at
+			// compile time, not first run; fluid owns the rules.
+			if _, err := fluid.NewAggregate(bs.config(&spec)); err != nil {
+				return Spec{}, fmt.Errorf("%s: %v", where, err)
+			}
+			spec.Background = append(spec.Background, bs)
 		}
 	}
 	return spec, nil

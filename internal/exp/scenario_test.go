@@ -104,6 +104,69 @@ func TestScenarioMeshFieldValidation(t *testing.T) {
 	}
 }
 
+// TestScenarioBackgroundClause covers the background clause's
+// compile-time contract: every bad form — unknown kind, non-positive
+// rate, unknown or duplicate edge, malformed schedule — is a loud
+// Compile error naming the entry, and the valid forms lower to
+// BackgroundSpec entries.
+func TestScenarioBackgroundClause(t *testing.T) {
+	chain := func(bg string) string {
+		return `{"duration_s":5,"links":[{"kind":"rate","rate_mbps":60}],
+			"flows":[{"scheme":"ABC"}],"background":` + bg + `}`
+	}
+	bad := []struct {
+		name, in, want string
+	}{
+		{"unknown kind", chain(`[{"edge":"fwd0","kind":"poisson","rate_mbps":1}]`), "unknown aggregate kind"},
+		{"negative rate", chain(`[{"edge":"fwd0","kind":"const","rate_mbps":-4}]`), "positive rate"},
+		{"zero rate", chain(`[{"edge":"fwd0","kind":"onoff","on_s":1,"off_s":1}]`), "positive rate"},
+		{"unknown edge", chain(`[{"edge":"uplink9","kind":"aimd","flows":100}]`), `unknown edge "uplink9"`},
+		{"reverse edge without reverse links", chain(`[{"edge":"rev0","kind":"const","rate_mbps":1}]`), `unknown edge "rev0"`},
+		{"missing edge", chain(`[{"kind":"const","rate_mbps":1}]`), "missing edge"},
+		{"duplicate edge", chain(`[{"edge":"fwd0","kind":"const","rate_mbps":1},{"edge":"fwd0","kind":"const","rate_mbps":2}]`), "already carries"},
+		{"aimd with rate", chain(`[{"edge":"fwd0","kind":"aimd","flows":10,"rate_mbps":5}]`), "rate must be unset"},
+		{"aimd without flows", chain(`[{"edge":"fwd0","kind":"aimd"}]`), "positive flow count"},
+		{"negative start", chain(`[{"edge":"fwd0","kind":"const","rate_mbps":1,"start_s":-1}]`), "non-negative"},
+		{"stop before start", chain(`[{"edge":"fwd0","kind":"const","rate_mbps":1,"start_s":3,"stop_s":1}]`), "not after start"},
+	}
+	for _, tc := range bad {
+		sc, err := ParseScenario([]byte(tc.in))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", tc.name, err)
+		}
+		if _, err := sc.Compile(); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Compile() err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+
+	sc, err := ParseScenario([]byte(chain(
+		`[{"edge":"fwd0","kind":"onoff","flows":1000000,"rate_mbps":48,"on_s":6,"off_s":4,"ramp_s":2,"rtt_ms":80}]`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := sc.Compile()
+	if err != nil {
+		t.Fatalf("valid background clause rejected: %v", err)
+	}
+	if len(spec.Background) != 1 {
+		t.Fatalf("got %d background entries, want 1", len(spec.Background))
+	}
+	bs := spec.Background[0]
+	if bs.Edge != "fwd0" || bs.Kind != "onoff" || bs.Flows != 1_000_000 ||
+		bs.RateMbps != 48 || bs.On != 6*sim.Second || bs.Off != 4*sim.Second ||
+		bs.Ramp != 2*sim.Second || bs.RTT != 80*sim.Millisecond {
+		t.Fatalf("background clause lowered incorrectly: %+v", bs)
+	}
+	// And the compiled scenario actually runs with the aggregate live.
+	res, _, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Backgrounds) != 1 || res.Backgrounds[0].ServedMB <= 0 {
+		t.Fatalf("scenario background never served: %+v", res.Backgrounds)
+	}
+}
+
 // FuzzScenarioJSON throws arbitrary bytes at the scenario parser and
 // compiler: neither may panic, and anything the parser accepts must
 // marshal back to JSON the parser accepts again (the round-trip contract
@@ -140,6 +203,10 @@ func FuzzScenarioJSON(f *testing.F) {
 	f.Add([]byte(`{"nodes":["a","b"],"edges":[{"name":"e","from":"a","to":"b","kind":"rate","rate_mbps":8}],"flows":[{"scheme":"ABC","path":["e"]}],"routing":{"policy":"kfailover","k":1,"recompute_ms":20,"drain_ms":50,"flows":[0]}}`))
 	f.Add([]byte(`{"nodes":["a","b"],"edges":[{"name":"e","from":"a","to":"b","kind":"rate","rate_mbps":8}],"flows":[{"scheme":"ABC","path":["e"]}],"routing":{"policy":"shortest","k":3}}`))
 	f.Add([]byte(`{"links":[{"rate_mbps":8}],"flows":[{"scheme":"ABC"}],"routing":{"policy":"rip","recompute_ms":-1,"drain_ms":-1,"flows":[9,9]}}`))
+	f.Add([]byte(`{"links":[{"rate_mbps":60}],"flows":[{"scheme":"ABC"}],"background":[{"edge":"fwd0","kind":"const","flows":1000000,"rate_mbps":48,"ramp_s":2}]}`))
+	f.Add([]byte(`{"links":[{"rate_mbps":60}],"flows":[{"scheme":"ABC"}],"background":[{"edge":"fwd0","kind":"poisson","rate_mbps":1}]}`))
+	f.Add([]byte(`{"links":[{"rate_mbps":60}],"flows":[{"scheme":"ABC"}],"background":[{"edge":"fwd0","kind":"const","rate_mbps":-4}]}`))
+	f.Add([]byte(`{"links":[{"rate_mbps":60}],"flows":[{"scheme":"ABC"}],"background":[{"edge":"uplink9","kind":"aimd","flows":100}]}`))
 	f.Add([]byte(`[]`))
 	f.Add([]byte(`{`))
 	f.Fuzz(func(t *testing.T, data []byte) {

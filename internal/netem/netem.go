@@ -67,6 +67,13 @@ type TraceLink struct {
 	rec    *obs.Recorder
 	obsSrc int32
 
+	// bg is the fluid background aggregate coupled into this link; it
+	// consumes a share of each delivery opportunity. bgDebt carries the
+	// fractional opportunity bytes the fluid has claimed but not yet
+	// been charged, so the long-run split is exact and deterministic.
+	bg     qdisc.Background
+	bgDebt float64
+
 	running   bool
 	delivered int64 // bytes
 	startedAt sim.Time
@@ -97,6 +104,17 @@ func (l *TraceLink) SetObs(rec *obs.Recorder, src int32) {
 	l.rec, l.obsSrc = rec, src
 	if s, ok := l.Q.(obs.Sink); ok {
 		s.SetObs(rec, src)
+	}
+}
+
+// SetBackground implements qdisc.BackgroundAware: the fluid aggregate
+// eats its service share out of every delivery opportunity, and the
+// recorder-style forwarding hands the aggregate to the qdisc too when
+// that is background-aware (the ABC router's total-load accounting).
+func (l *TraceLink) SetBackground(bg qdisc.Background) {
+	l.bg = bg
+	if b, ok := l.Q.(qdisc.BackgroundAware); ok {
+		b.SetBackground(bg)
 	}
 }
 
@@ -151,6 +169,18 @@ func (l *TraceLink) opportunity() {
 		k = 1
 	}
 	budget := k * packet.MTU
+	if l.bg != nil {
+		// The fluid aggregate consumed its share of this opportunity;
+		// accumulate fractional bytes so the charge is exact over time.
+		l.bgDebt += float64(budget) * l.bg.Share(now)
+		if eat := int(l.bgDebt); eat > 0 {
+			l.bgDebt -= float64(eat)
+			budget -= eat
+			if budget < 0 {
+				budget = 0
+			}
+		}
+	}
 	for budget > 0 {
 		p := l.Q.Dequeue(now)
 		if p == nil {
@@ -199,6 +229,10 @@ type RateLink struct {
 	busy      bool
 	delivered int64
 
+	// bg is the fluid background aggregate coupled into this link;
+	// transmissions run at the residual (1 − share) of the link rate.
+	bg qdisc.Background
+
 	// rec/obsSrc feed the flight recorder (obs.Sink); nil rec = off.
 	rec    *obs.Recorder
 	obsSrc int32
@@ -209,6 +243,16 @@ func (l *RateLink) SetObs(rec *obs.Recorder, src int32) {
 	l.rec, l.obsSrc = rec, src
 	if s, ok := l.Q.(obs.Sink); ok {
 		s.SetObs(rec, src)
+	}
+}
+
+// SetBackground implements qdisc.BackgroundAware (see
+// TraceLink.SetBackground): foreground transmissions see the residual
+// service rate left by the fluid aggregate.
+func (l *RateLink) SetBackground(bg qdisc.Background) {
+	l.bg = bg
+	if b, ok := l.Q.(qdisc.BackgroundAware); ok {
+		b.SetBackground(bg)
 	}
 }
 
@@ -276,6 +320,11 @@ func (l *RateLink) startNext() {
 		l.rec.Emit(int64(now), obs.EvDequeue, l.obsSrc, int32(p.Flow), int64(now-p.EnqueuedAt), int64(l.Q.Len()))
 	}
 	rate := l.Rate(now)
+	if l.bg != nil {
+		// Residual service: the fluid aggregate holds its share of the
+		// link for this coupling step.
+		rate *= 1 - l.bg.Share(now)
+	}
 	if rate <= 0 {
 		// Zero-rate interval: poll again shortly rather than divide by
 		// zero; the packet transmits when capacity returns (re-enqueueing

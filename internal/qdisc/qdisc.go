@@ -35,6 +35,34 @@ type CapacityAware interface {
 	SetCapacityProvider(f func(now sim.Time) float64)
 }
 
+// Background is a fluid background aggregate coupled into a link's
+// service loop (implemented by fluid.Coupler). The aggregate is a
+// deterministic fixed-step rate process standing in for many virtual
+// flows: it drains a share of the link's capacity and contributes queue
+// occupancy, without any per-packet events. Consumers read it at packet
+// granularity; the values advance only at the aggregate's own step
+// instants, which is the coupling contract's time resolution.
+type Background interface {
+	// QueueBytes is the fluid backlog (bytes of virtual background
+	// traffic queued at the link) at time now.
+	QueueBytes(now sim.Time) float64
+	// Share is the fraction of link service the aggregate consumed over
+	// the current coupling step, in [0, 1). Links serve foreground
+	// packets at the residual (1 − Share) of their capacity.
+	Share(now sim.Time) float64
+	// ServedBps is the aggregate's service rate over the last step in
+	// bits/sec (part of the total dequeue rate a router measures).
+	ServedBps(now sim.Time) float64
+	// ServedBytes is the cumulative fluid bytes served so far.
+	ServedBytes(now sim.Time) float64
+}
+
+// BackgroundAware is implemented by links and disciplines whose service
+// accounting can host a fluid background (netem links, the ABC router).
+type BackgroundAware interface {
+	SetBackground(bg Background)
+}
+
 // Stats counts events common to every discipline.
 type Stats struct {
 	EnqueuedPackets int64
@@ -88,16 +116,28 @@ type DropTail struct {
 	Limit int // packets; <=0 means unlimited
 	Stats Stats
 	q     fifo
+	bg    Background
 }
 
 // NewDropTail returns a droptail queue bounded to limit packets.
 func NewDropTail(limit int) *DropTail { return &DropTail{Limit: limit} }
 
+// SetBackground implements BackgroundAware: the buffer is shared, so
+// fluid backlog occupies droptail slots exactly as real background
+// packets would.
+func (d *DropTail) SetBackground(bg Background) { d.bg = bg }
+
 // Enqueue implements Qdisc.
 func (d *DropTail) Enqueue(now sim.Time, p *packet.Packet) bool {
-	if d.Limit > 0 && d.q.len() >= d.Limit {
-		d.Stats.DroppedPackets++
-		return false
+	if d.Limit > 0 {
+		occupied := d.q.len()
+		if d.bg != nil {
+			occupied += int(d.bg.QueueBytes(now) / packet.MTU)
+		}
+		if occupied >= d.Limit {
+			d.Stats.DroppedPackets++
+			return false
+		}
 	}
 	p.EnqueuedAt = now
 	d.q.push(p)

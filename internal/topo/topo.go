@@ -36,6 +36,7 @@ import (
 	"abc/internal/netem"
 	"abc/internal/obs"
 	"abc/internal/packet"
+	"abc/internal/qdisc"
 	"abc/internal/sim"
 )
 
@@ -291,6 +292,29 @@ func (g *Graph) notifyLinkChange(e *Edge) {
 		w(e)
 	}
 }
+
+// SetBackground couples a fluid background aggregate into the edge's
+// service loop: the link (and, via its forwarding, a background-aware
+// qdisc such as the ABC router) starts accounting for the aggregate's
+// occupancy and service share. Wire edges and link models without
+// background-aware service loops are rejected loudly — a background
+// that silently did nothing would be a measurement bug.
+func (e *Edge) SetBackground(bg qdisc.Background) error {
+	if e.Link == nil {
+		return fmt.Errorf("topo: edge %q is a pure delay hop; a background needs a bottleneck link", e.Name)
+	}
+	ba, ok := e.Link.(qdisc.BackgroundAware)
+	if !ok {
+		return fmt.Errorf("topo: edge %q: link model %T does not support fluid backgrounds", e.Name, e.Link)
+	}
+	ba.SetBackground(bg)
+	return nil
+}
+
+// Home returns the simulator the edge's elements schedule on (the From
+// node's shard on sharded graphs): background couplers must step here
+// to stay shard-local.
+func (e *Edge) Home() *sim.Simulator { return e.home }
 
 // ImpairDrops reports packets dropped by this edge's impairment stage.
 func (e *Edge) ImpairDrops() int64 {

@@ -19,7 +19,7 @@ trap 'rm -f "$tmp"' EXIT
 count="${BENCH_COUNT:-5x}"
 
 go test -run '^$' \
-    -bench 'BenchmarkSimCore$|BenchmarkPacketChurn$|BenchmarkForwardHop$|BenchmarkTracedHop$|BenchmarkFIBLookup$|BenchmarkWorkloadChurn$|BenchmarkShardedRun$' \
+    -bench 'BenchmarkSimCore$|BenchmarkPacketChurn$|BenchmarkForwardHop$|BenchmarkTracedHop$|BenchmarkFIBLookup$|BenchmarkWorkloadChurn$|BenchmarkShardedRun$|BenchmarkHybridBackground$' \
     -benchmem -benchtime "$count" . >"$tmp"
 go test -run '^$' -bench 'BenchmarkSweepScalar$|BenchmarkSweepGrid$' \
     -benchmem -benchtime "$count" ./internal/fluid/ >>"$tmp"
@@ -32,14 +32,26 @@ cores="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)"
 maxprocs="${GOMAXPROCS:-$cores}"
 commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
+# A host with fewer cores than GOMAXPROCS oversubscribes the parallel
+# benchmarks (sharded runs, worker pools): their numbers measure
+# scheduler contention, not the code. Flag the snapshot so nobody
+# compares it against a healthy one by accident.
+degraded=false
+if [ "$cores" -gt 0 ] && [ "$cores" -lt "$maxprocs" ]; then
+    degraded=true
+    echo "bench_json: WARNING: host has $cores core(s) but GOMAXPROCS=$maxprocs;" \
+        "parallel benchmark numbers are degraded and the snapshot is flagged" >&2
+fi
+
 awk -v date="$(date +%Y-%m-%d)" -v gover="$gover" -v cores="$cores" \
-    -v maxprocs="$maxprocs" -v commit="$commit" '
+    -v maxprocs="$maxprocs" -v commit="$commit" -v degraded="$degraded" '
 BEGIN {
     printf "{\n"
     printf "  \"date\": \"%s\",\n", date
     printf "  \"go\": \"%s\",\n", gover
     printf "  \"cores\": %d,\n", cores
     printf "  \"gomaxprocs\": %d,\n", maxprocs
+    if (degraded == "true") printf "  \"degraded\": true,\n"
     printf "  \"commit\": \"%s\",\n", commit
     printf "  \"benchmarks\": [\n"
     n = 0
